@@ -1,0 +1,75 @@
+#ifndef KDDN_BENCH_BENCH_UTIL_H_
+#define KDDN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "kb/concept_extractor.h"
+#include "synth/cohort.h"
+
+namespace kddn::bench {
+
+/// Everything a table/figure bench needs, with stable addresses.
+struct BenchSetup {
+  std::unique_ptr<kb::KnowledgeBase> kb;
+  std::unique_ptr<kb::ConceptExtractor> extractor;
+  synth::Cohort cohort;
+  data::MortalityDataset dataset;
+};
+
+/// Scaled-down NURSING corpus (paper: 6,622 patients; here 1,600 generated so
+/// each bench finishes on a laptop CPU — the *relative* comparisons are what
+/// the reproduction targets).
+inline BenchSetup MakeNursingSetup(int num_patients = 1600,
+                                   uint64_t seed = 42) {
+  BenchSetup setup;
+  setup.kb = std::make_unique<kb::KnowledgeBase>(
+      kb::KnowledgeBase::BuildDefault());
+  setup.extractor = std::make_unique<kb::ConceptExtractor>(setup.kb.get());
+  synth::CohortConfig config;
+  config.kind = synth::CorpusKind::kNursing;
+  config.num_patients = num_patients;
+  config.seed = seed;
+  setup.cohort = synth::Cohort::Generate(config, *setup.kb);
+  data::DatasetOptions options;
+  options.max_words = 160;
+  options.max_concepts = 64;
+  setup.dataset =
+      data::MortalityDataset::Build(setup.cohort, *setup.extractor, options);
+  return setup;
+}
+
+/// Scaled-down RAD corpus (paper: 35,263 patients; here 2,400 generated,
+/// longer aggregated documents than NURSING as in Tables III/IV).
+inline BenchSetup MakeRadSetup(int num_patients = 2400, uint64_t seed = 43) {
+  BenchSetup setup;
+  setup.kb = std::make_unique<kb::KnowledgeBase>(
+      kb::KnowledgeBase::BuildDefault());
+  setup.extractor = std::make_unique<kb::ConceptExtractor>(setup.kb.get());
+  synth::CohortConfig config;
+  config.kind = synth::CorpusKind::kRad;
+  config.num_patients = num_patients;
+  config.seed = seed;
+  setup.cohort = synth::Cohort::Generate(config, *setup.kb);
+  data::DatasetOptions options;
+  options.max_words = 256;
+  options.max_concepts = 96;
+  setup.dataset =
+      data::MortalityDataset::Build(setup.cohort, *setup.extractor, options);
+  return setup;
+}
+
+/// Section banner shared by all benches.
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& paper_reference) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper reference: %s\n", paper_reference.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace kddn::bench
+
+#endif  // KDDN_BENCH_BENCH_UTIL_H_

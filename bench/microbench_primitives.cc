@@ -1,0 +1,115 @@
+// Google-benchmark microbenchmarks for the primitives every experiment sits
+// on: matmul, the CNN block, co-attention forward+backward, MetaMap-style
+// extraction, LDA Gibbs sweeps, and t-SNE. Useful for spotting performance
+// regressions in the substrate.
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "baselines/lda.h"
+#include "kb/concept_extractor.h"
+#include "nn/layers.h"
+#include "synth/cohort.h"
+#include "tensor/tensor_ops.h"
+#include "viz/tsne.h"
+
+namespace kddn {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a = RandomNormal({n, n}, 0, 1, &rng);
+  Tensor b = RandomNormal({n, n}, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv1dBankForward(benchmark::State& state) {
+  const int tokens = static_cast<int>(state.range(0));
+  Rng rng(2);
+  nn::ParameterSet params;
+  nn::Conv1dBank conv(&params, "conv", 20, 50, {1, 2, 3}, &rng);
+  ag::NodePtr x =
+      ag::Node::Leaf(RandomNormal({tokens, 20}, 0, 1, &rng), false, "x");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x));
+  }
+}
+BENCHMARK(BM_Conv1dBankForward)->Arg(64)->Arg(160)->Arg(256);
+
+void BM_CoAttentionForwardBackward(benchmark::State& state) {
+  const int words = static_cast<int>(state.range(0));
+  const int concepts = words / 3 + 1;
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ag::NodePtr w = ag::Node::Leaf(RandomNormal({words, 20}, 0, 1, &rng),
+                                   true, "w");
+    ag::NodePtr c = ag::Node::Leaf(RandomNormal({concepts, 20}, 0, 1, &rng),
+                                   true, "c");
+    state.ResumeTiming();
+    nn::AttiResult atti = nn::Atti(w, c);
+    ag::Backward(ag::MeanAll(atti.output));
+    benchmark::DoNotOptimize(w->grad());
+  }
+}
+BENCHMARK(BM_CoAttentionForwardBackward)->Arg(64)->Arg(160)->Arg(256);
+
+void BM_ConceptExtraction(benchmark::State& state) {
+  auto kb = kb::KnowledgeBase::BuildDefault();
+  kb::ConceptExtractor extractor(&kb);
+  synth::NoteGenerator generator(&kb);
+  auto panel = synth::BuildDiseasePanel(kb);
+  synth::PatientState patient;
+  patient.diseases = {&panel[0], &panel[3], &panel[6]};
+  Rng rng(4);
+  const std::string note =
+      generator.Generate(patient, synth::NoteStyle::kRadiology, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Extract(note));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(note.size()));
+}
+BENCHMARK(BM_ConceptExtraction);
+
+void BM_LdaGibbsSweep(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::vector<int>> docs;
+  for (int d = 0; d < 200; ++d) {
+    std::vector<int> doc;
+    for (int t = 0; t < 80; ++t) {
+      doc.push_back(rng.UniformInt(500));
+    }
+    docs.push_back(std::move(doc));
+  }
+  for (auto _ : state) {
+    baselines::LdaOptions options;
+    options.num_topics = 50;
+    options.train_iterations = 1;
+    baselines::Lda lda(options);
+    lda.Fit(docs, 500);
+    benchmark::DoNotOptimize(lda.TrainDocTopics(0));
+  }
+}
+BENCHMARK(BM_LdaGibbsSweep);
+
+void BM_TsneSmall(benchmark::State& state) {
+  Rng rng(6);
+  Tensor points = RandomNormal({120, 30}, 0, 1, &rng);
+  for (auto _ : state) {
+    viz::TsneOptions options;
+    options.iterations = 50;
+    options.perplexity = 15.0;
+    benchmark::DoNotOptimize(viz::Tsne(points, options));
+  }
+}
+BENCHMARK(BM_TsneSmall);
+
+}  // namespace
+}  // namespace kddn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Regenerates Table I: corpus composition (note counts per category and the
+// patient count) for the synthetic MIMIC-III substitute. The paper reports
+// absolute MIMIC-III counts; the reproduction preserves the *mix* (Radiology
+// >> ECG >> Echo; Nursing as its own corpus) at a scaled-down size.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+struct PaperRow {
+  const char* category;
+  int paper_count;
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {"Patients", 46520},   {"Radiology", 522279}, {"Echo", 45794},
+    {"ECG", 209051},       {"Nursing", 223556},
+};
+
+}  // namespace
+
+int main() {
+  using namespace kddn;
+  bench::PrintHeader("Table I — MIMIC-III description (synthetic substitute)",
+                     "Patients 46,520; Radiology 522,279; Echo 45,794; "
+                     "ECG 209,051; Nursing 223,556");
+
+  bench::BenchSetup nursing = bench::MakeNursingSetup();
+  bench::BenchSetup rad = bench::MakeRadSetup();
+
+  const auto nursing_counts = nursing.cohort.NoteCounts();
+  const auto rad_counts = rad.cohort.NoteCounts();
+  auto count_of = [](const std::map<synth::NoteStyle, int>& counts,
+                     synth::NoteStyle style) {
+    auto it = counts.find(style);
+    return it == counts.end() ? 0 : it->second;
+  };
+
+  const int patients = static_cast<int>(nursing.cohort.patients().size() +
+                                        rad.cohort.patients().size());
+  const int radiology = count_of(rad_counts, synth::NoteStyle::kRadiology);
+  const int echo = count_of(rad_counts, synth::NoteStyle::kEcho);
+  const int ecg = count_of(rad_counts, synth::NoteStyle::kEcg);
+  const int nursing_notes = count_of(nursing_counts, synth::NoteStyle::kNursing);
+
+  std::printf("Category   | Paper (MIMIC-III) | Ours (synthetic)\n");
+  std::printf("-----------+-------------------+-----------------\n");
+  const int ours[] = {patients, radiology, echo, ecg, nursing_notes};
+  for (size_t i = 0; i < std::size(kPaperRows); ++i) {
+    std::printf("%-10s | %17d | %d\n", kPaperRows[i].category,
+                kPaperRows[i].paper_count, ours[i]);
+  }
+
+  std::printf("\nShape checks (must mirror the paper):\n");
+  std::printf("  Radiology > ECG  : %s (%d > %d)\n",
+              radiology > ecg ? "OK" : "MISMATCH", radiology, ecg);
+  std::printf("  ECG > Echo       : %s (%d > %d)\n",
+              ecg > echo ? "OK" : "MISMATCH", ecg, echo);
+  std::printf("  Exclusions: minors NURSING=%d RAD=%d, post-death notes "
+              "NURSING=%d RAD=%d\n",
+              nursing.cohort.stats().excluded_minors,
+              rad.cohort.stats().excluded_minors,
+              nursing.cohort.stats().excluded_post_death_notes,
+              rad.cohort.stats().excluded_post_death_notes);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Regenerates Table II: positive/negative patient counts for the three
+// mortality horizons on both corpora (after all preprocessing exclusions).
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+struct PaperCell {
+  int pos;
+  int neg;
+};
+
+// Paper Table II.
+constexpr PaperCell kPaperNursing[3] = {{751, 5871}, {1033, 5589},
+                                        {1737, 4885}};
+constexpr PaperCell kPaperRad[3] = {{4249, 31014}, {5550, 29713},
+                                    {8787, 26476}};
+
+void PrintCorpusRow(const char* name,
+                    const kddn::data::MortalityDataset& dataset,
+                    const PaperCell (&paper)[3]) {
+  using kddn::synth::Horizon;
+  const int total = dataset.num_patients();
+  std::printf("%s (ours: %d patients after exclusions)\n", name, total);
+  std::printf("  Horizon    | paper pos/neg  (rate) | ours pos/neg  (rate)\n");
+  std::printf("  -----------+-----------------------+---------------------\n");
+  const Horizon horizons[] = {Horizon::kInHospital, Horizon::kWithin30Days,
+                              Horizon::kWithinYear};
+  for (int h = 0; h < 3; ++h) {
+    const int pos = dataset.CountPositive(horizons[h]);
+    const int neg = total - pos;
+    const double paper_rate =
+        static_cast<double>(paper[h].pos) / (paper[h].pos + paper[h].neg);
+    const double our_rate = static_cast<double>(pos) / total;
+    std::printf("  %-10s | %5d/%-6d (%.3f)   | %4d/%-5d (%.3f)\n",
+                kddn::synth::HorizonName(horizons[h]), paper[h].pos,
+                paper[h].neg, paper_rate, pos, neg, our_rate);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace kddn;
+  bench::PrintHeader(
+      "Table II — patient label distribution on NURSING and RAD",
+      "NURSING 751/1033/1737 positives of 6,622; RAD 4249/5550/8787 of "
+      "35,263");
+
+  bench::BenchSetup nursing = bench::MakeNursingSetup();
+  bench::BenchSetup rad = bench::MakeRadSetup();
+
+  PrintCorpusRow("NURSING", nursing.dataset, kPaperNursing);
+  std::printf("\n");
+  PrintCorpusRow("RAD", rad.dataset, kPaperRad);
+
+  std::printf("\nShape checks:\n");
+  for (const bench::BenchSetup* setup : {&nursing, &rad}) {
+    const int p0 = setup->dataset.CountPositive(synth::Horizon::kInHospital);
+    const int p30 =
+        setup->dataset.CountPositive(synth::Horizon::kWithin30Days);
+    const int p365 = setup->dataset.CountPositive(synth::Horizon::kWithinYear);
+    std::printf("  nesting pos(t=0) <= pos(t<=30) <= pos(t<=365): %s "
+                "(%d <= %d <= %d)\n",
+                (p0 <= p30 && p30 <= p365) ? "OK" : "MISMATCH", p0, p30, p365);
+  }
+  std::printf("  zero-concept exclusions: NURSING=%d RAD=%d\n",
+              nursing.dataset.excluded_zero_concept(),
+              rad.dataset.excluded_zero_concept());
+  return 0;
+}

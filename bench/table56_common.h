@@ -1,0 +1,75 @@
+#ifndef KDDN_BENCH_TABLE56_COMMON_H_
+#define KDDN_BENCH_TABLE56_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+
+namespace kddn::bench {
+
+/// Paper AUC row for Tables V/VI.
+struct PaperAuc {
+  double auc[3];
+};
+
+/// Runs the full 11-method evaluation and prints measured-vs-paper rows plus
+/// the ordering ("shape") checks the reproduction targets.
+inline void RunMethodTable(const data::MortalityDataset& dataset,
+                           const std::map<std::string, PaperAuc>& paper,
+                           const core::ExperimentOptions& options) {
+  const std::vector<core::MethodResult> results =
+      core::RunEvaluation(dataset, options);
+
+  std::printf("%-23s | %-24s | %-24s\n", "Models", "paper AUC (0/30/365)",
+              "ours AUC (0/30/365)");
+  std::printf("------------------------+--------------------------+---------"
+              "----------------\n");
+  std::map<std::string, core::MethodResult> by_name;
+  for (const core::MethodResult& result : results) {
+    by_name[result.name] = result;
+    const PaperAuc& row = paper.at(result.name);
+    std::printf("%-23s | %.3f / %.3f / %.3f    | %.3f / %.3f / %.3f\n",
+                result.name.c_str(), row.auc[0], row.auc[1], row.auc[2],
+                result.auc[0], result.auc[1], result.auc[2]);
+  }
+
+  auto mean_auc = [&](const std::string& name) {
+    const auto& a = by_name.at(name).auc;
+    return (a[0] + a[1] + a[2]) / 3.0;
+  };
+  std::printf("\nShape checks (paper's qualitative claims):\n");
+  auto check = [&](const char* label, bool ok) {
+    std::printf("  %-58s: %s\n", label, ok ? "OK" : "MISMATCH");
+  };
+  check("AK-DDN beats BK-DDN (co-attention gain)",
+        mean_auc("AK-DDN") > mean_auc("BK-DDN"));
+  check("BK-DDN beats Text CNN (adding knowledge helps)",
+        mean_auc("BK-DDN") > mean_auc("Text CNN"));
+  check("BK-DDN beats Concept CNN",
+        mean_auc("BK-DDN") > mean_auc("Concept CNN"));
+  check("AK-DDN is the best method overall", [&] {
+    for (const auto& [name, result] : by_name) {
+      if (name != "AK-DDN" && mean_auc(name) >= mean_auc("AK-DDN")) {
+        return false;
+      }
+    }
+    return true;
+  }());
+  check("Combined LDA beats LDA word SVM (fusion helps features too)",
+        mean_auc("Combined LDA with SVM") > mean_auc("LDA based word SVM"));
+  check("Combined LDA beats LDA concept SVM",
+        mean_auc("Combined LDA with SVM") > mean_auc("LDA based concept SVM"));
+  check("Deep Text CNN beats the LDA word baselines",
+        mean_auc("Text CNN") > mean_auc("LDA based word SVM") &&
+            mean_auc("Text CNN") > mean_auc("LDA based word LR"));
+  check("LDA word SVM beats LDA concept SVM (words carry more signal)",
+        mean_auc("LDA based word SVM") > mean_auc("LDA based concept SVM"));
+}
+
+}  // namespace kddn::bench
+
+#endif  // KDDN_BENCH_TABLE56_COMMON_H_

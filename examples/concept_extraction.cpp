@@ -1,0 +1,75 @@
+// Demonstrates the MetaMap-style concept extraction pipeline of §VII-B2 and
+// Figures 1/6 on real clinical-style sentences: CUIs, positions, confidence
+// scores, semantic types, type filtering, and the position-sorted CUI
+// sequence fed to the Concept CNN branch.
+//
+// Build & run:  cmake --build build && ./build/examples/concept_extraction
+#include <cstdio>
+#include <string>
+
+#include "kb/concept_extractor.h"
+
+namespace {
+
+void ShowExtraction(const kddn::kb::ConceptExtractor& extractor,
+                    const std::string& note, bool filter_general) {
+  using namespace kddn;
+  std::printf("note: \"%s\"\n", note.c_str());
+  std::printf("semantic-type filter: %s\n", filter_general ? "ON" : "OFF");
+  kb::ExtractionOptions options;
+  options.filter_general = filter_general;
+  const auto mentions = extractor.Extract(note, options);
+  std::printf("  %-9s | %-30s | pos | score | semantic type\n", "CUI",
+              "preferred name");
+  for (const kb::Mention& mention : mentions) {
+    const kb::Concept* entry = extractor.kb().FindByCui(mention.cui);
+    std::printf("  %-9s | %-30s | %3d | %5.0f | %s\n", mention.cui.c_str(),
+                entry->preferred_name.c_str(), mention.token_begin,
+                mention.score, kb::SemanticTypeName(mention.semantic_type));
+  }
+  std::printf("  concept sequence (Fig. 6 position-sorted): ");
+  for (const std::string& cui : kb::ConceptExtractor::CuiSequence(mentions)) {
+    std::printf("%s ", cui.c_str());
+  }
+  std::printf("\n\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace kddn;
+  kb::KnowledgeBase knowledge = kb::KnowledgeBase::BuildDefault();
+  kb::ConceptExtractor extractor(&knowledge);
+  std::printf("knowledge base: %d concepts\n\n", knowledge.size());
+
+  // The paper's own motivating sentence (§I): "cardiac tamponade" must be
+  // one concept, not the two words "cardiac" and "tamponade".
+  ShowExtraction(extractor,
+                 "There is no mediastinal vascular engorgement to suggest "
+                 "cardiac tamponade.",
+                 /*filter_general=*/true);
+
+  // Multi-position unfolding (Fig. 6): one concept at two positions.
+  ShowExtraction(extractor,
+                 "Vomiting overnight; emesis again this morning after "
+                 "nasogastric tube removal.",
+                 /*filter_general=*/true);
+
+  // The effect of semantic-type filtering (Fig. 1): general concepts like
+  // "patient", "stable" and "morning" disappear when the filter is on.
+  const std::string note =
+      "Patient stable this morning, heart failure improved after lasix, "
+      "no increased edema.";
+  ShowExtraction(extractor, note, /*filter_general=*/false);
+  ShowExtraction(extractor, note, /*filter_general=*/true);
+
+  // Alias unification: three surface forms, one CUI.
+  for (const char* alias_note :
+       {"known chf", "history of congestive heart failure",
+        "chronic heart failure exacerbation"}) {
+    const auto mentions = extractor.Extract(alias_note);
+    std::printf("\"%s\" -> %s\n", alias_note,
+                mentions.empty() ? "(none)" : mentions[0].cui.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "autograd/node.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace kddn::ag {
+
+NodePtr Node::Leaf(Tensor value, bool requires_grad, std::string name) {
+  auto node = std::shared_ptr<Node>(new Node());
+  node->name_ = std::move(name);
+  node->value_ = std::move(value);
+  node->requires_grad_ = requires_grad;
+  return node;
+}
+
+NodePtr Node::Op(std::string name, Tensor value, std::vector<NodePtr> parents,
+                 std::function<void(Node*)> backward) {
+  auto node = std::shared_ptr<Node>(new Node());
+  node->name_ = std::move(name);
+  node->value_ = std::move(value);
+  node->parents_ = std::move(parents);
+  node->backward_ = std::move(backward);
+  for (const NodePtr& parent : node->parents_) {
+    KDDN_CHECK(parent != nullptr) << "null parent in op " << node->name_;
+    node->requires_grad_ = node->requires_grad_ || parent->requires_grad();
+  }
+  return node;
+}
+
+const Tensor& Node::grad() const {
+  if (!grad_.SameShape(value_)) {
+    grad_ = Tensor(value_.shape());
+  }
+  return grad_;
+}
+
+Tensor& Node::mutable_grad() {
+  if (!grad_.SameShape(value_)) {
+    grad_ = Tensor(value_.shape());
+  }
+  return grad_;
+}
+
+void Node::ZeroGrad() { mutable_grad().Fill(0.0f); }
+
+void Node::RunBackward() {
+  if (backward_) {
+    backward_(this);
+  }
+}
+
+namespace {
+
+/// Iterative post-order DFS producing a topological order (parents before
+/// children in the returned vector; we then walk it in reverse).
+void TopoSort(const NodePtr& root, std::vector<Node*>* order) {
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    NodePtr node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(root.get()).second) {
+    stack.push_back({root, 0});
+  }
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const auto& parents = frame.node->parents();
+    if (frame.next_parent < parents.size()) {
+      const NodePtr& parent = parents[frame.next_parent++];
+      if (visited.insert(parent.get()).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order->push_back(frame.node.get());
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const NodePtr& root) {
+  KDDN_CHECK(root != nullptr);
+  std::vector<Node*> order;
+  TopoSort(root, &order);
+  // Interior nodes belong to this graph only, so their gradients are reset
+  // here; leaf gradients are deliberately left alone so that trainable
+  // parameters accumulate across the per-example graphs of a minibatch (the
+  // optimizer zeroes them after each step).
+  for (Node* node : order) {
+    if (!node->parents().empty()) {
+      node->ZeroGrad();
+    } else {
+      node->mutable_grad();  // Ensure allocation for accumulation.
+    }
+  }
+  root->mutable_grad().Fill(1.0f);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->requires_grad()) {
+      (*it)->RunBackward();
+    }
+  }
+}
+
+float ScalarValue(const NodePtr& node) {
+  KDDN_CHECK(node != nullptr);
+  KDDN_CHECK_EQ(node->value().size(), 1)
+      << "ScalarValue on non-scalar node " << node->name();
+  return node->value()[0];
+}
+
+}  // namespace kddn::ag

@@ -1,0 +1,80 @@
+#ifndef KDDN_AUTOGRAD_NODE_H_
+#define KDDN_AUTOGRAD_NODE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace kddn::ag {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// One vertex of the reverse-mode autodiff tape. A Node owns its forward
+/// value, a lazily-allocated gradient of the same shape, its parents, and a
+/// closure that scatters this node's gradient into the parents' gradients.
+///
+/// Graphs are built eagerly by the free functions in autograd/ops.h; calling
+/// Backward(root) runs a reverse topological sweep. Nodes are created fresh on
+/// every forward pass — persistent state (trainable parameters) is modelled as
+/// leaf nodes that the caller keeps alive across passes (see nn::Parameter).
+class Node {
+ public:
+  /// Creates a leaf (no parents). `requires_grad` marks trainable leaves.
+  static NodePtr Leaf(Tensor value, bool requires_grad,
+                      std::string name = "leaf");
+
+  /// Creates an interior op node. `backward` receives this node after its
+  /// gradient is final and must accumulate (+=) into each parent's
+  /// mutable_grad(); it may be empty for non-differentiable ops.
+  static NodePtr Op(std::string name, Tensor value,
+                    std::vector<NodePtr> parents,
+                    std::function<void(Node*)> backward);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const Tensor& value() const { return value_; }
+  Tensor& mutable_value() { return value_; }
+
+  /// Gradient tensor; allocated zero-filled on first access.
+  const Tensor& grad() const;
+  Tensor& mutable_grad();
+
+  /// True if any leaf beneath this node is trainable.
+  bool requires_grad() const { return requires_grad_; }
+
+  const std::string& name() const { return name_; }
+  const std::vector<NodePtr>& parents() const { return parents_; }
+
+  /// Clears the gradient back to zeros (keeps allocation).
+  void ZeroGrad();
+
+  /// Runs the backward closure; internal to Backward().
+  void RunBackward();
+
+ private:
+  Node() = default;
+
+  std::string name_;
+  Tensor value_;
+  mutable Tensor grad_;  // Lazily sized to match value_.
+  bool requires_grad_ = false;
+  std::vector<NodePtr> parents_;
+  std::function<void(Node*)> backward_;
+};
+
+/// Reverse-mode sweep from `root`, whose gradient is seeded with ones (so a
+/// scalar loss gets d(loss)/d(loss)=1). Every reachable node with
+/// requires_grad() receives its accumulated gradient.
+void Backward(const NodePtr& root);
+
+/// Convenience: the single element of a one-element node.
+float ScalarValue(const NodePtr& node);
+
+}  // namespace kddn::ag
+
+#endif  // KDDN_AUTOGRAD_NODE_H_

@@ -1,0 +1,133 @@
+#include "baselines/lda.h"
+
+#include "common/check.h"
+
+namespace kddn::baselines {
+
+Lda::Lda(const LdaOptions& options)
+    : options_(options), infer_rng_(options.seed ^ 0xabcdefULL) {
+  KDDN_CHECK_GT(options.num_topics, 1);
+  KDDN_CHECK_GT(options.alpha, 0.0);
+  KDDN_CHECK_GT(options.beta, 0.0);
+  KDDN_CHECK_GT(options.train_iterations, 0);
+  KDDN_CHECK_GT(options.infer_iterations, 0);
+}
+
+void Lda::Fit(const std::vector<std::vector<int>>& docs, int vocab_size) {
+  KDDN_CHECK_GT(vocab_size, 0);
+  KDDN_CHECK(!docs.empty());
+  vocab_size_ = vocab_size;
+  docs_ = docs;
+  const int k = options_.num_topics;
+  const int d = static_cast<int>(docs.size());
+
+  doc_topic_.assign(d, std::vector<int>(k, 0));
+  topic_word_.assign(k, std::vector<int>(vocab_size, 0));
+  topic_total_.assign(k, 0);
+  assignments_.assign(d, {});
+
+  Rng rng(options_.seed);
+  // Random initial assignments.
+  for (int di = 0; di < d; ++di) {
+    assignments_[di].resize(docs_[di].size());
+    for (size_t t = 0; t < docs_[di].size(); ++t) {
+      const int word = docs_[di][t];
+      KDDN_CHECK(word >= 0 && word < vocab_size) << "word id out of range";
+      const int topic = rng.UniformInt(k);
+      assignments_[di][t] = topic;
+      ++doc_topic_[di][topic];
+      ++topic_word_[topic][word];
+      ++topic_total_[topic];
+    }
+  }
+
+  // Collapsed Gibbs sweeps.
+  std::vector<double> weights(k);
+  const double vbeta = vocab_size_ * options_.beta;
+  for (int iter = 0; iter < options_.train_iterations; ++iter) {
+    for (int di = 0; di < d; ++di) {
+      for (size_t t = 0; t < docs_[di].size(); ++t) {
+        const int word = docs_[di][t];
+        const int old_topic = assignments_[di][t];
+        --doc_topic_[di][old_topic];
+        --topic_word_[old_topic][word];
+        --topic_total_[old_topic];
+        for (int topic = 0; topic < k; ++topic) {
+          weights[topic] =
+              (doc_topic_[di][topic] + options_.alpha) *
+              (topic_word_[topic][word] + options_.beta) /
+              (topic_total_[topic] + vbeta);
+        }
+        const int new_topic = rng.Categorical(weights);
+        assignments_[di][t] = new_topic;
+        ++doc_topic_[di][new_topic];
+        ++topic_word_[new_topic][word];
+        ++topic_total_[new_topic];
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+std::vector<float> Lda::TrainDocTopics(int doc_index) const {
+  KDDN_CHECK(fitted_) << "Fit() first";
+  KDDN_CHECK(doc_index >= 0 &&
+             doc_index < static_cast<int>(doc_topic_.size()));
+  const int k = options_.num_topics;
+  const double total =
+      static_cast<double>(docs_[doc_index].size()) + k * options_.alpha;
+  std::vector<float> theta(k);
+  for (int topic = 0; topic < k; ++topic) {
+    theta[topic] = static_cast<float>(
+        (doc_topic_[doc_index][topic] + options_.alpha) / total);
+  }
+  return theta;
+}
+
+std::vector<float> Lda::InferTopics(const std::vector<int>& doc) const {
+  KDDN_CHECK(fitted_) << "Fit() first";
+  const int k = options_.num_topics;
+  const double vbeta = vocab_size_ * options_.beta;
+  std::vector<int> counts(k, 0);
+  std::vector<int> assignment(doc.size());
+  std::vector<double> weights(k);
+
+  for (size_t t = 0; t < doc.size(); ++t) {
+    const int topic = infer_rng_.UniformInt(k);
+    assignment[t] = topic;
+    ++counts[topic];
+  }
+  for (int iter = 0; iter < options_.infer_iterations; ++iter) {
+    for (size_t t = 0; t < doc.size(); ++t) {
+      const int word = doc[t];
+      KDDN_CHECK(word >= 0 && word < vocab_size_) << "word id out of range";
+      const int old_topic = assignment[t];
+      --counts[old_topic];
+      for (int topic = 0; topic < k; ++topic) {
+        weights[topic] = (counts[topic] + options_.alpha) *
+                         (topic_word_[topic][word] + options_.beta) /
+                         (topic_total_[topic] + vbeta);
+      }
+      const int new_topic = infer_rng_.Categorical(weights);
+      assignment[t] = new_topic;
+      ++counts[new_topic];
+    }
+  }
+  const double total = static_cast<double>(doc.size()) + k * options_.alpha;
+  std::vector<float> theta(k);
+  for (int topic = 0; topic < k; ++topic) {
+    theta[topic] =
+        static_cast<float>((counts[topic] + options_.alpha) / total);
+  }
+  return theta;
+}
+
+double Lda::TopicWordProbability(int topic, int word) const {
+  KDDN_CHECK(fitted_) << "Fit() first";
+  KDDN_CHECK(topic >= 0 && topic < options_.num_topics);
+  KDDN_CHECK(word >= 0 && word < vocab_size_);
+  return (topic_word_[topic][word] + options_.beta) /
+         (topic_total_[topic] + vocab_size_ * options_.beta);
+}
+
+}  // namespace kddn::baselines

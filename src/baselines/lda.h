@@ -1,0 +1,58 @@
+#ifndef KDDN_BASELINES_LDA_H_
+#define KDDN_BASELINES_LDA_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace kddn::baselines {
+
+/// Latent Dirichlet Allocation trained by collapsed Gibbs sampling — the
+/// feature generator behind the paper's "LDA based ..." baselines (§VII-D;
+/// 50 topics). Topic distributions of documents become fixed-length feature
+/// vectors for SVM / logistic-regression classifiers.
+struct LdaOptions {
+  int num_topics = 50;          // Paper: 50 topics.
+  double alpha = 0.1;           // Symmetric document-topic prior.
+  double beta = 0.01;           // Symmetric topic-word prior.
+  int train_iterations = 120;   // Gibbs sweeps over the corpus.
+  int infer_iterations = 40;    // Fold-in sweeps for unseen documents.
+  uint64_t seed = 1;
+};
+
+class Lda {
+ public:
+  explicit Lda(const LdaOptions& options = {});
+
+  /// Runs collapsed Gibbs sampling over encoded documents (token ids in
+  /// [0, vocab_size)). Documents may be ragged; empty documents are allowed.
+  void Fit(const std::vector<std::vector<int>>& docs, int vocab_size);
+
+  /// Topic proportions of a training document (smoothed, sums to 1).
+  std::vector<float> TrainDocTopics(int doc_index) const;
+
+  /// Fold-in inference: samples topic assignments for an unseen document
+  /// with the topic-word counts frozen, then returns its topic proportions.
+  std::vector<float> InferTopics(const std::vector<int>& doc) const;
+
+  /// phi[k][w]: smoothed probability of word w under topic k.
+  double TopicWordProbability(int topic, int word) const;
+
+  int num_topics() const { return options_.num_topics; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  LdaOptions options_;
+  int vocab_size_ = 0;
+  bool fitted_ = false;
+  std::vector<std::vector<int>> docs_;
+  std::vector<std::vector<int>> assignments_;      // Per doc, per token.
+  std::vector<std::vector<int>> doc_topic_;        // [D][K]
+  std::vector<std::vector<int>> topic_word_;       // [K][V]
+  std::vector<int> topic_total_;                   // [K]
+  mutable Rng infer_rng_;
+};
+
+}  // namespace kddn::baselines
+
+#endif  // KDDN_BASELINES_LDA_H_

@@ -1,0 +1,72 @@
+#include "baselines/logreg.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kddn::baselines {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+LogisticRegression::LogisticRegression(
+    const LogisticRegressionOptions& options)
+    : options_(options) {
+  KDDN_CHECK_GE(options.l2, 0.0);
+  KDDN_CHECK_GT(options.learning_rate, 0.0);
+  KDDN_CHECK_GT(options.iterations, 0);
+}
+
+void LogisticRegression::Fit(const std::vector<std::vector<float>>& features,
+                             const std::vector<int>& labels) {
+  KDDN_CHECK(!features.empty());
+  KDDN_CHECK_EQ(features.size(), labels.size());
+  const int n = static_cast<int>(features.size());
+  const int dim = static_cast<int>(features[0].size());
+  KDDN_CHECK_GT(dim, 0);
+  for (int i = 0; i < n; ++i) {
+    KDDN_CHECK_EQ(static_cast<int>(features[i].size()), dim)
+        << "ragged feature rows";
+    KDDN_CHECK(labels[i] == 0 || labels[i] == 1) << "labels must be 0/1";
+  }
+
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+  std::vector<double> grad(dim);
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double bias_grad = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double z = bias_;
+      for (int k = 0; k < dim; ++k) {
+        z += weights_[k] * features[i][k];
+      }
+      const double error = Sigmoid(z) - labels[i];
+      for (int k = 0; k < dim; ++k) {
+        grad[k] += error * features[i][k];
+      }
+      bias_grad += error;
+    }
+    const double scale = options_.learning_rate / n;
+    for (int k = 0; k < dim; ++k) {
+      weights_[k] -= scale * (grad[k] + options_.l2 * weights_[k] * n);
+    }
+    bias_ -= scale * bias_grad;
+  }
+  fitted_ = true;
+}
+
+float LogisticRegression::PredictProbability(
+    const std::vector<float>& features) const {
+  KDDN_CHECK(fitted_) << "Fit() first";
+  KDDN_CHECK_EQ(features.size(), weights_.size()) << "dimension mismatch";
+  double z = bias_;
+  for (size_t k = 0; k < features.size(); ++k) {
+    z += weights_[k] * features[k];
+  }
+  return static_cast<float>(Sigmoid(z));
+}
+
+}  // namespace kddn::baselines

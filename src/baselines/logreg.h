@@ -1,0 +1,40 @@
+#ifndef KDDN_BASELINES_LOGREG_H_
+#define KDDN_BASELINES_LOGREG_H_
+
+#include <vector>
+
+namespace kddn::baselines {
+
+/// L2-regularised binary logistic regression trained with full-batch
+/// gradient descent — the "LDA based word LR" baseline's classifier
+/// (paper §VII-D).
+struct LogisticRegressionOptions {
+  double l2 = 1e-3;
+  double learning_rate = 0.5;
+  int iterations = 400;
+};
+
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(const LogisticRegressionOptions& options = {});
+
+  /// Trains on feature rows with 0/1 labels.
+  void Fit(const std::vector<std::vector<float>>& features,
+           const std::vector<int>& labels);
+
+  /// P(y = 1 | x).
+  float PredictProbability(const std::vector<float>& features) const;
+
+  bool fitted() const { return fitted_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  LogisticRegressionOptions options_;
+  bool fitted_ = false;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace kddn::baselines
+
+#endif  // KDDN_BASELINES_LOGREG_H_

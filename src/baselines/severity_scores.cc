@@ -1,0 +1,79 @@
+#include "baselines/severity_scores.h"
+
+#include "common/check.h"
+
+namespace kddn::baselines {
+namespace {
+
+/// APACHE-like age points (Knaus et al., 1991, coarsened).
+int AgePoints(int age) {
+  if (age >= 75) return 6;
+  if (age >= 65) return 5;
+  if (age >= 55) return 3;
+  if (age >= 45) return 2;
+  return 0;
+}
+
+/// Diagnosis weights: chronic conditions score low, acute organ failures
+/// high — the classic severity-score structure.
+int DiagnosisPoints(const synth::DiseaseProfile& profile) {
+  if (profile.lethality >= 0.8) return 4;   // Arrest, shock, ARDS, ...
+  if (profile.lethality >= 0.55) return 3;  // MI, sepsis, CHF, ...
+  if (profile.lethality >= 0.35) return 2;  // Pneumonia, COPD, ...
+  return 1;                                 // Chronic ambulatory disease.
+}
+
+bool IsOrganFailure(const synth::DiseaseProfile& profile) {
+  return profile.lethality >= 0.5;
+}
+
+}  // namespace
+
+const char* SeverityScoreName(SeverityScoreKind kind) {
+  switch (kind) {
+    case SeverityScoreKind::kApacheLike:
+      return "APACHE-like";
+    case SeverityScoreKind::kSapsLike:
+      return "SAPS-like";
+    case SeverityScoreKind::kSofaLike:
+      return "SOFA-like";
+  }
+  return "?";
+}
+
+double SeverityScore(SeverityScoreKind kind,
+                     const synth::SyntheticPatient& patient,
+                     const std::vector<synth::DiseaseProfile>& panel) {
+  for (int idx : patient.disease_indices) {
+    KDDN_CHECK(idx >= 0 && idx < static_cast<int>(panel.size()))
+        << "disease index out of panel range";
+  }
+  switch (kind) {
+    case SeverityScoreKind::kApacheLike: {
+      int points = AgePoints(patient.age);
+      for (int idx : patient.disease_indices) {
+        points += DiagnosisPoints(panel[idx]);
+      }
+      return points;
+    }
+    case SeverityScoreKind::kSapsLike: {
+      int points = AgePoints(patient.age) / 2;
+      int acute = 0;
+      for (int idx : patient.disease_indices) {
+        acute += panel[idx].lethality >= 0.4 ? 1 : 0;
+      }
+      return points + 3 * acute;
+    }
+    case SeverityScoreKind::kSofaLike: {
+      int organs = 0;
+      for (int idx : patient.disease_indices) {
+        organs += IsOrganFailure(panel[idx]) ? 1 : 0;
+      }
+      return organs;
+    }
+  }
+  KDDN_CHECK(false) << "unhandled severity score";
+  __builtin_unreachable();
+}
+
+}  // namespace kddn::baselines

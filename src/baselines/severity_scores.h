@@ -1,0 +1,31 @@
+#ifndef KDDN_BASELINES_SEVERITY_SCORES_H_
+#define KDDN_BASELINES_SEVERITY_SCORES_H_
+
+#include "synth/cohort.h"
+
+namespace kddn::baselines {
+
+/// Rule-based severity scores in the spirit of APACHE / SAPS-II / SOFA
+/// (paper §II-B calls these "early approaches ... complementary to our
+/// study" and does not evaluate them; we add them as an extension so the
+/// text-based models can be compared against a structured-data straw man).
+/// The scores read only *structured* facts about the patient — age and the
+/// diagnosis list — never the note text, mirroring how such scores consume
+/// chart variables rather than narrative.
+enum class SeverityScoreKind {
+  kApacheLike,  // Age bands + weighted chronic/acute diagnosis points.
+  kSapsLike,    // Age points + count of acute organ-system involvements.
+  kSofaLike,    // Organ-dysfunction count proxy.
+};
+
+const char* SeverityScoreName(SeverityScoreKind kind);
+
+/// Computes the score for one patient against the disease panel it was
+/// generated from. Higher = sicker. Deterministic.
+double SeverityScore(SeverityScoreKind kind,
+                     const synth::SyntheticPatient& patient,
+                     const std::vector<synth::DiseaseProfile>& panel);
+
+}  // namespace kddn::baselines
+
+#endif  // KDDN_BASELINES_SEVERITY_SCORES_H_

@@ -1,0 +1,191 @@
+#include "baselines/svm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kddn::baselines {
+namespace {
+
+void CheckTrainingData(const std::vector<std::vector<float>>& features,
+                       const std::vector<int>& labels) {
+  KDDN_CHECK(!features.empty()) << "no training rows";
+  KDDN_CHECK_EQ(features.size(), labels.size());
+  const size_t dim = features[0].size();
+  KDDN_CHECK_GT(dim, 0u) << "zero-dimensional features";
+  bool has_positive = false, has_negative = false;
+  for (size_t i = 0; i < features.size(); ++i) {
+    KDDN_CHECK_EQ(features[i].size(), dim) << "ragged feature rows";
+    KDDN_CHECK(labels[i] == 0 || labels[i] == 1) << "labels must be 0/1";
+    has_positive = has_positive || labels[i] == 1;
+    has_negative = has_negative || labels[i] == 0;
+  }
+  KDDN_CHECK(has_positive && has_negative) << "need both classes to train";
+}
+
+}  // namespace
+
+KernelSvm::KernelSvm(const KernelSvmOptions& options) : options_(options) {
+  KDDN_CHECK_GT(options.c, 0.0);
+  KDDN_CHECK_GT(options.epochs, 0);
+  KDDN_CHECK_GT(options.degree, 0);
+}
+
+double KernelSvm::Kernel(const std::vector<float>& a,
+                         const std::vector<float>& b) const {
+  KDDN_CHECK_EQ(a.size(), b.size()) << "kernel dimension mismatch";
+  double dot = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+  }
+  switch (options_.kernel) {
+    case KernelType::kLinear:
+      return dot + 1.0;  // +1 absorbs the bias.
+    case KernelType::kPolynomial:
+      return std::pow(gamma_ * dot + options_.coef0, options_.degree) + 1.0;
+    case KernelType::kRbf: {
+      double sq = 0.0;
+      for (size_t i = 0; i < a.size(); ++i) {
+        const double diff = static_cast<double>(a[i]) - b[i];
+        sq += diff * diff;
+      }
+      return std::exp(-gamma_ * sq) + 1.0;
+    }
+  }
+  return 0.0;
+}
+
+void KernelSvm::Fit(const std::vector<std::vector<float>>& features,
+                    const std::vector<int>& labels) {
+  CheckTrainingData(features, labels);
+  const int n = static_cast<int>(features.size());
+  gamma_ = options_.gamma > 0.0
+               ? options_.gamma
+               : 1.0 / static_cast<double>(features[0].size());
+
+  // Precompute the kernel matrix (n is small for topic features).
+  std::vector<double> kernel(static_cast<size_t>(n) * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const double value = Kernel(features[i], features[j]);
+      kernel[static_cast<size_t>(i) * n + j] = value;
+      kernel[static_cast<size_t>(j) * n + i] = value;
+    }
+  }
+
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    y[i] = labels[i] == 1 ? 1.0 : -1.0;
+  }
+
+  // Dual coordinate ascent on:
+  //   max_a sum a_i - 1/2 sum a_i a_j y_i y_j K(i,j),  0 <= a_i <= C.
+  // f_i = sum_j a_j y_j K(i,j) is maintained incrementally.
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> f(n, 0.0);
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+  Rng rng(options_.seed);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (int idx : order) {
+      const double kii = kernel[static_cast<size_t>(idx) * n + idx];
+      if (kii <= 0.0) {
+        continue;
+      }
+      const double gradient = 1.0 - y[idx] * f[idx];
+      const double old_alpha = alpha[idx];
+      double new_alpha = old_alpha + gradient / kii;
+      new_alpha = std::min(std::max(new_alpha, 0.0), options_.c);
+      const double delta = new_alpha - old_alpha;
+      if (delta == 0.0) {
+        continue;
+      }
+      alpha[idx] = new_alpha;
+      const double* krow = kernel.data() + static_cast<size_t>(idx) * n;
+      for (int j = 0; j < n; ++j) {
+        f[j] += delta * y[idx] * krow[j];
+      }
+    }
+  }
+
+  support_vectors_.clear();
+  coefficients_.clear();
+  for (int i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-10) {
+      support_vectors_.push_back(features[i]);
+      coefficients_.push_back(alpha[i] * y[i]);
+    }
+  }
+  fitted_ = true;
+}
+
+float KernelSvm::Decision(const std::vector<float>& features) const {
+  KDDN_CHECK(fitted_) << "Fit() first";
+  double score = 0.0;
+  for (size_t s = 0; s < support_vectors_.size(); ++s) {
+    score += coefficients_[s] * Kernel(support_vectors_[s], features);
+  }
+  return static_cast<float>(score);
+}
+
+int KernelSvm::NumSupportVectors() const {
+  KDDN_CHECK(fitted_) << "Fit() first";
+  return static_cast<int>(support_vectors_.size());
+}
+
+LinearSvm::LinearSvm(const LinearSvmOptions& options) : options_(options) {
+  KDDN_CHECK_GT(options.lambda, 0.0);
+  KDDN_CHECK_GT(options.epochs, 0);
+}
+
+void LinearSvm::Fit(const std::vector<std::vector<float>>& features,
+                    const std::vector<int>& labels) {
+  CheckTrainingData(features, labels);
+  const int n = static_cast<int>(features.size());
+  const int dim = static_cast<int>(features[0].size());
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+
+  Rng rng(options_.seed);
+  int64_t t = 0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (int step = 0; step < n; ++step) {
+      ++t;
+      const int idx = rng.UniformInt(n);
+      const double y = labels[idx] == 1 ? 1.0 : -1.0;
+      const double eta = 1.0 / (options_.lambda * static_cast<double>(t));
+      double margin = bias_;
+      for (int k = 0; k < dim; ++k) {
+        margin += weights_[k] * features[idx][k];
+      }
+      margin *= y;
+      // L2 shrink.
+      const double shrink = 1.0 - eta * options_.lambda;
+      for (int k = 0; k < dim; ++k) {
+        weights_[k] *= shrink;
+      }
+      if (margin < 1.0) {  // Hinge subgradient step.
+        for (int k = 0; k < dim; ++k) {
+          weights_[k] += eta * y * features[idx][k];
+        }
+        bias_ += eta * y;
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+float LinearSvm::Decision(const std::vector<float>& features) const {
+  KDDN_CHECK(fitted_) << "Fit() first";
+  KDDN_CHECK_EQ(features.size(), weights_.size()) << "dimension mismatch";
+  double score = bias_;
+  for (size_t k = 0; k < features.size(); ++k) {
+    score += weights_[k] * features[k];
+  }
+  return static_cast<float>(score);
+}
+
+}  // namespace kddn::baselines

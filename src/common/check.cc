@@ -1,0 +1,15 @@
+#include "common/check.h"
+
+namespace kddn::internal {
+
+void ThrowCheckError(const char* condition, const char* file, int line,
+                     const std::string& message) {
+  std::ostringstream out;
+  out << "KDDN_CHECK failed: " << condition << " at " << file << ":" << line;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  throw KddnError(out.str());
+}
+
+}  // namespace kddn::internal

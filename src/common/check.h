@@ -1,0 +1,67 @@
+#ifndef KDDN_COMMON_CHECK_H_
+#define KDDN_COMMON_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace kddn {
+
+/// Error type thrown by all KDDN_CHECK* macros. Carries the failed condition,
+/// the source location, and an optional user message.
+class KddnError : public std::runtime_error {
+ public:
+  explicit KddnError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+
+/// Builds the final error text and throws. Kept out-of-line so the macro
+/// expansion at every check site stays small.
+[[noreturn]] void ThrowCheckError(const char* condition, const char* file,
+                                  int line, const std::string& message);
+
+/// Stream-collecting helper so checks can append `<< "context"` payloads.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* condition, const char* file, int line)
+      : condition_(condition), file_(file), line_(line) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() noexcept(false) {
+    ThrowCheckError(condition_, file_, line_, stream_.str());
+  }
+
+ private:
+  const char* condition_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace kddn
+
+/// Throws kddn::KddnError when `condition` is false. Usage:
+///   KDDN_CHECK(n > 0) << "n must be positive, got " << n;
+#define KDDN_CHECK(condition)                                         \
+  if (condition) {                                                    \
+  } else /* NOLINT */                                                 \
+    ::kddn::internal::CheckMessageBuilder(#condition, __FILE__, __LINE__)
+
+#define KDDN_CHECK_EQ(a, b) KDDN_CHECK((a) == (b))
+#define KDDN_CHECK_NE(a, b) KDDN_CHECK((a) != (b))
+#define KDDN_CHECK_LT(a, b) KDDN_CHECK((a) < (b))
+#define KDDN_CHECK_LE(a, b) KDDN_CHECK((a) <= (b))
+#define KDDN_CHECK_GT(a, b) KDDN_CHECK((a) > (b))
+#define KDDN_CHECK_GE(a, b) KDDN_CHECK((a) >= (b))
+
+#endif  // KDDN_COMMON_CHECK_H_

@@ -1,0 +1,84 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace kddn {
+
+Flags Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    KDDN_CHECK(!body.empty()) << "empty flag name";
+    const size_t equals = body.find('=');
+    if (equals != std::string::npos) {
+      const std::string name = body.substr(0, equals);
+      KDDN_CHECK(!name.empty()) << "empty flag name in " << arg;
+      flags.values_[name] = body.substr(equals + 1);
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      flags.values_[body] = argv[++i];
+    } else {
+      flags.values_[body] = "true";
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int Flags::GetInt(const std::string& name, int default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(it->second.c_str(), &end, 10);
+  KDDN_CHECK(end != nullptr && *end == '\0' && !it->second.empty())
+      << "flag --" << name << " is not an integer: " << it->second;
+  return static_cast<int>(value);
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  KDDN_CHECK(end != nullptr && *end == '\0' && !it->second.empty())
+      << "flag --" << name << " is not a number: " << it->second;
+  return value;
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  const std::string value = ToLowerAscii(it->second);
+  if (value == "true" || value == "1" || value == "yes") {
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "no") {
+    return false;
+  }
+  KDDN_CHECK(false) << "flag --" << name << " is not a boolean: " << value;
+  __builtin_unreachable();
+}
+
+}  // namespace kddn

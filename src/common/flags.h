@@ -1,0 +1,44 @@
+#ifndef KDDN_COMMON_FLAGS_H_
+#define KDDN_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kddn {
+
+/// Minimal command-line flag parser for the example binaries and tools.
+/// Accepts `--name=value` and `--name value`; bare `--name` sets "true".
+/// Anything not starting with "--" is collected as a positional argument.
+class Flags {
+ public:
+  /// Parses argv (argv[0] is skipped). Throws KddnError on malformed input
+  /// such as an empty flag name.
+  static Flags Parse(int argc, const char* const* argv);
+
+  /// True if the flag was present.
+  bool Has(const std::string& name) const;
+
+  /// String value with default.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+
+  /// Integer value with default; throws on non-numeric text.
+  int GetInt(const std::string& name, int default_value) const;
+
+  /// Double value with default; throws on non-numeric text.
+  double GetDouble(const std::string& name, double default_value) const;
+
+  /// Boolean value with default; accepts true/false/1/0/yes/no.
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace kddn
+
+#endif  // KDDN_COMMON_FLAGS_H_

@@ -1,0 +1,117 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kddn {
+namespace {
+
+/// splitmix64: used only to expand the user seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random bits → double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  KDDN_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+int Rng::UniformInt(int n) {
+  KDDN_CHECK_GT(n, 0);
+  return static_cast<int>(Next() % static_cast<uint64_t>(n));
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = Uniform();
+  double u2 = Uniform();
+  while (u1 <= 1e-300) {
+    u1 = Uniform();
+  }
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  KDDN_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    KDDN_CHECK_GE(w, 0.0) << "negative categorical weight";
+    total += w;
+  }
+  KDDN_CHECK_GT(total, 0.0) << "all categorical weights are zero";
+  double target = Uniform() * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) {
+      return static_cast<int>(i);
+    }
+  }
+  return static_cast<int>(weights.size()) - 1;  // Guards FP round-off.
+}
+
+int Rng::Poisson(double lambda) {
+  KDDN_CHECK_GE(lambda, 0.0);
+  if (lambda > 30.0) {
+    const int sample =
+        static_cast<int>(std::lround(Normal(lambda, std::sqrt(lambda))));
+    return sample < 0 ? 0 : sample;
+  }
+  const double limit = std::exp(-lambda);
+  int count = 0;
+  double product = Uniform();
+  while (product > limit) {
+    ++count;
+    product *= Uniform();
+  }
+  return count;
+}
+
+Rng Rng::Split() { return Rng(Next()); }
+
+}  // namespace kddn

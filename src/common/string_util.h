@@ -1,0 +1,34 @@
+#ifndef KDDN_COMMON_STRING_UTIL_H_
+#define KDDN_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kddn {
+
+/// Lower-cases ASCII letters; other bytes pass through unchanged.
+std::string ToLowerAscii(std::string_view text);
+
+/// Splits on any of the delimiter characters, dropping empty pieces.
+std::vector<std::string> Split(std::string_view text, std::string_view delims);
+
+/// Joins pieces with the given separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// Trims ASCII whitespace from both ends.
+std::string Strip(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Formats a double with fixed precision (locale-independent).
+std::string FormatDouble(double value, int digits);
+
+}  // namespace kddn
+
+#endif  // KDDN_COMMON_STRING_UTIL_H_

@@ -1,0 +1,330 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "baselines/logreg.h"
+#include "baselines/svm.h"
+#include "common/check.h"
+#include "common/string_util.h"
+#include "eval/metrics.h"
+#include "models/ak_ddn.h"
+#include "models/bk_ddn.h"
+#include "models/dkgam.h"
+#include "models/gru.h"
+#include "models/h_cnn.h"
+#include "models/text_cnn.h"
+#include "text/tfidf.h"
+
+namespace kddn::core {
+namespace {
+
+using data::Example;
+using data::MortalityDataset;
+
+/// Raw id documents of one view for a split.
+enum class View { kWords, kConcepts, kCombined };
+
+std::vector<std::vector<int>> Docs(const std::vector<Example>& split,
+                                   View view, int word_vocab_size) {
+  std::vector<std::vector<int>> docs;
+  docs.reserve(split.size());
+  for (const Example& example : split) {
+    std::vector<int> doc;
+    if (view == View::kWords || view == View::kCombined) {
+      doc.insert(doc.end(), example.word_ids.begin(),
+                 example.word_ids.end());
+    }
+    if (view == View::kConcepts) {
+      doc.insert(doc.end(), example.concept_ids.begin(),
+                 example.concept_ids.end());
+    } else if (view == View::kCombined) {
+      // Concepts share the LDA vocabulary space, offset past the words
+      // ("we combine the concepts and the medical notes together").
+      for (int id : example.concept_ids) {
+        doc.push_back(word_vocab_size + id);
+      }
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+int VocabSizeOf(const MortalityDataset& dataset, View view) {
+  switch (view) {
+    case View::kWords:
+      return dataset.word_vocab().size();
+    case View::kConcepts:
+      return dataset.concept_vocab().size();
+    case View::kCombined:
+      return dataset.word_vocab().size() + dataset.concept_vocab().size();
+  }
+  return 0;
+}
+
+/// LDA topic features for train / test of one view. The topic model is fit
+/// on the training documents (train + validation: feature baselines have no
+/// early stopping, so the paper's validation carve-out goes unused).
+struct LdaFeatures {
+  std::vector<std::vector<float>> train;
+  std::vector<std::vector<float>> test;
+};
+
+LdaFeatures BuildLdaFeatures(const MortalityDataset& dataset, View view,
+                             const baselines::LdaOptions& options) {
+  std::vector<Example> train_split = dataset.train();
+  train_split.insert(train_split.end(), dataset.validation().begin(),
+                     dataset.validation().end());
+  const int vocab = VocabSizeOf(dataset, view);
+  const auto train_docs =
+      Docs(train_split, view, dataset.word_vocab().size());
+  const auto test_docs =
+      Docs(dataset.test(), view, dataset.word_vocab().size());
+
+  baselines::Lda lda(options);
+  lda.Fit(train_docs, vocab);
+  LdaFeatures features;
+  for (size_t i = 0; i < train_docs.size(); ++i) {
+    features.train.push_back(lda.TrainDocTopics(static_cast<int>(i)));
+  }
+  for (const auto& doc : test_docs) {
+    features.test.push_back(lda.InferTopics(doc));
+  }
+  return features;
+}
+
+std::vector<int> SplitLabels(const std::vector<Example>& split,
+                             synth::Horizon horizon) {
+  return Trainer::Labels(split, horizon);
+}
+
+std::vector<int> TrainLabels(const MortalityDataset& dataset,
+                             synth::Horizon horizon) {
+  std::vector<Example> both = dataset.train();
+  both.insert(both.end(), dataset.validation().begin(),
+              dataset.validation().end());
+  return SplitLabels(both, horizon);
+}
+
+double SafeAuc(const std::vector<float>& scores,
+               const std::vector<int>& labels) {
+  const bool has_pos =
+      std::find(labels.begin(), labels.end(), 1) != labels.end();
+  const bool has_neg =
+      std::find(labels.begin(), labels.end(), 0) != labels.end();
+  if (!has_pos || !has_neg) {
+    return 0.5;
+  }
+  return eval::RocAuc(scores, labels);
+}
+
+/// Fits a kernel SVM on features and returns test AUC for a horizon.
+double KernelSvmAuc(const std::vector<std::vector<float>>& train_features,
+                    const std::vector<int>& train_labels,
+                    const std::vector<std::vector<float>>& test_features,
+                    const std::vector<int>& test_labels, uint64_t seed) {
+  baselines::KernelSvmOptions options;
+  options.kernel = baselines::KernelType::kPolynomial;
+  options.seed = seed;
+  baselines::KernelSvm svm(options);
+  svm.Fit(train_features, train_labels);
+  std::vector<float> scores;
+  scores.reserve(test_features.size());
+  for (const auto& row : test_features) {
+    scores.push_back(svm.Decision(row));
+  }
+  return SafeAuc(scores, test_labels);
+}
+
+}  // namespace
+
+std::vector<std::string> AllMethodNames() {
+  return {"LDA based word SVM",
+          "LDA based word LR",
+          "BoW + SVM",
+          "LDA based concept SVM",
+          "Combined LDA with SVM",
+          "Text CNN",
+          "Concept CNN",
+          "H CNN",
+          "DKGAM",
+          "BK-DDN",
+          "AK-DDN"};
+}
+
+std::unique_ptr<models::NeuralDocumentModel> MakeDeepModel(
+    const std::string& name, const models::ModelConfig& config) {
+  if (name == "Text CNN") {
+    return std::make_unique<models::TextCnn>(config);
+  }
+  if (name == "Concept CNN") {
+    return std::make_unique<models::ConceptCnn>(config);
+  }
+  if (name == "H CNN") {
+    return std::make_unique<models::HCnn>(config);
+  }
+  if (name == "DKGAM") {
+    return std::make_unique<models::Dkgam>(config);
+  }
+  if (name == "BK-DDN") {
+    return std::make_unique<models::BkDdn>(config);
+  }
+  if (name == "AK-DDN") {
+    return std::make_unique<models::AkDdn>(config);
+  }
+  if (name == "GRU") {
+    return std::make_unique<models::GruModel>(config);
+  }
+  KDDN_CHECK(false) << "unknown deep model " << name;
+  __builtin_unreachable();
+}
+
+std::vector<MethodResult> RunEvaluation(const MortalityDataset& dataset,
+                                        const ExperimentOptions& options) {
+  const std::vector<std::string> methods =
+      options.methods.empty() ? AllMethodNames() : options.methods;
+
+  // Feature caches shared across horizons and methods.
+  LdaFeatures word_lda, concept_lda, combined_lda;
+  bool have_word_lda = false, have_concept_lda = false,
+       have_combined_lda = false;
+  std::vector<std::vector<float>> bow_train, bow_test;
+  bool have_bow = false;
+
+  auto ensure_word_lda = [&] {
+    if (!have_word_lda) {
+      word_lda = BuildLdaFeatures(dataset, View::kWords, options.lda);
+      have_word_lda = true;
+    }
+  };
+
+  const std::vector<int> test_labels_by_horizon[3] = {
+      SplitLabels(dataset.test(), synth::Horizon::kInHospital),
+      SplitLabels(dataset.test(), synth::Horizon::kWithin30Days),
+      SplitLabels(dataset.test(), synth::Horizon::kWithinYear)};
+  const std::vector<int> train_labels_by_horizon[3] = {
+      TrainLabels(dataset, synth::Horizon::kInHospital),
+      TrainLabels(dataset, synth::Horizon::kWithin30Days),
+      TrainLabels(dataset, synth::Horizon::kWithinYear)};
+
+  std::vector<MethodResult> results;
+  for (const std::string& method : methods) {
+    MethodResult result;
+    result.name = method;
+
+    if (method == "LDA based word SVM") {
+      ensure_word_lda();
+      for (int h = 0; h < 3; ++h) {
+        result.auc[h] =
+            KernelSvmAuc(word_lda.train, train_labels_by_horizon[h],
+                         word_lda.test, test_labels_by_horizon[h],
+                         options.seed + h);
+      }
+    } else if (method == "LDA based word LR") {
+      ensure_word_lda();
+      for (int h = 0; h < 3; ++h) {
+        baselines::LogisticRegression lr;
+        lr.Fit(word_lda.train, train_labels_by_horizon[h]);
+        std::vector<float> scores;
+        for (const auto& row : word_lda.test) {
+          scores.push_back(lr.PredictProbability(row));
+        }
+        result.auc[h] = SafeAuc(scores, test_labels_by_horizon[h]);
+      }
+    } else if (method == "BoW + SVM") {
+      if (!have_bow) {
+        std::vector<Example> train_split = dataset.train();
+        train_split.insert(train_split.end(), dataset.validation().begin(),
+                           dataset.validation().end());
+        const auto train_docs =
+            Docs(train_split, View::kWords, dataset.word_vocab().size());
+        const auto test_docs =
+            Docs(dataset.test(), View::kWords, dataset.word_vocab().size());
+        text::TfIdf tfidf(dataset.word_vocab(), train_docs);
+        const std::vector<int> selected = tfidf.TopKIds(options.bow_top_k);
+        for (const auto& doc : train_docs) {
+          bow_train.push_back(text::TfIdf::CountVector(doc, selected));
+        }
+        for (const auto& doc : test_docs) {
+          bow_test.push_back(text::TfIdf::CountVector(doc, selected));
+        }
+        have_bow = true;
+      }
+      for (int h = 0; h < 3; ++h) {
+        baselines::LinearSvmOptions svm_options;
+        svm_options.seed = options.seed + h;
+        baselines::LinearSvm svm(svm_options);
+        svm.Fit(bow_train, train_labels_by_horizon[h]);
+        std::vector<float> scores;
+        for (const auto& row : bow_test) {
+          scores.push_back(svm.Decision(row));
+        }
+        result.auc[h] = SafeAuc(scores, test_labels_by_horizon[h]);
+      }
+    } else if (method == "LDA based concept SVM") {
+      if (!have_concept_lda) {
+        concept_lda =
+            BuildLdaFeatures(dataset, View::kConcepts, options.lda);
+        have_concept_lda = true;
+      }
+      for (int h = 0; h < 3; ++h) {
+        result.auc[h] =
+            KernelSvmAuc(concept_lda.train, train_labels_by_horizon[h],
+                         concept_lda.test, test_labels_by_horizon[h],
+                         options.seed + h);
+      }
+    } else if (method == "Combined LDA with SVM") {
+      if (!have_combined_lda) {
+        combined_lda =
+            BuildLdaFeatures(dataset, View::kCombined, options.lda);
+        have_combined_lda = true;
+      }
+      for (int h = 0; h < 3; ++h) {
+        result.auc[h] =
+            KernelSvmAuc(combined_lda.train, train_labels_by_horizon[h],
+                         combined_lda.test, test_labels_by_horizon[h],
+                         options.seed + h);
+      }
+    } else {
+      // Deep models: fresh model per horizon, trained with early metrics on
+      // the validation split, scored on test.
+      for (int h = 0; h < 3; ++h) {
+        models::ModelConfig config;
+        config.word_vocab_size = dataset.word_vocab().size();
+        config.concept_vocab_size = dataset.concept_vocab().size();
+        config.embedding_dim = options.embedding_dim;
+        config.num_filters = options.num_filters;
+        config.seed = options.seed + 17 * h;
+        std::unique_ptr<models::NeuralDocumentModel> model =
+            MakeDeepModel(method, config);
+        TrainOptions train_options = options.train;
+        train_options.seed = options.seed + 31 * h;
+        Trainer trainer(train_options);
+        trainer.Train(model.get(), dataset.train(), dataset.validation(),
+                      static_cast<synth::Horizon>(h));
+        result.auc[h] = Trainer::EvaluateAuc(
+            model.get(), dataset.test(), static_cast<synth::Horizon>(h));
+      }
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+std::string FormatResultsTable(const std::string& title,
+                               const std::vector<MethodResult>& results) {
+  std::ostringstream out;
+  out << title << "\n";
+  out << "Models                  | t = 0  | t <= 30 | t <= 365\n";
+  out << "------------------------+--------+---------+---------\n";
+  for (const MethodResult& result : results) {
+    std::string name = result.name;
+    name.resize(23, ' ');
+    out << name << " | " << FormatDouble(result.auc[0], 3) << "  |  "
+        << FormatDouble(result.auc[1], 3) << "  |  "
+        << FormatDouble(result.auc[2], 3) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace kddn::core

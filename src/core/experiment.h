@@ -1,0 +1,55 @@
+#ifndef KDDN_CORE_EXPERIMENT_H_
+#define KDDN_CORE_EXPERIMENT_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/lda.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "models/neural_model.h"
+
+namespace kddn::core {
+
+/// Test AUC of one method across the three horizons — one row of the paper's
+/// Table V / VI.
+struct MethodResult {
+  std::string name;
+  std::array<double, 3> auc = {0.0, 0.0, 0.0};  // Indexed by Horizon.
+};
+
+/// Evaluation harness knobs.
+struct ExperimentOptions {
+  TrainOptions train;            // Shared by all deep models.
+  baselines::LdaOptions lda;     // Paper: 50 topics.
+  int bow_top_k = 1000;          // Paper: top-1000 tf-idf words.
+  int embedding_dim = 20;        // Paper: 20 (NURSING) / 100 (RAD).
+  int num_filters = 50;          // Paper: 50.
+  uint64_t seed = 9;
+  /// Restrict to these method names (empty = the paper's full 11-method
+  /// line-up). Names must match the table rows exactly.
+  std::vector<std::string> methods;
+};
+
+/// Names of the paper's full method line-up, in Table V/VI row order.
+std::vector<std::string> AllMethodNames();
+
+/// Factory for the deep models by table-row name ("Text CNN", "Concept CNN",
+/// "H CNN", "DKGAM", "BK-DDN", "AK-DDN"); throws on unknown names.
+std::unique_ptr<models::NeuralDocumentModel> MakeDeepModel(
+    const std::string& name, const models::ModelConfig& config);
+
+/// Runs the paper's Table V/VI evaluation: every requested method trained on
+/// the dataset's train(+validation) split per horizon and scored by test AUC.
+std::vector<MethodResult> RunEvaluation(const data::MortalityDataset& dataset,
+                                        const ExperimentOptions& options);
+
+/// Renders results as the paper's table layout (method x horizon).
+std::string FormatResultsTable(const std::string& title,
+                               const std::vector<MethodResult>& results);
+
+}  // namespace kddn::core
+
+#endif  // KDDN_CORE_EXPERIMENT_H_

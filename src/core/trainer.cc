@@ -1,0 +1,157 @@
+#include "core/trainer.h"
+
+#include <cstdio>
+
+#include "autograd/ops.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/optimizer.h"
+
+namespace kddn::core {
+namespace {
+
+bool HasBothClasses(const std::vector<int>& labels) {
+  bool positive = false, negative = false;
+  for (int label : labels) {
+    positive = positive || label == 1;
+    negative = negative || label == 0;
+  }
+  return positive && negative;
+}
+
+/// Mean inference-mode cross-entropy over a split.
+double MeanLoss(models::NeuralDocumentModel* model,
+                const std::vector<data::Example>& split,
+                synth::Horizon horizon) {
+  nn::ForwardContext ctx;
+  ctx.training = false;
+  double total = 0.0;
+  for (const data::Example& example : split) {
+    ag::NodePtr loss = ag::SoftmaxCrossEntropy(
+        model->Logits(example, ctx), example.Label(horizon) ? 1 : 0);
+    total += ag::ScalarValue(loss);
+  }
+  return split.empty() ? 0.0 : total / static_cast<double>(split.size());
+}
+
+}  // namespace
+
+Trainer::Trainer(const TrainOptions& options) : options_(options) {
+  KDDN_CHECK_GT(options.epochs, 0);
+  KDDN_CHECK_GT(options.batch_size, 0);
+  KDDN_CHECK_GT(options.learning_rate, 0.0f);
+}
+
+eval::CurveRecorder Trainer::Train(models::NeuralDocumentModel* model,
+                                   const std::vector<data::Example>& train,
+                                   const std::vector<data::Example>& validation,
+                                   synth::Horizon horizon) {
+  KDDN_CHECK(model != nullptr);
+  KDDN_CHECK(!train.empty()) << "empty training split";
+
+  nn::Adagrad optimizer(options_.learning_rate);
+  Rng rng(options_.seed);
+  model->params().ZeroGrads();
+
+  std::vector<int> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+
+  // Best-validation snapshot (the paper uses the validation split "to find
+  // the best parameters of the model", §VII-C): after training, parameters
+  // are restored to the epoch with the highest validation AUC.
+  std::vector<Tensor> best_params;
+  double best_auc = -1.0;
+  auto snapshot = [&] {
+    best_params.clear();
+    for (const ag::NodePtr& param : model->params().all()) {
+      best_params.push_back(param->value());
+    }
+  };
+
+  eval::CurveRecorder recorder;
+  for (int epoch = 1; epoch <= options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int seen = 0;
+    for (size_t begin = 0; begin < order.size();
+         begin += options_.batch_size) {
+      const size_t end =
+          std::min(order.size(), begin + options_.batch_size);
+      const float inv_batch = 1.0f / static_cast<float>(end - begin);
+      for (size_t b = begin; b < end; ++b) {
+        const data::Example& example = train[order[b]];
+        nn::ForwardContext ctx;
+        ctx.training = true;
+        ctx.rng = &rng;
+        ag::NodePtr loss = ag::SoftmaxCrossEntropy(
+            model->Logits(example, ctx), example.Label(horizon) ? 1 : 0);
+        epoch_loss += ag::ScalarValue(loss);
+        ++seen;
+        // Mean-reduce over the batch so the step size is batch-invariant.
+        ag::Backward(ag::Scale(loss, inv_batch));
+      }
+      optimizer.Step(model->params().all());
+    }
+
+    eval::CurvePoint point;
+    point.epoch = epoch;
+    point.train_loss = seen > 0 ? epoch_loss / seen : 0.0;
+    point.validation_loss = MeanLoss(model, validation, horizon);
+    point.validation_auc = EvaluateAuc(model, validation, horizon);
+    recorder.Add(point);
+    if (point.validation_auc > best_auc) {
+      best_auc = point.validation_auc;
+      snapshot();
+    }
+    if (options_.verbose) {
+      std::fprintf(stderr,
+                   "[%s] epoch %d train_loss=%.4f val_loss=%.4f val_auc=%.4f\n",
+                   model->name(), epoch, point.train_loss,
+                   point.validation_loss, point.validation_auc);
+    }
+  }
+  if (!best_params.empty() && !validation.empty()) {
+    const auto& params = model->params().all();
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->mutable_value() = best_params[i];
+    }
+  }
+  return recorder;
+}
+
+std::vector<float> Trainer::Scores(models::NeuralDocumentModel* model,
+                                   const std::vector<data::Example>& split) {
+  std::vector<float> scores;
+  scores.reserve(split.size());
+  for (const data::Example& example : split) {
+    scores.push_back(model->PredictPositiveProbability(example));
+  }
+  return scores;
+}
+
+std::vector<int> Trainer::Labels(const std::vector<data::Example>& split,
+                                 synth::Horizon horizon) {
+  std::vector<int> labels;
+  labels.reserve(split.size());
+  for (const data::Example& example : split) {
+    labels.push_back(example.Label(horizon) ? 1 : 0);
+  }
+  return labels;
+}
+
+double Trainer::EvaluateAuc(models::NeuralDocumentModel* model,
+                            const std::vector<data::Example>& split,
+                            synth::Horizon horizon) {
+  if (split.empty()) {
+    return 0.5;
+  }
+  const std::vector<int> labels = Labels(split, horizon);
+  if (!HasBothClasses(labels)) {
+    return 0.5;
+  }
+  return eval::RocAuc(Scores(model, split), labels);
+}
+
+}  // namespace kddn::core

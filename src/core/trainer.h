@@ -1,0 +1,58 @@
+#ifndef KDDN_CORE_TRAINER_H_
+#define KDDN_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "models/neural_model.h"
+#include "synth/cohort.h"
+
+namespace kddn::core {
+
+/// Training hyperparameters shared by all deep models (paper §VI: Adagrad,
+/// categorical cross-entropy, dropout 0.5 handled inside the models). The
+/// batch size is scaled down with the corpus (paper used 200 on 35k
+/// patients).
+struct TrainOptions {
+  int epochs = 8;
+  int batch_size = 32;
+  float learning_rate = 0.08f;
+  uint64_t seed = 5;
+  bool verbose = false;  // Print per-epoch metrics to stderr.
+};
+
+/// Mini-batch trainer: per-example graphs, gradient accumulation across the
+/// batch, one Adagrad step per batch, per-epoch validation loss/AUC tracking
+/// (the raw material of the paper's Figs 7–9).
+class Trainer {
+ public:
+  explicit Trainer(const TrainOptions& options = {});
+
+  /// Trains `model` in place on `train` for the given horizon and returns the
+  /// per-epoch curve (validation metrics computed on `validation`).
+  eval::CurveRecorder Train(models::NeuralDocumentModel* model,
+                            const std::vector<data::Example>& train,
+                            const std::vector<data::Example>& validation,
+                            synth::Horizon horizon);
+
+  /// Positive-class probabilities over a split (inference mode).
+  static std::vector<float> Scores(models::NeuralDocumentModel* model,
+                                   const std::vector<data::Example>& split);
+
+  /// 0/1 labels of a split for a horizon.
+  static std::vector<int> Labels(const std::vector<data::Example>& split,
+                                 synth::Horizon horizon);
+
+  /// Test AUC of a trained model; returns 0.5 if the split has one class.
+  static double EvaluateAuc(models::NeuralDocumentModel* model,
+                            const std::vector<data::Example>& split,
+                            synth::Horizon horizon);
+
+ private:
+  TrainOptions options_;
+};
+
+}  // namespace kddn::core
+
+#endif  // KDDN_CORE_TRAINER_H_

@@ -1,0 +1,84 @@
+#include "eval/embedding_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kddn::eval {
+namespace {
+
+double RowDot(const Tensor& table, int a, int b) {
+  const int dim = table.dim(1);
+  const float* pa = table.data() + static_cast<int64_t>(a) * dim;
+  const float* pb = table.data() + static_cast<int64_t>(b) * dim;
+  double acc = 0.0;
+  for (int j = 0; j < dim; ++j) {
+    acc += static_cast<double>(pa[j]) * pb[j];
+  }
+  return acc;
+}
+
+void CheckRow(const Tensor& table, int row) {
+  KDDN_CHECK_EQ(table.rank(), 2) << "embedding table must be rank-2";
+  KDDN_CHECK(row >= 0 && row < table.dim(0))
+      << "row " << row << " out of range";
+}
+
+}  // namespace
+
+float CosineSimilarity(const Tensor& table, int row_a, int row_b) {
+  CheckRow(table, row_a);
+  CheckRow(table, row_b);
+  const double norm_a = std::sqrt(RowDot(table, row_a, row_a));
+  const double norm_b = std::sqrt(RowDot(table, row_b, row_b));
+  if (norm_a <= 1e-12 || norm_b <= 1e-12) {
+    return 0.0f;
+  }
+  return static_cast<float>(RowDot(table, row_a, row_b) / (norm_a * norm_b));
+}
+
+std::vector<Neighbour> NearestNeighbours(const Tensor& table, int row, int k,
+                                         int first_valid_row) {
+  CheckRow(table, row);
+  KDDN_CHECK_GT(k, 0);
+  KDDN_CHECK_GE(first_valid_row, 0);
+  std::vector<Neighbour> all;
+  for (int other = first_valid_row; other < table.dim(0); ++other) {
+    if (other == row) {
+      continue;
+    }
+    all.push_back({other, CosineSimilarity(table, row, other)});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbour& a, const Neighbour& b) {
+    if (a.similarity != b.similarity) {
+      return a.similarity > b.similarity;
+    }
+    return a.id < b.id;
+  });
+  if (static_cast<int>(all.size()) > k) {
+    all.resize(k);
+  }
+  return all;
+}
+
+float MeanGroupSimilarity(const Tensor& table, const std::vector<int>& group_a,
+                          const std::vector<int>& group_b) {
+  KDDN_CHECK(!group_a.empty() && !group_b.empty())
+      << "MeanGroupSimilarity needs non-empty groups";
+  double total = 0.0;
+  int count = 0;
+  for (int a : group_a) {
+    for (int b : group_b) {
+      if (a == b) {
+        continue;
+      }
+      total += CosineSimilarity(table, a, b);
+      ++count;
+    }
+  }
+  KDDN_CHECK_GT(count, 0) << "groups fully overlap";
+  return static_cast<float>(total / count);
+}
+
+}  // namespace kddn::eval

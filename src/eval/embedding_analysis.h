@@ -1,0 +1,34 @@
+#ifndef KDDN_EVAL_EMBEDDING_ANALYSIS_H_
+#define KDDN_EVAL_EMBEDDING_ANALYSIS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace kddn::eval {
+
+/// A neighbour in embedding space.
+struct Neighbour {
+  int id = 0;          // Row index in the embedding table.
+  float similarity = 0.0f;  // Cosine similarity in [-1, 1].
+};
+
+/// Cosine similarity of two rows of a [vocab, dim] table; zero-norm rows
+/// yield similarity 0.
+float CosineSimilarity(const Tensor& table, int row_a, int row_b);
+
+/// The k most cosine-similar rows to `row` (excluding itself and rows below
+/// `first_valid_row`, which skips <pad>/<unk> sentinels). Results sorted by
+/// similarity descending, ties by id. This powers the paper's §VIII
+/// embedding analysis.
+std::vector<Neighbour> NearestNeighbours(const Tensor& table, int row, int k,
+                                         int first_valid_row = 2);
+
+/// Mean cosine similarity between two groups of rows — e.g. "do worsening
+/// status words cluster away from improving ones after training?".
+float MeanGroupSimilarity(const Tensor& table, const std::vector<int>& group_a,
+                          const std::vector<int>& group_b);
+
+}  // namespace kddn::eval
+
+#endif  // KDDN_EVAL_EMBEDDING_ANALYSIS_H_

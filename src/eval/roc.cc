@@ -1,0 +1,103 @@
+#include "eval/roc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "eval/metrics.h"
+
+namespace kddn::eval {
+
+std::vector<RocPoint> RocCurve(const std::vector<float>& scores,
+                               const std::vector<int>& labels) {
+  KDDN_CHECK_EQ(scores.size(), labels.size());
+  KDDN_CHECK(!scores.empty());
+  int64_t positives = 0, negatives = 0;
+  for (int label : labels) {
+    KDDN_CHECK(label == 0 || label == 1) << "labels must be 0/1";
+    (label == 1 ? positives : negatives) += 1;
+  }
+  KDDN_CHECK(positives > 0 && negatives > 0) << "ROC needs both classes";
+
+  std::vector<int> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  std::sort(order.begin(), order.end(),
+            [&scores](int a, int b) { return scores[a] > scores[b]; });
+
+  std::vector<RocPoint> curve;
+  curve.push_back({std::numeric_limits<double>::infinity(), 0.0, 0.0});
+  int64_t tp = 0, fp = 0;
+  size_t i = 0;
+  while (i < order.size()) {
+    const float threshold = scores[order[i]];
+    // Consume the whole tie group before emitting a point.
+    while (i < order.size() && scores[order[i]] == threshold) {
+      (labels[order[i]] == 1 ? tp : fp) += 1;
+      ++i;
+    }
+    curve.push_back({threshold,
+                     static_cast<double>(fp) / static_cast<double>(negatives),
+                     static_cast<double>(tp) / static_cast<double>(positives)});
+  }
+  return curve;
+}
+
+double AucFromCurve(const std::vector<RocPoint>& curve) {
+  KDDN_CHECK_GE(curve.size(), 2u) << "degenerate ROC curve";
+  double area = 0.0;
+  for (size_t i = 1; i < curve.size(); ++i) {
+    const double width =
+        curve[i].false_positive_rate - curve[i - 1].false_positive_rate;
+    const double height =
+        (curve[i].true_positive_rate + curve[i - 1].true_positive_rate) / 2.0;
+    KDDN_CHECK_GE(width, 0.0) << "ROC curve not sorted by FPR";
+    area += width * height;
+  }
+  return area;
+}
+
+AucInterval BootstrapAucInterval(const std::vector<float>& scores,
+                                 const std::vector<int>& labels,
+                                 int replicates, double confidence, Rng* rng) {
+  KDDN_CHECK_GT(replicates, 1);
+  KDDN_CHECK(confidence > 0.0 && confidence < 1.0);
+  KDDN_CHECK(rng != nullptr);
+  AucInterval interval;
+  interval.point = RocAuc(scores, labels);
+
+  const int n = static_cast<int>(scores.size());
+  std::vector<double> samples;
+  samples.reserve(replicates);
+  std::vector<float> resampled_scores(n);
+  std::vector<int> resampled_labels(n);
+  int attempts = 0;
+  while (static_cast<int>(samples.size()) < replicates) {
+    KDDN_CHECK_LT(++attempts, replicates * 20)
+        << "bootstrap cannot draw two-class resamples";
+    bool has_positive = false, has_negative = false;
+    for (int i = 0; i < n; ++i) {
+      const int pick = rng->UniformInt(n);
+      resampled_scores[i] = scores[pick];
+      resampled_labels[i] = labels[pick];
+      has_positive = has_positive || labels[pick] == 1;
+      has_negative = has_negative || labels[pick] == 0;
+    }
+    if (!has_positive || !has_negative) {
+      continue;
+    }
+    samples.push_back(RocAuc(resampled_scores, resampled_labels));
+  }
+  std::sort(samples.begin(), samples.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto index = [&](double q) {
+    return std::min<size_t>(samples.size() - 1,
+                            static_cast<size_t>(q * samples.size()));
+  };
+  interval.lower = samples[index(alpha)];
+  interval.upper = samples[index(1.0 - alpha)];
+  return interval;
+}
+
+}  // namespace kddn::eval

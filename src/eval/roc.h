@@ -1,0 +1,42 @@
+#ifndef KDDN_EVAL_ROC_H_
+#define KDDN_EVAL_ROC_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace kddn::eval {
+
+/// One operating point of a ROC curve.
+struct RocPoint {
+  double threshold = 0.0;
+  double false_positive_rate = 0.0;
+  double true_positive_rate = 0.0;
+};
+
+/// Full ROC curve: one point per distinct score threshold (descending), with
+/// the implicit (0,0) start and (1,1) end included. Labels are 0/1 and both
+/// classes must be present.
+std::vector<RocPoint> RocCurve(const std::vector<float>& scores,
+                               const std::vector<int>& labels);
+
+/// Trapezoidal area under a curve produced by RocCurve; agrees with
+/// eval::RocAuc up to floating-point error (property-tested).
+double AucFromCurve(const std::vector<RocPoint>& curve);
+
+/// Percentile-bootstrap confidence interval for the AUC.
+struct AucInterval {
+  double point = 0.0;  // AUC on the full sample.
+  double lower = 0.0;  // Lower percentile bound.
+  double upper = 0.0;  // Upper percentile bound.
+};
+
+/// Resamples (score, label) pairs `replicates` times; single-class resamples
+/// are redrawn. `confidence` in (0,1), e.g. 0.95.
+AucInterval BootstrapAucInterval(const std::vector<float>& scores,
+                                 const std::vector<int>& labels,
+                                 int replicates, double confidence, Rng* rng);
+
+}  // namespace kddn::eval
+
+#endif  // KDDN_EVAL_ROC_H_

@@ -1,0 +1,45 @@
+#ifndef KDDN_KB_CONCEPT_H_
+#define KDDN_KB_CONCEPT_H_
+
+#include <string>
+#include <vector>
+
+namespace kddn::kb {
+
+/// UMLS-style semantic types. The extractor filters mentions to the clinical
+/// subset, mirroring the paper's semantic-type filtering step (§VII-B2,
+/// Fig. 1: general-meaning concepts are dropped).
+enum class SemanticType {
+  kDiseaseOrSyndrome,
+  kSignOrSymptom,
+  kFinding,
+  kTherapeuticProcedure,
+  kDiagnosticProcedure,
+  kClinicalDrug,
+  kBodyPart,
+  kBiomedicalDevice,
+  kLaboratoryResult,
+  kQualitativeConcept,   // General — filtered out by default.
+  kTemporalConcept,      // General — filtered out by default.
+  kActivity,             // General — filtered out by default.
+  kIdeaOrConcept,        // General — filtered out by default.
+};
+
+/// Human-readable semantic-type label (e.g. "Disease or Syndrome").
+const char* SemanticTypeName(SemanticType type);
+
+/// True for the clinically meaningful subset retained by default filtering.
+bool IsClinicalSemanticType(SemanticType type);
+
+/// One UMLS-lite Metathesaurus entry.
+struct Concept {
+  std::string cui;             // Concept Unique Identifier, e.g. "C0010200".
+  std::string preferred_name;  // e.g. "Coughing".
+  std::vector<std::string> aliases;  // Surface forms, may be multi-word.
+  SemanticType semantic_type = SemanticType::kFinding;
+  std::string definition;      // Short gloss shown in attention tables.
+};
+
+}  // namespace kddn::kb
+
+#endif  // KDDN_KB_CONCEPT_H_

@@ -1,0 +1,98 @@
+#include "kb/kb_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace kddn::kb {
+namespace {
+
+constexpr SemanticType kAllTypes[] = {
+    SemanticType::kDiseaseOrSyndrome,   SemanticType::kSignOrSymptom,
+    SemanticType::kFinding,             SemanticType::kTherapeuticProcedure,
+    SemanticType::kDiagnosticProcedure, SemanticType::kClinicalDrug,
+    SemanticType::kBodyPart,            SemanticType::kBiomedicalDevice,
+    SemanticType::kLaboratoryResult,    SemanticType::kQualitativeConcept,
+    SemanticType::kTemporalConcept,     SemanticType::kActivity,
+    SemanticType::kIdeaOrConcept,
+};
+
+/// Splits on single tab characters, preserving empty fields.
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == '\t') {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+}  // namespace
+
+SemanticType ParseSemanticType(const std::string& name) {
+  for (SemanticType type : kAllTypes) {
+    if (name == SemanticTypeName(type)) {
+      return type;
+    }
+  }
+  KDDN_CHECK(false) << "unknown semantic type: " << name;
+  __builtin_unreachable();
+}
+
+void WriteKnowledgeBaseTsv(const KnowledgeBase& kb, std::ostream& out) {
+  out << "# CUI\tsemantic type\tpreferred name\taliases\tdefinition\n";
+  for (const Concept& entry : kb.concepts()) {
+    out << entry.cui << '\t' << SemanticTypeName(entry.semantic_type) << '\t'
+        << entry.preferred_name << '\t' << Join(entry.aliases, "|") << '\t'
+        << entry.definition << '\n';
+  }
+}
+
+KnowledgeBase ReadKnowledgeBaseTsv(std::istream& in) {
+  KnowledgeBase kb;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string trimmed = Strip(line);
+    if (trimmed.empty() || trimmed[0] == '#') {
+      continue;
+    }
+    const std::vector<std::string> fields = SplitTabs(line);
+    KDDN_CHECK_EQ(fields.size(), 5u)
+        << "line " << line_number << ": expected 5 tab-separated fields, got "
+        << fields.size();
+    Concept entry;
+    entry.cui = Strip(fields[0]);
+    entry.semantic_type = ParseSemanticType(Strip(fields[1]));
+    entry.preferred_name = Strip(fields[2]);
+    entry.aliases = Split(fields[3], "|");
+    entry.definition = Strip(fields[4]);
+    kb.Add(std::move(entry));
+  }
+  return kb;
+}
+
+void WriteKnowledgeBaseFile(const KnowledgeBase& kb, const std::string& path) {
+  std::ofstream out(path);
+  KDDN_CHECK(out.is_open()) << "cannot open " << path << " for writing";
+  WriteKnowledgeBaseTsv(kb, out);
+}
+
+KnowledgeBase ReadKnowledgeBaseFile(const std::string& path) {
+  std::ifstream in(path);
+  KDDN_CHECK(in.is_open()) << "cannot open " << path;
+  return ReadKnowledgeBaseTsv(in);
+}
+
+}  // namespace kddn::kb

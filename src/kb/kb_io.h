@@ -1,0 +1,37 @@
+#ifndef KDDN_KB_KB_IO_H_
+#define KDDN_KB_KB_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "kb/knowledge_base.h"
+
+namespace kddn::kb {
+
+/// Text serialization of a knowledge base so users can maintain their own
+/// ontology outside the binary (the UMLS-licensed analogue would be an MRCONSO
+/// extract). One concept per line:
+///
+///   CUI <TAB> semantic type name <TAB> preferred name <TAB>
+///   alias1|alias2|... <TAB> definition
+///
+/// Lines starting with '#' and blank lines are ignored.
+
+/// Parses a semantic-type label produced by SemanticTypeName(); throws on
+/// unknown labels.
+SemanticType ParseSemanticType(const std::string& name);
+
+/// Writes every concept of `kb` in the TSV format.
+void WriteKnowledgeBaseTsv(const KnowledgeBase& kb, std::ostream& out);
+
+/// Reads a TSV stream into a new knowledge base; throws KddnError on
+/// malformed rows or duplicate CUIs.
+KnowledgeBase ReadKnowledgeBaseTsv(std::istream& in);
+
+/// File-path convenience wrappers.
+void WriteKnowledgeBaseFile(const KnowledgeBase& kb, const std::string& path);
+KnowledgeBase ReadKnowledgeBaseFile(const std::string& path);
+
+}  // namespace kddn::kb
+
+#endif  // KDDN_KB_KB_IO_H_

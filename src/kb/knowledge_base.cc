@@ -1,0 +1,439 @@
+#include "kb/knowledge_base.h"
+
+#include "common/check.h"
+
+namespace kddn::kb {
+
+const char* SemanticTypeName(SemanticType type) {
+  switch (type) {
+    case SemanticType::kDiseaseOrSyndrome:
+      return "Disease or Syndrome";
+    case SemanticType::kSignOrSymptom:
+      return "Sign or Symptom";
+    case SemanticType::kFinding:
+      return "Finding";
+    case SemanticType::kTherapeuticProcedure:
+      return "Therapeutic or Preventive Procedure";
+    case SemanticType::kDiagnosticProcedure:
+      return "Diagnostic Procedure";
+    case SemanticType::kClinicalDrug:
+      return "Clinical Drug";
+    case SemanticType::kBodyPart:
+      return "Body Part, Organ, or Organ Component";
+    case SemanticType::kBiomedicalDevice:
+      return "Biomedical or Dental Device";
+    case SemanticType::kLaboratoryResult:
+      return "Laboratory or Test Result";
+    case SemanticType::kQualitativeConcept:
+      return "Qualitative Concept";
+    case SemanticType::kTemporalConcept:
+      return "Temporal Concept";
+    case SemanticType::kActivity:
+      return "Activity";
+    case SemanticType::kIdeaOrConcept:
+      return "Idea or Concept";
+  }
+  return "Unknown";
+}
+
+bool IsClinicalSemanticType(SemanticType type) {
+  switch (type) {
+    case SemanticType::kQualitativeConcept:
+    case SemanticType::kTemporalConcept:
+    case SemanticType::kActivity:
+    case SemanticType::kIdeaOrConcept:
+      return false;
+    default:
+      return true;
+  }
+}
+
+void KnowledgeBase::Add(Concept entry) {
+  KDDN_CHECK(!entry.cui.empty()) << "concept needs a CUI";
+  KDDN_CHECK(!entry.preferred_name.empty()) << "concept needs a name";
+  KDDN_CHECK(cui_index_.find(entry.cui) == cui_index_.end())
+      << "duplicate CUI " << entry.cui;
+  cui_index_.emplace(entry.cui, static_cast<int>(concepts_.size()));
+  concepts_.push_back(std::move(entry));
+}
+
+const Concept* KnowledgeBase::FindByCui(std::string_view cui) const {
+  auto it = cui_index_.find(std::string(cui));
+  return it == cui_index_.end() ? nullptr : &concepts_[it->second];
+}
+
+std::vector<const Concept*> KnowledgeBase::OfType(SemanticType type) const {
+  std::vector<const Concept*> out;
+  for (const Concept& entry : concepts_) {
+    if (entry.semantic_type == type) {
+      out.push_back(&entry);
+    }
+  }
+  return out;
+}
+
+KnowledgeBase KnowledgeBase::BuildDefault() {
+  KnowledgeBase kb;
+  using ST = SemanticType;
+  auto add = [&kb](const char* cui, const char* name,
+                   std::vector<std::string> aliases, ST type,
+                   const char* definition) {
+    Concept c;
+    c.cui = cui;
+    c.preferred_name = name;
+    c.aliases = std::move(aliases);
+    c.semantic_type = type;
+    c.definition = definition;
+    kb.Add(std::move(c));
+  };
+
+  // ---- Diseases and syndromes (CUIs from the paper's tables where named).
+  add("C0018802", "Congestive heart failure",
+      {"congestive heart failure", "heart failure", "chf"},
+      ST::kDiseaseOrSyndrome, "Inability of the heart to pump adequately");
+  add("C0027051", "Myocardial infarction",
+      {"myocardial infarction", "heart attack", "mi"},
+      ST::kDiseaseOrSyndrome, "Necrosis of heart muscle from ischemia");
+  add("C0039231", "Cardiac tamponade", {"cardiac tamponade", "tamponade"},
+      ST::kDiseaseOrSyndrome, "Pericardial fluid compressing the heart");
+  add("C0032285", "Pneumonia", {"pneumonia"}, ST::kDiseaseOrSyndrome,
+      "Infection inflaming lung air sacs");
+  add("C0243026", "Sepsis", {"sepsis", "septicemia"}, ST::kDiseaseOrSyndrome,
+      "Life-threatening response to infection");
+  add("C0036983", "Septic shock", {"septic shock"}, ST::kDiseaseOrSyndrome,
+      "Sepsis with refractory hypotension");
+  add("C0035222", "Acute respiratory distress syndrome",
+      {"acute respiratory distress syndrome", "ards"},
+      ST::kDiseaseOrSyndrome, "Severe inflammatory lung injury");
+  add("C0024117", "Chronic obstructive pulmonary disease",
+      {"chronic obstructive pulmonary disease", "copd", "emphysema"},
+      ST::kDiseaseOrSyndrome, "Progressive airflow limitation");
+  add("C0034063", "Pulmonary edema", {"pulmonary edema"},
+      ST::kDiseaseOrSyndrome, "Fluid accumulation in the lungs");
+  add("C0034065", "Pulmonary embolism",
+      {"pulmonary embolism", "pulmonary embolus"}, ST::kDiseaseOrSyndrome,
+      "Clot obstructing the pulmonary artery");
+  add("C0032227", "Pleural effusion", {"pleural effusion"},
+      ST::kDiseaseOrSyndrome, "Fluid in the pleural space");
+  add("C0747635", "Bilateral pleural effusion",
+      {"bilateral pleural effusion", "bilateral pleural effusions"},
+      ST::kDiseaseOrSyndrome, "Effusions in both pleural spaces");
+  add("C0032326", "Pneumothorax", {"pneumothorax"}, ST::kDiseaseOrSyndrome,
+      "Air in the pleural space collapsing lung");
+  add("C0004238", "Atrial fibrillation",
+      {"atrial fibrillation", "afib"}, ST::kDiseaseOrSyndrome,
+      "Irregular atrial rhythm");
+  add("C0035078", "Renal failure", {"renal failure", "kidney failure"},
+      ST::kDiseaseOrSyndrome, "Loss of kidney excretory function");
+  add("C2609414", "Acute kidney injury",
+      {"acute kidney injury", "acute renal failure"}, ST::kDiseaseOrSyndrome,
+      "Abrupt decline in renal function");
+  add("C0023890", "Cirrhosis", {"cirrhosis"}, ST::kDiseaseOrSyndrome,
+      "Chronic scarring of the liver");
+  add("C0038454", "Cerebrovascular accident",
+      {"cerebrovascular accident", "stroke"}, ST::kDiseaseOrSyndrome,
+      "Acute loss of brain perfusion");
+  add("C0017181", "Gastrointestinal hemorrhage",
+      {"gastrointestinal hemorrhage", "gi bleed",
+       "gastrointestinal bleeding"},
+      ST::kDiseaseOrSyndrome, "Bleeding within the digestive tract");
+  add("C0149871", "Deep vein thrombosis",
+      {"deep vein thrombosis", "deep venous thrombosis", "dvt"},
+      ST::kDiseaseOrSyndrome, "Clot in a deep vein");
+  add("C0003873", "Rheumatoid Arthritis", {"rheumatoid arthritis"},
+      ST::kDiseaseOrSyndrome, "Autoimmune inflammatory joint disease");
+  add("C0011849", "Diabetes mellitus", {"diabetes mellitus", "diabetes"},
+      ST::kDiseaseOrSyndrome, "Disordered glucose metabolism");
+  add("C0020538", "Hypertension", {"hypertension"}, ST::kDiseaseOrSyndrome,
+      "Chronically elevated blood pressure");
+  add("C0002871", "Anemia", {"anemia"}, ST::kDiseaseOrSyndrome,
+      "Reduced red-cell mass");
+  add("C0011206", "Delirium", {"delirium"}, ST::kDiseaseOrSyndrome,
+      "Acute fluctuating disturbance of attention");
+  add("C0018790", "Cardiac arrest", {"cardiac arrest"},
+      ST::kDiseaseOrSyndrome, "Cessation of cardiac mechanical activity");
+  add("C1145670", "Respiratory failure", {"respiratory failure"},
+      ST::kDiseaseOrSyndrome, "Inadequate gas exchange");
+  add("C0026766", "Multiple organ failure",
+      {"multiple organ failure", "multiorgan failure"},
+      ST::kDiseaseOrSyndrome, "Failure of two or more organ systems");
+  add("C0042029", "Urinary tract infection",
+      {"urinary tract infection", "uti"}, ST::kDiseaseOrSyndrome,
+      "Infection of the urinary system");
+  add("C0006826", "Malignant neoplasm",
+      {"malignant neoplasm", "malignancy", "cancer", "carcinoma"},
+      ST::kDiseaseOrSyndrome, "Uncontrolled malignant growth");
+  add("C0027627", "Metastasis", {"metastasis", "metastatic disease"},
+      ST::kDiseaseOrSyndrome, "Spread of tumor to distant sites");
+  add("C0085605", "Liver failure", {"liver failure", "hepatic failure"},
+      ST::kDiseaseOrSyndrome, "Loss of hepatic function");
+  add("C0030305", "Pancreatitis", {"pancreatitis"}, ST::kDiseaseOrSyndrome,
+      "Inflammation of the pancreas");
+  add("C0014118", "Endocarditis", {"endocarditis"}, ST::kDiseaseOrSyndrome,
+      "Infection of the endocardium");
+  add("C0025289", "Meningitis", {"meningitis"}, ST::kDiseaseOrSyndrome,
+      "Inflammation of the meninges");
+  add("C0040053", "Thrombosis", {"thrombosis", "thrombus"},
+      ST::kDiseaseOrSyndrome, "Local clot formation in a vessel");
+  add("C0001339", "Aspiration pneumonitis",
+      {"aspiration pneumonitis", "aspiration pneumonia"},
+      ST::kDiseaseOrSyndrome, "Lung injury from inhaled contents");
+
+  // ---- Signs and symptoms.
+  add("C0010200", "Coughing", {"coughing", "cough"}, ST::kSignOrSymptom,
+      "Sudden expulsion of air from the lungs");
+  add("C0013404", "Dyspnea", {"dyspnea", "shortness of breath", "sob"},
+      ST::kSignOrSymptom, "Subjective difficulty breathing");
+  add("C0008031", "Chest Pain", {"chest pain"}, ST::kSignOrSymptom,
+      "Pain localised to the chest");
+  add("C0015967", "Fever", {"fever", "pyrexia", "febrile"},
+      ST::kSignOrSymptom, "Elevated body temperature");
+  add("C0020649", "Hypotension", {"hypotension"}, ST::kSignOrSymptom,
+      "Abnormally low blood pressure");
+  add("C0039239", "Tachycardia", {"tachycardia"}, ST::kSignOrSymptom,
+      "Abnormally fast heart rate");
+  add("C0428977", "Bradycardia", {"bradycardia"}, ST::kSignOrSymptom,
+      "Abnormally slow heart rate");
+  add("C0013604", "Edema", {"edema", "swelling"}, ST::kSignOrSymptom,
+      "Excess interstitial fluid");
+  add("C0027497", "Nausea", {"nausea"}, ST::kSignOrSymptom,
+      "Urge to vomit");
+  add("C0042963", "Vomiting", {"vomiting", "emesis"}, ST::kSignOrSymptom,
+      "Forceful expulsion of gastric contents");
+  add("C0019079", "Hemoptysis", {"hemoptysis"}, ST::kSignOrSymptom,
+      "Coughing up blood");
+  add("C0009676", "Confusion", {"confusion", "disorientation"},
+      ST::kSignOrSymptom, "Impaired orientation and clarity of thought");
+  add("C0023380", "Lethargy", {"lethargy", "somnolence"}, ST::kSignOrSymptom,
+      "Abnormal drowsiness");
+  add("C0028961", "Oliguria", {"oliguria"}, ST::kSignOrSymptom,
+      "Reduced urine output");
+  add("C0022346", "Jaundice", {"jaundice", "icterus"}, ST::kSignOrSymptom,
+      "Yellowing from bilirubin accumulation");
+  add("C0010520", "Cyanosis", {"cyanosis"}, ST::kSignOrSymptom,
+      "Bluish discoloration from deoxygenation");
+  add("C0700590", "Diaphoresis", {"diaphoresis"}, ST::kSignOrSymptom,
+      "Profuse sweating");
+  add("C0039070", "Syncope", {"syncope"}, ST::kSignOrSymptom,
+      "Transient loss of consciousness");
+  add("C0242184", "Hypoxia", {"hypoxia", "hypoxemia"}, ST::kSignOrSymptom,
+      "Inadequate tissue oxygenation");
+  add("C3714552", "Weakness", {"weakness", "asthenia"}, ST::kSignOrSymptom,
+      "Reduced muscular strength");
+  add("C0085631", "Agitation", {"agitation", "restlessness"},
+      ST::kSignOrSymptom, "Excessive motor and mental restlessness");
+
+  // ---- Radiology findings.
+  add("C0234438", "Whiteout", {"whiteout", "white out"}, ST::kFinding,
+      "Diffuse radiographic opacification of a lung");
+  add("C0018800", "Cardiomegaly", {"cardiomegaly", "enlarged heart"},
+      ST::kFinding, "Enlargement of the cardiac silhouette");
+  add("C0521530", "Consolidation", {"consolidation"}, ST::kFinding,
+      "Airspace filling seen on imaging");
+  add("C0004144", "Atelectasis", {"atelectasis"}, ST::kFinding,
+      "Collapse of lung tissue");
+  add("C0332448", "Infiltration", {"infiltration", "infiltrate"},
+      ST::kFinding, "Abnormal substance diffused in tissue");
+  add("C0596790", "Interstitial marking",
+      {"interstitial", "interstitial marking", "interstitial markings"},
+      ST::kFinding, "Prominent lung interstitium on imaging");
+  add("C0743298", "Mediastinal vascular engorgement",
+      {"mediastinal vascular engorgement", "vascular engorgement"},
+      ST::kFinding, "Distended mediastinal vessels on imaging");
+  add("C0742742", "Vascular congestion",
+      {"vascular congestion", "pulmonary vascular congestion"}, ST::kFinding,
+      "Engorged pulmonary vasculature");
+  add("C1265876", "Opacity", {"opacity", "opacities"}, ST::kFinding,
+      "Area of increased attenuation on imaging");
+  add("C0549646", "Chest disorders", {"chest disorders", "chest disorder"},
+      ST::kFinding, "Unspecified thoracic abnormality");
+
+  // ---- Therapeutic procedures.
+  add("C0021925", "Intubation", {"intubation", "intubated"},
+      ST::kTherapeuticProcedure, "Placement of an airway tube");
+  add("C0553891", "Extubation", {"extubation", "extubated"},
+      ST::kTherapeuticProcedure, "Removal of an airway tube");
+  add("C0199470", "Mechanical ventilation",
+      {"mechanical ventilation", "ventilation"}, ST::kTherapeuticProcedure,
+      "Machine-assisted breathing");
+  add("C0011946", "Dialysis", {"dialysis", "hemodialysis"},
+      ST::kTherapeuticProcedure, "Extracorporeal blood filtration");
+  add("C0189477", "Thoracentesis", {"thoracentesis"},
+      ST::kTherapeuticProcedure, "Needle drainage of pleural fluid");
+  add("C0007203", "Cardiopulmonary resuscitation",
+      {"cardiopulmonary resuscitation", "cpr"}, ST::kTherapeuticProcedure,
+      "Emergency circulation support");
+  add("C0005841", "Blood transfusion", {"blood transfusion", "transfusion"},
+      ST::kTherapeuticProcedure, "Administration of blood products");
+  add("C0034115", "Paracentesis", {"paracentesis"},
+      ST::kTherapeuticProcedure, "Needle drainage of ascites");
+  add("C0015252", "removal technique", {"removal", "removal technique"},
+      ST::kTherapeuticProcedure, "Taking out a device or tissue");
+  add("C0185115", "Extraction", {"extraction"}, ST::kTherapeuticProcedure,
+      "Surgical withdrawal of a structure");
+  add("C0728940", "Excision", {"excision", "resection"},
+      ST::kTherapeuticProcedure, "Surgical removal of tissue");
+  add("C0007430", "Catheterization", {"catheterization"},
+      ST::kTherapeuticProcedure, "Insertion of a catheter");
+  add("C0040590", "Tracheostomy", {"tracheostomy"},
+      ST::kTherapeuticProcedure, "Surgical airway through the neck");
+  add("C0235195", "Sedation", {"sedation", "sedated"},
+      ST::kTherapeuticProcedure, "Drug-induced calm or sleep");
+  add("C0012797", "Diuresis", {"diuresis", "diuresed"},
+      ST::kTherapeuticProcedure, "Induced increase in urine output");
+  add("C0087111", "Therapy", {"therapy", "treatment"},
+      ST::kTherapeuticProcedure, "Medical management of disease");
+
+  // ---- Diagnostic procedures.
+  add("C0039985", "Chest radiograph",
+      {"chest radiograph", "chest x ray", "cxr", "portable chest"},
+      ST::kDiagnosticProcedure, "Plain film of the thorax");
+  add("C0040405", "Computed tomography",
+      {"computed tomography", "ct scan", "ct"}, ST::kDiagnosticProcedure,
+      "Cross-sectional x-ray imaging");
+  add("C0013516", "Echocardiogram", {"echocardiogram", "echo"},
+      ST::kDiagnosticProcedure, "Ultrasound imaging of the heart");
+  add("C0013798", "Electrocardiogram",
+      {"electrocardiogram", "ecg", "ekg"}, ST::kDiagnosticProcedure,
+      "Recording of cardiac electrical activity");
+  add("C0024485", "Magnetic resonance imaging",
+      {"magnetic resonance imaging", "mri"}, ST::kDiagnosticProcedure,
+      "Imaging using magnetic fields");
+  add("C0041618", "Ultrasonography", {"ultrasonography", "ultrasound"},
+      ST::kDiagnosticProcedure, "Imaging using sound waves");
+  add("C0200949", "Blood culture", {"blood culture", "blood cultures"},
+      ST::kDiagnosticProcedure, "Microbial culture of blood");
+  add("C0006290", "Bronchoscopy", {"bronchoscopy"},
+      ST::kDiagnosticProcedure, "Endoscopic airway examination");
+
+  // ---- Devices.
+  add("C0175730", "biomedical tube device", {"tube"}, ST::kBiomedicalDevice,
+      "Generic tubular medical device");
+  add("C0336630", "Endotracheal tube",
+      {"endotracheal tube", "et tube", "ett"}, ST::kBiomedicalDevice,
+      "Airway tube through the trachea");
+  add("C0085678", "Nasogastric tube",
+      {"nasogastric tube", "ng tube", "ngt"}, ST::kBiomedicalDevice,
+      "Feeding tube through the nose");
+  add("C0008034", "Chest tube", {"chest tube"}, ST::kBiomedicalDevice,
+      "Pleural drainage tube");
+  add("C0179802", "Foley catheter", {"foley catheter", "foley"},
+      ST::kBiomedicalDevice, "Indwelling urinary catheter");
+  add("C1145640", "Central venous catheter",
+      {"central venous catheter", "central line"}, ST::kBiomedicalDevice,
+      "Catheter in a central vein");
+  add("C0030163", "Pacemaker", {"pacemaker"}, ST::kBiomedicalDevice,
+      "Implanted cardiac pacing device");
+  add("C0087153", "Ventilator", {"ventilator"}, ST::kBiomedicalDevice,
+      "Machine providing mechanical breaths");
+  add("C0021440", "Intravenous line", {"intravenous line", "iv line", "iv"},
+      ST::kBiomedicalDevice, "Peripheral venous access");
+  add("C0182537", "Drain", {"drain", "drainage catheter"},
+      ST::kBiomedicalDevice, "Device evacuating fluid collections");
+
+  // ---- Drugs.
+  add("C0016860", "Furosemide", {"furosemide", "lasix"}, ST::kClinicalDrug,
+      "Loop diuretic");
+  add("C0019134", "Heparin", {"heparin"}, ST::kClinicalDrug,
+      "Injectable anticoagulant");
+  add("C0042313", "Vancomycin", {"vancomycin"}, ST::kClinicalDrug,
+      "Glycopeptide antibiotic");
+  add("C0021641", "Insulin", {"insulin"}, ST::kClinicalDrug,
+      "Glucose-lowering hormone");
+  add("C0026549", "Morphine", {"morphine"}, ST::kClinicalDrug,
+      "Opioid analgesic");
+  add("C0028351", "Norepinephrine", {"norepinephrine", "levophed"},
+      ST::kClinicalDrug, "Vasopressor catecholamine");
+  add("C0003232", "Antibiotic", {"antibiotic", "antibiotics"},
+      ST::kClinicalDrug, "Antibacterial agent");
+  add("C0004057", "Aspirin", {"aspirin"}, ST::kClinicalDrug,
+      "Antiplatelet agent");
+  add("C0025859", "Metoprolol", {"metoprolol"}, ST::kClinicalDrug,
+      "Beta blocker");
+  add("C0043031", "Warfarin", {"warfarin", "coumadin"}, ST::kClinicalDrug,
+      "Oral anticoagulant");
+  add("C0033487", "Propofol", {"propofol"}, ST::kClinicalDrug,
+      "Intravenous sedative");
+
+  // ---- Anatomy.
+  add("C1527391", "Anterior thoracic region",
+      {"anterior thoracic region", "anterior chest"}, ST::kBodyPart,
+      "Front of the chest");
+  add("C0024109", "Lung", {"lung", "lungs"}, ST::kBodyPart,
+      "Organ of respiration");
+  add("C0018787", "Heart", {"heart"}, ST::kBodyPart,
+      "Muscular pumping organ");
+  add("C0032225", "Pleura", {"pleura", "pleural space"}, ST::kBodyPart,
+      "Membrane lining the lungs");
+  add("C0025066", "Mediastinum", {"mediastinum", "mediastinal"},
+      ST::kBodyPart, "Central thoracic compartment");
+  add("C0000726", "Abdomen", {"abdomen", "abdominal"}, ST::kBodyPart,
+      "Region between thorax and pelvis");
+  add("C0022646", "Kidney", {"kidney", "kidneys"}, ST::kBodyPart,
+      "Organ of filtration");
+  add("C0023884", "Liver", {"liver", "hepatic"}, ST::kBodyPart,
+      "Organ of metabolism");
+  add("C0006104", "Brain", {"brain"}, ST::kBodyPart,
+      "Central nervous system organ");
+  add("C0817096", "Chest", {"chest", "thorax"}, ST::kBodyPart,
+      "Upper trunk region");
+
+  // ---- Laboratory results.
+  add("C0151578", "Elevated creatinine",
+      {"elevated creatinine", "creatinine elevation"},
+      ST::kLaboratoryResult, "Raised serum creatinine");
+  add("C0437986", "Elevated lactate", {"elevated lactate", "lactate"},
+      ST::kLaboratoryResult, "Raised serum lactate");
+  add("C0023518", "Leukocytosis", {"leukocytosis"}, ST::kLaboratoryResult,
+      "Elevated white-cell count");
+  add("C0040034", "Thrombocytopenia", {"thrombocytopenia"},
+      ST::kLaboratoryResult, "Low platelet count");
+  add("C0020625", "Hyponatremia", {"hyponatremia"}, ST::kLaboratoryResult,
+      "Low serum sodium");
+  add("C0020461", "Hyperkalemia", {"hyperkalemia"}, ST::kLaboratoryResult,
+      "High serum potassium");
+  add("C0860803", "Elevated troponin", {"elevated troponin", "troponin"},
+      ST::kLaboratoryResult, "Raised cardiac troponin");
+
+  // ---- General-meaning concepts (filtered by semantic type, as in Fig. 1).
+  add("C0030705", "Patients", {"patient", "patients"}, ST::kIdeaOrConcept,
+      "Person receiving care");
+  add("C0019994", "Hospitals", {"hospital"}, ST::kIdeaOrConcept,
+      "Institution providing care");
+  add("C0439228", "Day", {"day", "days"}, ST::kTemporalConcept,
+      "24-hour period");
+  add("C0439550", "Overnight", {"overnight", "night"}, ST::kTemporalConcept,
+      "During the night");
+  add("C0684224", "Report", {"report"}, ST::kIdeaOrConcept,
+      "Document of findings");
+  add("C1707455", "Comparison", {"comparison"}, ST::kIdeaOrConcept,
+      "Act of comparing");
+  add("C0449438", "Status", {"status"}, ST::kQualitativeConcept,
+      "State or condition");
+  add("C0205217", "Increased", {"increased", "increase"},
+      ST::kQualitativeConcept, "Greater in degree");
+  add("C0205216", "Decreased", {"decreased", "decrease"},
+      ST::kQualitativeConcept, "Lesser in degree");
+  add("C0205360", "Stable", {"stable"}, ST::kQualitativeConcept,
+      "Unchanging state");
+  add("C0184511", "Improved", {"improved", "improving", "improvement"},
+      ST::kQualitativeConcept, "Changed for the better");
+  add("C0442739", "Unchanged", {"unchanged"}, ST::kQualitativeConcept,
+      "Without change");
+  add("C1261322", "Evaluation", {"evaluation", "assessment"}, ST::kActivity,
+      "Clinical appraisal");
+  add("C0184666", "Hospital admission", {"admission", "admitted"},
+      ST::kActivity, "Entry into inpatient care");
+  add("C0030685", "Patient discharge", {"discharge", "discharged"},
+      ST::kActivity, "Release from inpatient care");
+  add("C0015576", "Family", {"family"}, ST::kIdeaOrConcept,
+      "Related social group");
+  add("C0262926", "Medical history", {"history"}, ST::kIdeaOrConcept,
+      "Record of past conditions");
+  add("C0034619", "Radiology", {"radiology", "radiograph"},
+      ST::kIdeaOrConcept, "Imaging discipline");
+
+  return kb;
+}
+
+}  // namespace kddn::kb

@@ -1,0 +1,50 @@
+#ifndef KDDN_KB_KNOWLEDGE_BASE_H_
+#define KDDN_KB_KNOWLEDGE_BASE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/concept.h"
+
+namespace kddn::kb {
+
+/// In-memory UMLS-lite Metathesaurus: a set of concepts addressable by CUI.
+/// The default instance (BuildDefault) covers the cardio-pulmonary/ICU domain
+/// of the paper's examples, including the exact CUIs appearing in its
+/// Tables VII–X and Figures 1/6, plus enough breadth (diseases, symptoms,
+/// procedures, devices, drugs, anatomy, general terms) to drive the synthetic
+/// corpus generator.
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+
+  /// Adds a concept; CUIs must be unique, and each concept needs at least one
+  /// alias (the preferred name is implicitly an alias too).
+  void Add(Concept entry);
+
+  /// Looks a concept up by CUI; nullptr if absent.
+  const Concept* FindByCui(std::string_view cui) const;
+
+  /// All concepts in insertion order.
+  const std::vector<Concept>& concepts() const { return concepts_; }
+
+  /// Number of concepts.
+  int size() const { return static_cast<int>(concepts_.size()); }
+
+  /// Concepts of one semantic type.
+  std::vector<const Concept*> OfType(SemanticType type) const;
+
+  /// The built-in clinical ontology (~140 concepts).
+  static KnowledgeBase BuildDefault();
+
+ private:
+  std::vector<Concept> concepts_;
+  std::unordered_map<std::string, int> cui_index_;
+};
+
+}  // namespace kddn::kb
+
+#endif  // KDDN_KB_KNOWLEDGE_BASE_H_

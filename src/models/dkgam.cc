@@ -1,0 +1,44 @@
+#include "models/dkgam.h"
+
+#include "autograd/ops.h"
+#include "common/check.h"
+#include "nn/parameter.h"
+
+namespace kddn::models {
+
+Dkgam::Dkgam(const ModelConfig& config)
+    : init_rng_(config.seed),
+      concept_embedding_(&params_, "concept_emb", config.concept_vocab_size,
+                         config.embedding_dim, &init_rng_),
+      concept_conv_(&params_, "concept_conv", config.embedding_dim,
+                    config.num_filters, config.filter_widths, &init_rng_),
+      classifier_(&params_, "cls",
+                  concept_conv_.output_dim() + config.embedding_dim, 2,
+                  &init_rng_),
+      dropout_(config.dropout),
+      embedding_dim_(config.embedding_dim) {
+  global_query_ = params_.Create(
+      "global_query",
+      nn::NormalInit({1, config.embedding_dim}, 0.1f, &init_rng_));
+}
+
+ag::NodePtr Dkgam::Logits(const data::Example& example,
+                          const nn::ForwardContext& ctx) {
+  KDDN_CHECK(!example.concept_ids.empty()) << "empty concept sequence";
+  ag::NodePtr concepts = concept_embedding_.Forward(example.concept_ids);
+
+  // CNN view.
+  ag::NodePtr conv_features = concept_conv_.Forward(concepts);
+
+  // Global-query attention pooling: weights = softmax(q · Cᵀ), doc = w · C.
+  ag::NodePtr weights =
+      ag::SoftmaxRows(ag::MatMulABt(global_query_, concepts));  // [1, m_c]
+  ag::NodePtr attended = ag::MatMul(weights, concepts);         // [1, d]
+  ag::NodePtr attended_vec = ag::Reshape(attended, {embedding_dim_});
+
+  ag::NodePtr fused = ag::Concat({conv_features, attended_vec}, 0);
+  fused = ag::Dropout(fused, dropout_, ctx.training, ctx.rng);
+  return classifier_.Forward(fused);
+}
+
+}  // namespace kddn::models

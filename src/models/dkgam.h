@@ -1,0 +1,36 @@
+#ifndef KDDN_MODELS_DKGAM_H_
+#define KDDN_MODELS_DKGAM_H_
+
+#include "models/neural_model.h"
+
+namespace kddn::models {
+
+/// Knowledge-guided attention baseline ("DKGAM", paper §VII-D, after Cao et
+/// al., ICDM'17). Following the paper's adaptation, the input is the
+/// position-sorted concept sequence; the model combines a CNN view of the
+/// concepts with a global-query attention pooling over the concept
+/// embeddings (a learned query vector scores each concept; the document
+/// vector is the attention-weighted sum). Re-implemented from the
+/// description, as the paper itself did.
+class Dkgam : public NeuralDocumentModel {
+ public:
+  explicit Dkgam(const ModelConfig& config);
+
+  ag::NodePtr Logits(const data::Example& example,
+                     const nn::ForwardContext& ctx) override;
+
+  const char* name() const override { return "DKGAM"; }
+
+ private:
+  Rng init_rng_;
+  nn::Embedding concept_embedding_;
+  nn::Conv1dBank concept_conv_;
+  ag::NodePtr global_query_;  // [1, embedding_dim] learned attention query.
+  nn::Dense classifier_;
+  float dropout_;
+  int embedding_dim_;
+};
+
+}  // namespace kddn::models
+
+#endif  // KDDN_MODELS_DKGAM_H_

@@ -1,0 +1,73 @@
+#include "models/gru.h"
+
+#include <algorithm>
+
+#include "autograd/ops.h"
+#include "common/check.h"
+
+namespace kddn::models {
+
+GruModel::GruModel(const ModelConfig& config, int hidden_dim, int max_steps)
+    : init_rng_(config.seed),
+      embedding_(&params_, "word_emb", config.word_vocab_size,
+                 config.embedding_dim, &init_rng_),
+      classifier_(&params_, "cls", hidden_dim, 2, &init_rng_),
+      dropout_(config.dropout),
+      hidden_dim_(hidden_dim),
+      max_steps_(max_steps) {
+  KDDN_CHECK_GT(hidden_dim, 0);
+  KDDN_CHECK_GT(max_steps, 0);
+  const int d = config.embedding_dim;
+  auto make = [&](const char* name, std::vector<int> shape, int fan_in,
+                  int fan_out) {
+    return params_.Create(name,
+                          nn::XavierUniform(std::move(shape), fan_in, fan_out,
+                                            &init_rng_));
+  };
+  w_update_ = make("gru.wz", {d, hidden_dim}, d, hidden_dim);
+  u_update_ = make("gru.uz", {hidden_dim, hidden_dim}, hidden_dim, hidden_dim);
+  b_update_ = params_.Create("gru.bz", Tensor({hidden_dim}));
+  w_reset_ = make("gru.wr", {d, hidden_dim}, d, hidden_dim);
+  u_reset_ = make("gru.ur", {hidden_dim, hidden_dim}, hidden_dim, hidden_dim);
+  b_reset_ = params_.Create("gru.br", Tensor({hidden_dim}));
+  w_candidate_ = make("gru.wh", {d, hidden_dim}, d, hidden_dim);
+  u_candidate_ =
+      make("gru.uh", {hidden_dim, hidden_dim}, hidden_dim, hidden_dim);
+  b_candidate_ = params_.Create("gru.bh", Tensor({hidden_dim}));
+}
+
+ag::NodePtr GruModel::Step(const ag::NodePtr& x_row,
+                           const ag::NodePtr& h_row) const {
+  using namespace ag;
+  NodePtr z = Sigmoid(AddRowBroadcast(
+      Add(MatMul(x_row, w_update_), MatMul(h_row, u_update_)), b_update_));
+  NodePtr r = Sigmoid(AddRowBroadcast(
+      Add(MatMul(x_row, w_reset_), MatMul(h_row, u_reset_)), b_reset_));
+  NodePtr candidate = Tanh(AddRowBroadcast(
+      Add(MatMul(x_row, w_candidate_), MatMul(Mul(r, h_row), u_candidate_)),
+      b_candidate_));
+  // h' = h + z ⊙ (candidate − h)  ==  (1−z)⊙h + z⊙candidate.
+  return Add(h_row, Mul(z, Sub(candidate, h_row)));
+}
+
+ag::NodePtr GruModel::Logits(const data::Example& example,
+                             const nn::ForwardContext& ctx) {
+  KDDN_CHECK(!example.word_ids.empty()) << "empty word sequence";
+  std::vector<int> ids = example.word_ids;
+  if (static_cast<int>(ids.size()) > max_steps_) {
+    ids.resize(max_steps_);
+  }
+  ag::NodePtr embedded = embedding_.Forward(ids);  // [m, d]
+
+  ag::NodePtr hidden =
+      ag::Node::Leaf(Tensor({1, hidden_dim_}), false, "h0");
+  const int steps = static_cast<int>(ids.size());
+  for (int t = 0; t < steps; ++t) {
+    hidden = Step(ag::SliceRows(embedded, t, t + 1), hidden);
+  }
+  ag::NodePtr features = ag::Reshape(hidden, {hidden_dim_});
+  features = ag::Dropout(features, dropout_, ctx.training, ctx.rng);
+  return classifier_.Forward(features);
+}
+
+}  // namespace kddn::models

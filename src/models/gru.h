@@ -1,0 +1,43 @@
+#ifndef KDDN_MODELS_GRU_H_
+#define KDDN_MODELS_GRU_H_
+
+#include "models/neural_model.h"
+
+namespace kddn::models {
+
+/// Recurrent baseline (extension): a single-layer GRU over the word
+/// sequence, final hidden state → dense softmax. The paper's related work
+/// (§II-A) cites recurrent text classifiers but does not evaluate one; this
+/// model completes that comparison on the same substrate. Long documents are
+/// truncated to `max_steps` tokens (recurrence is O(tokens) graph nodes).
+class GruModel : public NeuralDocumentModel {
+ public:
+  explicit GruModel(const ModelConfig& config, int hidden_dim = 32,
+                    int max_steps = 96);
+
+  ag::NodePtr Logits(const data::Example& example,
+                     const nn::ForwardContext& ctx) override;
+
+  const char* name() const override { return "GRU"; }
+
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  /// One GRU step: h' = (1-z)⊙h + z⊙tanh(xW_h + (r⊙h)U_h + b_h).
+  ag::NodePtr Step(const ag::NodePtr& x_row, const ag::NodePtr& h_row) const;
+
+  Rng init_rng_;
+  nn::Embedding embedding_;
+  // Update gate, reset gate and candidate parameters: [d,h], [h,h], [h].
+  ag::NodePtr w_update_, u_update_, b_update_;
+  ag::NodePtr w_reset_, u_reset_, b_reset_;
+  ag::NodePtr w_candidate_, u_candidate_, b_candidate_;
+  nn::Dense classifier_;
+  float dropout_;
+  int hidden_dim_;
+  int max_steps_;
+};
+
+}  // namespace kddn::models
+
+#endif  // KDDN_MODELS_GRU_H_

@@ -1,0 +1,47 @@
+#include "models/h_cnn.h"
+
+#include "autograd/ops.h"
+#include "common/check.h"
+
+namespace kddn::models {
+
+HCnn::HCnn(const ModelConfig& config, int chunk_size)
+    : init_rng_(config.seed),
+      embedding_(&params_, "word_emb", config.word_vocab_size,
+                 config.embedding_dim, &init_rng_),
+      sentence_conv_(&params_, "sent_conv", config.embedding_dim,
+                     config.num_filters, config.filter_widths, &init_rng_),
+      document_conv_(&params_, "doc_conv", sentence_conv_.output_dim(),
+                     config.num_filters, {1, 2}, &init_rng_),
+      classifier_(&params_, "cls", document_conv_.output_dim(), 2,
+                  &init_rng_),
+      dropout_(config.dropout),
+      chunk_size_(chunk_size) {
+  KDDN_CHECK_GT(chunk_size, 0);
+}
+
+ag::NodePtr HCnn::Logits(const data::Example& example,
+                         const nn::ForwardContext& ctx) {
+  KDDN_CHECK(!example.word_ids.empty()) << "empty word sequence";
+  const int total = static_cast<int>(example.word_ids.size());
+
+  // Sentence level: shared CNN over each chunk.
+  std::vector<ag::NodePtr> sentence_rows;
+  for (int begin = 0; begin < total; begin += chunk_size_) {
+    const int end = std::min(total, begin + chunk_size_);
+    std::vector<int> chunk(example.word_ids.begin() + begin,
+                           example.word_ids.begin() + end);
+    ag::NodePtr pooled =
+        sentence_conv_.Forward(embedding_.Forward(chunk));
+    sentence_rows.push_back(
+        ag::Reshape(pooled, {1, sentence_conv_.output_dim()}));
+  }
+
+  // Document level: CNN over the sentence-vector sequence.
+  ag::NodePtr sentence_matrix = ag::Concat(sentence_rows, /*axis=*/0);
+  ag::NodePtr features = document_conv_.Forward(sentence_matrix);
+  features = ag::Dropout(features, dropout_, ctx.training, ctx.rng);
+  return classifier_.Forward(features);
+}
+
+}  // namespace kddn::models

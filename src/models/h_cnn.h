@@ -1,0 +1,35 @@
+#ifndef KDDN_MODELS_H_CNN_H_
+#define KDDN_MODELS_H_CNN_H_
+
+#include "models/neural_model.h"
+
+namespace kddn::models {
+
+/// Hierarchical CNN baseline ("H CNN", paper §VII-D, after Grnarova et al.):
+/// the document is cut into fixed-size chunks standing in for sentences; a
+/// shared sentence-level CNN embeds each chunk, and a document-level CNN over
+/// the sequence of sentence vectors produces the classification features.
+/// Like the paper, we re-implement the method ourselves (source unavailable).
+class HCnn : public NeuralDocumentModel {
+ public:
+  /// `chunk_size` tokens per pseudo-sentence.
+  explicit HCnn(const ModelConfig& config, int chunk_size = 16);
+
+  ag::NodePtr Logits(const data::Example& example,
+                     const nn::ForwardContext& ctx) override;
+
+  const char* name() const override { return "H CNN"; }
+
+ private:
+  Rng init_rng_;
+  nn::Embedding embedding_;
+  nn::Conv1dBank sentence_conv_;  // Shared across chunks.
+  nn::Conv1dBank document_conv_;  // Over sentence vectors.
+  nn::Dense classifier_;
+  float dropout_;
+  int chunk_size_;
+};
+
+}  // namespace kddn::models
+
+#endif  // KDDN_MODELS_H_CNN_H_

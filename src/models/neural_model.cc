@@ -1,0 +1,15 @@
+#include "models/neural_model.h"
+
+#include "autograd/ops.h"
+
+namespace kddn::models {
+
+float NeuralDocumentModel::PredictPositiveProbability(
+    const data::Example& example) {
+  nn::ForwardContext ctx;
+  ctx.training = false;
+  ag::NodePtr logits = Logits(example, ctx);
+  return ag::SoftmaxProbs(logits->value())[1];
+}
+
+}  // namespace kddn::models

@@ -1,0 +1,63 @@
+#ifndef KDDN_MODELS_NEURAL_MODEL_H_
+#define KDDN_MODELS_NEURAL_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/node.h"
+#include "data/dataset.h"
+#include "nn/layers.h"
+#include "nn/parameter.h"
+
+namespace kddn::models {
+
+/// Shared hyperparameters for all deep models in the paper's evaluation.
+struct ModelConfig {
+  int word_vocab_size = 0;
+  int concept_vocab_size = 0;
+  /// Shared word/concept embedding width. The paper uses 20 on NURSING and
+  /// 100 on RAD (§VII-C); co-attention requires the two widths to be equal.
+  int embedding_dim = 20;
+  int num_filters = 50;                  // Paper: 50 per filter width.
+  std::vector<int> filter_widths = {1, 2, 3};  // Unigram/bigram/trigram.
+  float dropout = 0.5f;                  // Paper §VI.
+  uint64_t seed = 1;
+  /// AK-DDN: feed the raw embedding matrices to the CNNs concatenated with
+  /// the interaction matrices (true), or the interaction matrices alone
+  /// (false). The paper's Fig. 5 is ambiguous on this point; enriching
+  /// (true) preserves each token's own identity alongside what it attends
+  /// to and is the default here — `bench/ablation_kddn` quantifies the
+  /// difference.
+  bool akddn_residual = true;
+};
+
+/// Base class of every trainable document classifier: builds a fresh graph
+/// per example (documents have ragged lengths, so there is no fixed batch
+/// shape) and exposes binary logits. Training batches accumulate gradients
+/// over examples before each optimizer step, which matches "batch size 200"
+/// semantics on ragged inputs.
+class NeuralDocumentModel {
+ public:
+  virtual ~NeuralDocumentModel() = default;
+
+  /// Builds the forward graph and returns rank-1 logits of size 2
+  /// ({alive, dead}).
+  virtual ag::NodePtr Logits(const data::Example& example,
+                             const nn::ForwardContext& ctx) = 0;
+
+  /// Model name as it appears in the paper's result tables.
+  virtual const char* name() const = 0;
+
+  /// Probability of the positive (death) class, inference mode.
+  float PredictPositiveProbability(const data::Example& example);
+
+  nn::ParameterSet& params() { return params_; }
+  const nn::ParameterSet& params() const { return params_; }
+
+ protected:
+  nn::ParameterSet params_;
+};
+
+}  // namespace kddn::models
+
+#endif  // KDDN_MODELS_NEURAL_MODEL_H_

@@ -1,0 +1,49 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kddn::nn {
+
+Adagrad::Adagrad(float learning_rate, float epsilon)
+    : learning_rate_(learning_rate), epsilon_(epsilon) {
+  KDDN_CHECK_GT(learning_rate, 0.0f);
+  KDDN_CHECK_GT(epsilon, 0.0f);
+}
+
+void Adagrad::Step(const std::vector<ag::NodePtr>& params) {
+  for (const ag::NodePtr& param : params) {
+    Tensor& value = param->mutable_value();
+    Tensor& grad = param->mutable_grad();
+    auto [it, inserted] =
+        accumulators_.try_emplace(param.get(), Tensor(value.shape()));
+    Tensor& acc = it->second;
+    KDDN_CHECK(acc.SameShape(value)) << "parameter shape changed mid-training";
+    for (int64_t i = 0; i < value.size(); ++i) {
+      const float g = grad[i];
+      acc[i] += g * g;
+      value[i] -= learning_rate_ * g / std::sqrt(acc[i] + epsilon_);
+    }
+    grad.Fill(0.0f);
+  }
+}
+
+Sgd::Sgd(float learning_rate, float weight_decay)
+    : learning_rate_(learning_rate), weight_decay_(weight_decay) {
+  KDDN_CHECK_GT(learning_rate, 0.0f);
+  KDDN_CHECK_GE(weight_decay, 0.0f);
+}
+
+void Sgd::Step(const std::vector<ag::NodePtr>& params) {
+  for (const ag::NodePtr& param : params) {
+    Tensor& value = param->mutable_value();
+    Tensor& grad = param->mutable_grad();
+    for (int64_t i = 0; i < value.size(); ++i) {
+      value[i] -= learning_rate_ * (grad[i] + weight_decay_ * value[i]);
+    }
+    grad.Fill(0.0f);
+  }
+}
+
+}  // namespace kddn::nn

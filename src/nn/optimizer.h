@@ -1,0 +1,52 @@
+#ifndef KDDN_NN_OPTIMIZER_H_
+#define KDDN_NN_OPTIMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "autograd/node.h"
+#include "tensor/tensor.h"
+
+namespace kddn::nn {
+
+/// Interface for first-order optimizers over parameter leaves.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using each parameter's accumulated gradient, then
+  /// zeroes the gradients.
+  virtual void Step(const std::vector<ag::NodePtr>& params) = 0;
+};
+
+/// Adagrad (paper §VI): θ_t = θ_{t-1} − α / sqrt(Σ g_i² + ε) · g_t,
+/// with a per-weight accumulator of squared gradients.
+class Adagrad : public Optimizer {
+ public:
+  explicit Adagrad(float learning_rate, float epsilon = 1e-8f);
+
+  void Step(const std::vector<ag::NodePtr>& params) override;
+
+  float learning_rate() const { return learning_rate_; }
+
+ private:
+  float learning_rate_;
+  float epsilon_;
+  std::unordered_map<ag::Node*, Tensor> accumulators_;
+};
+
+/// Plain SGD with optional L2 weight decay; used for ablation comparisons.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float learning_rate, float weight_decay = 0.0f);
+
+  void Step(const std::vector<ag::NodePtr>& params) override;
+
+ private:
+  float learning_rate_;
+  float weight_decay_;
+};
+
+}  // namespace kddn::nn
+
+#endif  // KDDN_NN_OPTIMIZER_H_

@@ -1,0 +1,56 @@
+#include "nn/parameter.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace kddn::nn {
+
+ag::NodePtr ParameterSet::Create(const std::string& name, Tensor init) {
+  for (const std::string& existing : names_) {
+    KDDN_CHECK_NE(existing, name) << "duplicate parameter name " << name;
+  }
+  ag::NodePtr node = ag::Node::Leaf(std::move(init), /*requires_grad=*/true,
+                                    name);
+  params_.push_back(node);
+  names_.push_back(name);
+  return node;
+}
+
+const ag::NodePtr& ParameterSet::Get(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return params_[i];
+    }
+  }
+  KDDN_CHECK(false) << "unknown parameter " << name;
+  __builtin_unreachable();
+}
+
+int64_t ParameterSet::TotalWeights() const {
+  int64_t total = 0;
+  for (const ag::NodePtr& p : params_) {
+    total += p->value().size();
+  }
+  return total;
+}
+
+void ParameterSet::ZeroGrads() {
+  for (const ag::NodePtr& p : params_) {
+    p->ZeroGrad();
+  }
+}
+
+Tensor XavierUniform(std::vector<int> shape, int fan_in, int fan_out,
+                     Rng* rng) {
+  KDDN_CHECK_GT(fan_in + fan_out, 0);
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return RandomUniform(std::move(shape), -limit, limit, rng);
+}
+
+Tensor NormalInit(std::vector<int> shape, float stddev, Rng* rng) {
+  return RandomNormal(std::move(shape), 0.0f, stddev, rng);
+}
+
+}  // namespace kddn::nn

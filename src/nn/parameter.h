@@ -1,0 +1,53 @@
+#ifndef KDDN_NN_PARAMETER_H_
+#define KDDN_NN_PARAMETER_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/node.h"
+#include "common/rng.h"
+
+namespace kddn::nn {
+
+/// Owns the trainable leaves of a model. Layers call Create() at construction
+/// time; the optimizer iterates all(). Parameter nodes persist across forward
+/// passes (the graphs built per example reference them as leaves), so their
+/// gradients accumulate over a minibatch until the optimizer steps and zeroes
+/// them.
+class ParameterSet {
+ public:
+  ParameterSet() = default;
+  ParameterSet(const ParameterSet&) = delete;
+  ParameterSet& operator=(const ParameterSet&) = delete;
+
+  /// Registers a new trainable parameter with the given initial value.
+  ag::NodePtr Create(const std::string& name, Tensor init);
+
+  /// All parameters, in registration order.
+  const std::vector<ag::NodePtr>& all() const { return params_; }
+
+  /// Looks up a parameter by name; throws if absent.
+  const ag::NodePtr& Get(const std::string& name) const;
+
+  /// Total number of scalar weights.
+  int64_t TotalWeights() const;
+
+  /// Zeroes every parameter gradient (called by optimizers after a step).
+  void ZeroGrads();
+
+ private:
+  std::vector<ag::NodePtr> params_;
+  std::vector<std::string> names_;
+};
+
+/// Xavier/Glorot uniform initialisation for a [fan_out, fan_in]-ish matrix.
+Tensor XavierUniform(std::vector<int> shape, int fan_in, int fan_out,
+                     Rng* rng);
+
+/// N(0, stddev) initialisation, the paper's "initialize all the parameters
+/// with normal distribution" (§VI).
+Tensor NormalInit(std::vector<int> shape, float stddev, Rng* rng);
+
+}  // namespace kddn::nn
+
+#endif  // KDDN_NN_PARAMETER_H_

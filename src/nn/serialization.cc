@@ -1,0 +1,107 @@
+#include "nn/serialization.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace kddn::nn {
+namespace {
+
+constexpr char kMagic[4] = {'K', 'D', 'D', 'N'};
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ostream& out, uint32_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteI32(std::ostream& out, int32_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+uint32_t ReadU32(std::istream& in) {
+  uint32_t value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  KDDN_CHECK(in.good()) << "truncated checkpoint";
+  return value;
+}
+
+int32_t ReadI32(std::istream& in) {
+  int32_t value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  KDDN_CHECK(in.good()) << "truncated checkpoint";
+  return value;
+}
+
+}  // namespace
+
+void SaveParameters(const ParameterSet& params, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  WriteU32(out, kVersion);
+  WriteU32(out, static_cast<uint32_t>(params.all().size()));
+  for (const ag::NodePtr& param : params.all()) {
+    const std::string& name = param->name();
+    WriteU32(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const Tensor& value = param->value();
+    WriteU32(out, static_cast<uint32_t>(value.rank()));
+    for (int axis = 0; axis < value.rank(); ++axis) {
+      WriteI32(out, value.dim(axis));
+    }
+    out.write(reinterpret_cast<const char*>(value.data()),
+              static_cast<std::streamsize>(value.size() * sizeof(float)));
+  }
+  KDDN_CHECK(out.good()) << "checkpoint write failed";
+}
+
+void LoadParameters(ParameterSet* params, std::istream& in) {
+  KDDN_CHECK(params != nullptr);
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  KDDN_CHECK(in.good() && std::equal(magic, magic + 4, kMagic))
+      << "not a KDDN checkpoint";
+  const uint32_t version = ReadU32(in);
+  KDDN_CHECK_EQ(version, kVersion) << "unsupported checkpoint version";
+  const uint32_t count = ReadU32(in);
+  KDDN_CHECK_EQ(count, params->all().size())
+      << "checkpoint has " << count << " parameters, model has "
+      << params->all().size();
+  for (const ag::NodePtr& param : params->all()) {
+    const uint32_t name_length = ReadU32(in);
+    std::string name(name_length, '\0');
+    in.read(name.data(), name_length);
+    KDDN_CHECK(in.good()) << "truncated checkpoint";
+    KDDN_CHECK_EQ(name, param->name())
+        << "checkpoint parameter order mismatch: expected " << param->name()
+        << ", found " << name;
+    const uint32_t rank = ReadU32(in);
+    std::vector<int> shape;
+    for (uint32_t axis = 0; axis < rank; ++axis) {
+      shape.push_back(ReadI32(in));
+    }
+    Tensor& value = param->mutable_value();
+    KDDN_CHECK(shape == value.shape())
+        << "shape mismatch for " << name << ": checkpoint "
+        << Tensor(shape).ShapeString() << " vs model " << value.ShapeString();
+    in.read(reinterpret_cast<char*>(value.data()),
+            static_cast<std::streamsize>(value.size() * sizeof(float)));
+    KDDN_CHECK(in.good()) << "truncated checkpoint payload for " << name;
+  }
+}
+
+void SaveParametersToFile(const ParameterSet& params,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  KDDN_CHECK(out.is_open()) << "cannot open " << path << " for writing";
+  SaveParameters(params, out);
+}
+
+void LoadParametersFromFile(ParameterSet* params, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  KDDN_CHECK(in.is_open()) << "cannot open " << path;
+  LoadParameters(params, in);
+}
+
+}  // namespace kddn::nn

@@ -1,0 +1,31 @@
+#ifndef KDDN_NN_SERIALIZATION_H_
+#define KDDN_NN_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/parameter.h"
+
+namespace kddn::nn {
+
+/// Binary checkpoint format for trained models:
+///   magic "KDDN" + version u32, parameter count u32, then per parameter:
+///   name (u32 length + bytes), rank u32, dims i32..., float32 payload.
+/// Loading requires the destination ParameterSet to have the same parameters
+/// (same names, shapes, order) — i.e. a model constructed with the same
+/// ModelConfig — and fails loudly otherwise.
+
+/// Writes all parameters of `params` to `out`.
+void SaveParameters(const ParameterSet& params, std::ostream& out);
+
+/// Restores parameter values in place; throws KddnError on any mismatch or
+/// truncated/corrupt stream.
+void LoadParameters(ParameterSet* params, std::istream& in);
+
+/// File-path convenience wrappers.
+void SaveParametersToFile(const ParameterSet& params, const std::string& path);
+void LoadParametersFromFile(ParameterSet* params, const std::string& path);
+
+}  // namespace kddn::nn
+
+#endif  // KDDN_NN_SERIALIZATION_H_

@@ -1,0 +1,100 @@
+#ifndef KDDN_SYNTH_COHORT_H_
+#define KDDN_SYNTH_COHORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "kb/knowledge_base.h"
+#include "synth/disease_model.h"
+#include "synth/note_generator.h"
+
+namespace kddn::synth {
+
+/// The three prediction horizons of the paper (§III-A): death in hospital,
+/// within 30 days, or within one year of discharge.
+enum class Horizon { kInHospital = 0, kWithin30Days = 1, kWithinYear = 2 };
+
+inline constexpr Horizon kAllHorizons[] = {
+    Horizon::kInHospital, Horizon::kWithin30Days, Horizon::kWithinYear};
+
+/// Column header used in the paper's result tables.
+const char* HorizonName(Horizon horizon);
+
+/// Where (if anywhere) the patient died. Outcomes nest: an in-hospital death
+/// is positive for every horizon, matching Table II's monotone counts.
+enum class MortalityOutcome {
+  kAlive = 0,
+  kWithinYear = 1,    // Died between 30 days and 1 year post discharge.
+  kWithin30Days = 2,  // Died within 30 days post discharge.
+  kInHospital = 3,    // Died before discharge.
+};
+
+/// True if the outcome counts as positive (death) for the horizon.
+bool IsPositive(MortalityOutcome outcome, Horizon horizon);
+
+/// One synthetic patient: latent state, outcome, and the aggregated free-text
+/// of their last-visit notes (the paper aggregates a patient's notes into one
+/// document, §VII-A).
+struct SyntheticPatient {
+  int id = 0;
+  int age = 65;
+  double severity = 0.0;
+  bool improving = true;
+  std::vector<int> disease_indices;       // Into the disease panel.
+  std::vector<bool> disease_worsening;    // Parallel per-disease trajectory.
+  MortalityOutcome outcome = MortalityOutcome::kAlive;
+  std::vector<NoteStyle> note_styles;  // One per pre-aggregation note.
+  std::string text;                    // Aggregated note text.
+};
+
+/// Which of the paper's two corpora to synthesise.
+enum class CorpusKind { kNursing, kRad };
+
+/// Generation knobs. Defaults target Table II's prevalence shape
+/// (≈11–12% in-hospital, ≈15–16% at 30 days, ≈25–26% at one year).
+struct CohortConfig {
+  CorpusKind kind = CorpusKind::kNursing;
+  int num_patients = 1000;      // Patients *generated* (before exclusions).
+  uint64_t seed = 42;
+  double minor_fraction = 0.03;       // Under-18 admissions (excluded, §VII-B1).
+  double concept_free_fraction = 0.02;  // Noise-only notes (excluded later).
+};
+
+/// Bookkeeping for the paper's preprocessing exclusions.
+struct CohortStats {
+  int generated = 0;
+  int excluded_minors = 0;           // Age < 18 (paper §VII-B1).
+  int excluded_post_death_notes = 0; // Notes recorded after death (§VII-B1).
+  int concept_free_patients = 0;     // Kept here; dropped by dataset build.
+};
+
+/// A generated corpus: the retained patients plus exclusion statistics.
+class Cohort {
+ public:
+  /// Samples a full cohort. Deterministic in `config.seed`.
+  static Cohort Generate(const CohortConfig& config,
+                         const kb::KnowledgeBase& kb);
+
+  const std::vector<SyntheticPatient>& patients() const { return patients_; }
+  const CohortStats& stats() const { return stats_; }
+  const std::vector<DiseaseProfile>& panel() const { return panel_; }
+  CorpusKind kind() const { return kind_; }
+
+  /// Number of patients positive for the horizon (Table II rows).
+  int CountPositive(Horizon horizon) const;
+
+  /// Per-style note counts across the cohort (Table I rows).
+  std::map<NoteStyle, int> NoteCounts() const;
+
+ private:
+  std::vector<SyntheticPatient> patients_;
+  CohortStats stats_;
+  std::vector<DiseaseProfile> panel_;
+  CorpusKind kind_ = CorpusKind::kNursing;
+};
+
+}  // namespace kddn::synth
+
+#endif  // KDDN_SYNTH_COHORT_H_

@@ -1,0 +1,216 @@
+#include "synth/corpus_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace kddn::synth {
+namespace {
+
+/// Minimal JSON scanner for the fixed cohort schema. Not a general JSON
+/// parser — just enough to round-trip WriteCohortJsonl output robustly.
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : text_(text) {}
+
+  void Expect(char c) {
+    SkipSpace();
+    KDDN_CHECK(pos_ < text_.size() && text_[pos_] == c)
+        << "expected '" << c << "' at offset " << pos_;
+    ++pos_;
+  }
+
+  bool TryConsume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        KDDN_CHECK(pos_ < text_.size()) << "dangling escape";
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case '"':
+          case '\\':
+          case '/':
+            out.push_back(escaped);
+            break;
+          default:
+            KDDN_CHECK(false) << "unsupported escape \\" << escaped;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    Expect('"');
+    return out;
+  }
+
+  long ParseInt() {
+    SkipSpace();
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    KDDN_CHECK(pos_ > start) << "expected integer at offset " << start;
+    return std::stol(text_.substr(start, pos_ - start));
+  }
+
+  bool ParseBool() {
+    SkipSpace();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    KDDN_CHECK(false) << "expected boolean at offset " << pos_;
+    __builtin_unreachable();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EscapeJson(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void WriteCohortJsonl(const Cohort& cohort, std::ostream& out) {
+  for (const SyntheticPatient& patient : cohort.patients()) {
+    out << "{\"id\":" << patient.id << ",\"age\":" << patient.age
+        << ",\"outcome\":" << static_cast<int>(patient.outcome)
+        << ",\"diseases\":[";
+    for (size_t d = 0; d < patient.disease_indices.size(); ++d) {
+      if (d > 0) {
+        out << ',';
+      }
+      out << '"' << cohort.panel()[patient.disease_indices[d]].cui << '"';
+    }
+    out << "],\"worsening\":[";
+    for (size_t d = 0; d < patient.disease_worsening.size(); ++d) {
+      if (d > 0) {
+        out << ',';
+      }
+      out << (patient.disease_worsening[d] ? "true" : "false");
+    }
+    out << "],\"text\":\"" << EscapeJson(patient.text) << "\"}\n";
+  }
+}
+
+std::vector<PatientRecord> ReadCohortJsonl(std::istream& in) {
+  std::vector<PatientRecord> records;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    JsonScanner scanner(line);
+    PatientRecord record;
+    scanner.Expect('{');
+    bool first = true;
+    while (!scanner.TryConsume('}')) {
+      if (!first) {
+        scanner.Expect(',');
+      }
+      first = false;
+      const std::string key = scanner.ParseString();
+      scanner.Expect(':');
+      if (key == "id") {
+        record.id = static_cast<int>(scanner.ParseInt());
+      } else if (key == "age") {
+        record.age = static_cast<int>(scanner.ParseInt());
+      } else if (key == "outcome") {
+        const long value = scanner.ParseInt();
+        KDDN_CHECK(value >= 0 && value <= 3)
+            << "line " << line_number << ": bad outcome " << value;
+        record.outcome = static_cast<MortalityOutcome>(value);
+      } else if (key == "diseases") {
+        scanner.Expect('[');
+        if (!scanner.TryConsume(']')) {
+          do {
+            record.disease_cuis.push_back(scanner.ParseString());
+          } while (scanner.TryConsume(','));
+          scanner.Expect(']');
+        }
+      } else if (key == "worsening") {
+        scanner.Expect('[');
+        if (!scanner.TryConsume(']')) {
+          do {
+            record.disease_worsening.push_back(scanner.ParseBool());
+          } while (scanner.TryConsume(','));
+          scanner.Expect(']');
+        }
+      } else if (key == "text") {
+        record.text = scanner.ParseString();
+      } else {
+        KDDN_CHECK(false) << "line " << line_number << ": unknown key "
+                          << key;
+      }
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace kddn::synth

@@ -1,0 +1,42 @@
+#ifndef KDDN_SYNTH_CORPUS_IO_H_
+#define KDDN_SYNTH_CORPUS_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "synth/cohort.h"
+
+namespace kddn::synth {
+
+/// Flat-file export of a synthetic cohort so external tools (Python
+/// notebooks, other baselines) can consume the same corpus. JSON-lines, one
+/// patient per line with id, age, outcome, per-disease CUIs/trajectories and
+/// the aggregated note text. The reader restores the exported fields
+/// (disease profiles are looked up by CUI against the generating panel's
+/// knowledge base, so round-tripping requires the same KB).
+
+/// Writes one JSONL line per patient.
+void WriteCohortJsonl(const Cohort& cohort, std::ostream& out);
+
+/// Patient record as read back from JSONL (a subset of SyntheticPatient —
+/// note styles are not persisted).
+struct PatientRecord {
+  int id = 0;
+  int age = 0;
+  MortalityOutcome outcome = MortalityOutcome::kAlive;
+  std::vector<std::string> disease_cuis;
+  std::vector<bool> disease_worsening;
+  std::string text;
+};
+
+/// Parses JSONL written by WriteCohortJsonl; throws KddnError on malformed
+/// lines.
+std::vector<PatientRecord> ReadCohortJsonl(std::istream& in);
+
+/// JSON string escaping helper (exposed for tests).
+std::string EscapeJson(const std::string& raw);
+
+}  // namespace kddn::synth
+
+#endif  // KDDN_SYNTH_CORPUS_IO_H_

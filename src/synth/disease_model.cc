@@ -1,0 +1,101 @@
+#include "synth/disease_model.h"
+
+#include "common/check.h"
+
+namespace kddn::synth {
+
+std::vector<DiseaseProfile> BuildDiseasePanel(const kb::KnowledgeBase& kb) {
+  std::vector<DiseaseProfile> panel;
+  auto add = [&panel](const char* cui, double lethality, double prevalence,
+                      std::vector<std::string> symptoms,
+                      std::vector<std::string> findings,
+                      std::vector<std::string> treatments,
+                      std::vector<std::string> devices) {
+    DiseaseProfile profile;
+    profile.cui = cui;
+    profile.lethality = lethality;
+    profile.prevalence = prevalence;
+    profile.symptom_cuis = std::move(symptoms);
+    profile.finding_cuis = std::move(findings);
+    profile.treatment_cuis = std::move(treatments);
+    profile.device_cuis = std::move(devices);
+    panel.push_back(std::move(profile));
+  };
+
+  // Lethality values loosely follow ICU case-fatality ordering: septic shock,
+  // cardiac arrest and multiorgan failure are the heaviest drivers; chronic
+  // ambulatory conditions barely move the hazard.
+  add("C0018802", 0.55, 3.0, {"C0013404", "C0013604", "C0010200"},
+      {"C0018800", "C0742742", "C0747635"}, {"C0016860", "C0012797"},
+      {"C0021440"});
+  add("C0027051", 0.65, 2.0, {"C0008031", "C0700590", "C0013404"},
+      {"C0018800"}, {"C0004057", "C0025859", "C0019134"}, {"C0021440"});
+  add("C0039231", 0.80, 0.5, {"C0008031", "C0020649", "C0039239"},
+      {"C0743298", "C0018800"}, {"C0189477"}, {"C0182537"});
+  add("C0032285", 0.45, 3.0, {"C0010200", "C0015967", "C0013404"},
+      {"C0521530", "C0332448", "C1265876"}, {"C0003232", "C0042313"}, {});
+  add("C0243026", 0.70, 2.5, {"C0015967", "C0020649", "C0039239", "C0023380"},
+      {}, {"C0003232", "C0042313", "C0028351"}, {"C1145640"});
+  add("C0036983", 0.95, 1.0, {"C0020649", "C0028961", "C0009676"},
+      {}, {"C0028351", "C0011946"}, {"C1145640", "C0179802"});
+  add("C0035222", 0.85, 1.0, {"C0013404", "C0242184", "C0010520"},
+      {"C0234438", "C0596790", "C1265876"}, {"C0199470", "C0021925"},
+      {"C0336630", "C0087153"});
+  add("C0024117", 0.35, 2.0, {"C0013404", "C0010200"},
+      {"C0596790"}, {"C0199470"}, {});
+  add("C0034063", 0.50, 2.0, {"C0013404", "C0242184"},
+      {"C0742742", "C0596790", "C0747635"}, {"C0016860", "C0012797"}, {});
+  add("C0034065", 0.60, 1.0, {"C0008031", "C0013404", "C0039239"},
+      {}, {"C0019134", "C0043031"}, {});
+  add("C0032227", 0.30, 2.0, {"C0013404"},
+      {"C1265876", "C0549646"}, {"C0189477"}, {"C0008034"});
+  add("C0032326", 0.45, 0.8, {"C0008031", "C0013404"},
+      {"C0549646"}, {}, {"C0008034"});
+  add("C0004238", 0.25, 2.5, {"C0039239", "C0039070"},
+      {}, {"C0025859", "C0043031"}, {});
+  add("C2609414", 0.55, 2.0, {"C0028961", "C0013604"},
+      {}, {"C0011946"}, {"C0179802"});
+  add("C0038454", 0.60, 1.5, {"C0009676", "C3714552"},
+      {}, {"C0004057"}, {"C0085678"});
+  add("C0017181", 0.50, 1.2, {"C0027497", "C0042963", "C3714552"},
+      {}, {"C0005841"}, {"C0085678"});
+  add("C0011206", 0.30, 1.5, {"C0009676", "C0085631"},
+      {}, {"C0235195"}, {});
+  add("C0018790", 1.00, 0.6, {"C0023380", "C0010520"},
+      {}, {"C0007203", "C0021925"}, {"C0336630", "C0087153"});
+  add("C1145670", 0.80, 1.2, {"C0013404", "C0242184", "C0010520"},
+      {"C0234438"}, {"C0199470", "C0021925"}, {"C0336630", "C0087153"});
+  add("C0006826", 0.60, 1.2, {"C3714552", "C0027497"},
+      {"C1265876"}, {"C0728940"}, {});
+  add("C0027627", 0.80, 0.7, {"C3714552", "C0023380"},
+      {"C1265876"}, {}, {});
+  add("C0023890", 0.50, 1.0, {"C0022346", "C0009676"},
+      {}, {"C0034115"}, {"C0182537"});
+  add("C0030305", 0.45, 0.8, {"C0027497", "C0042963", "C0015967"},
+      {}, {"C0026549"}, {"C0085678"});
+  add("C0042029", 0.15, 2.0, {"C0015967"},
+      {}, {"C0003232"}, {"C0179802"});
+  add("C0011849", 0.15, 2.5, {"C3714552"},
+      {}, {"C0021641"}, {});
+  add("C0020538", 0.10, 3.0, {}, {}, {"C0025859"}, {});
+  add("C0002871", 0.20, 1.8, {"C3714552", "C0023380"},
+      {}, {"C0005841"}, {});
+
+  // Validate every CUI against the knowledge base so typos fail loudly.
+  for (const DiseaseProfile& profile : panel) {
+    KDDN_CHECK(kb.FindByCui(profile.cui) != nullptr)
+        << "unknown disease CUI " << profile.cui;
+    auto check_all = [&kb](const std::vector<std::string>& cuis) {
+      for (const std::string& cui : cuis) {
+        KDDN_CHECK(kb.FindByCui(cui) != nullptr) << "unknown CUI " << cui;
+      }
+    };
+    check_all(profile.symptom_cuis);
+    check_all(profile.finding_cuis);
+    check_all(profile.treatment_cuis);
+    check_all(profile.device_cuis);
+  }
+  return panel;
+}
+
+}  // namespace kddn::synth

@@ -1,0 +1,32 @@
+#ifndef KDDN_SYNTH_DISEASE_MODEL_H_
+#define KDDN_SYNTH_DISEASE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+
+namespace kddn::synth {
+
+/// Clinical profile of one disease used by the synthetic corpus generator:
+/// which symptoms/findings/treatments/devices co-occur with it in notes, and
+/// how strongly it drives the latent mortality hazard. CUIs reference the
+/// UMLS-lite knowledge base.
+struct DiseaseProfile {
+  std::string cui;           // Disease concept.
+  double lethality = 0.0;    // Additive hazard contribution, roughly [0.1, 1].
+  double prevalence = 1.0;   // Relative sampling weight in the cohort.
+  std::vector<std::string> symptom_cuis;
+  std::vector<std::string> finding_cuis;    // Radiology findings.
+  std::vector<std::string> treatment_cuis;  // Procedures and drugs.
+  std::vector<std::string> device_cuis;
+};
+
+/// The built-in ICU disease panel (~20 diseases spanning cardio-pulmonary,
+/// renal, infectious, neuro and oncologic conditions). Every referenced CUI
+/// is validated against `kb` at construction.
+std::vector<DiseaseProfile> BuildDiseasePanel(const kb::KnowledgeBase& kb);
+
+}  // namespace kddn::synth
+
+#endif  // KDDN_SYNTH_DISEASE_MODEL_H_

@@ -1,0 +1,374 @@
+#include "synth/note_generator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace kddn::synth {
+namespace {
+
+const char* kWorseningWords[] = {"worsening", "increased",     "worsened",
+                                 "escalating", "deteriorating", "progressive"};
+const char* kImprovingWords[] = {"improved",  "improving", "resolved",
+                                 "resolving", "decreased", "stable"};
+
+const char* kNursingNoise[] = {
+    "family at bedside and updated on plan of care",
+    "awaiting social work evaluation later today",
+    "plan discussed with the team on morning rounds",
+    "skin intact, turned and repositioned every two hours",
+    "call light within reach, bed alarm on",
+    "diet advanced as tolerated, taking sips of water",
+    "oriented when awake, follows simple commands",
+    "pain managed, rates two out of ten",
+};
+
+const char* kRadNoise[] = {
+    "the study is mildly limited by patient positioning",
+    "clinical correlation is recommended",
+    "comparison is made to the prior examination",
+    "the osseous structures are grossly unremarkable",
+    "the visualized upper abdomen is unremarkable",
+    "no displaced rib fracture is identified",
+};
+
+template <typename T, size_t N>
+const T& Pick(const T (&items)[N], kddn::Rng* rng) {
+  return items[rng->UniformInt(static_cast<int>(N))];
+}
+
+const std::string& Pick(const std::vector<std::string>& items,
+                        kddn::Rng* rng) {
+  KDDN_CHECK(!items.empty());
+  return items[rng->UniformInt(static_cast<int>(items.size()))];
+}
+
+}  // namespace
+
+const char* NoteStyleName(NoteStyle style) {
+  switch (style) {
+    case NoteStyle::kNursing:
+      return "Nursing";
+    case NoteStyle::kRadiology:
+      return "Radiology";
+    case NoteStyle::kEcho:
+      return "Echo";
+    case NoteStyle::kEcg:
+      return "ECG";
+  }
+  return "Unknown";
+}
+
+NoteGenerator::NoteGenerator(const kb::KnowledgeBase* kb) : kb_(kb) {
+  KDDN_CHECK(kb != nullptr);
+  for (const kb::Concept* c :
+       kb_->OfType(kb::SemanticType::kSignOrSymptom)) {
+    symptom_pool_.push_back(c->cui);
+  }
+  for (const kb::Concept* c : kb_->OfType(kb::SemanticType::kFinding)) {
+    finding_pool_.push_back(c->cui);
+  }
+  for (const kb::Concept* c :
+       kb_->OfType(kb::SemanticType::kDiseaseOrSyndrome)) {
+    disease_pool_.push_back(c->cui);
+  }
+  KDDN_CHECK(!symptom_pool_.empty());
+  KDDN_CHECK(!finding_pool_.empty());
+  KDDN_CHECK(!disease_pool_.empty());
+}
+
+std::string NoteGenerator::AliasFor(const std::string& cui, Rng* rng) const {
+  const kb::Concept* concept_entry = kb_->FindByCui(cui);
+  KDDN_CHECK(concept_entry != nullptr) << "unknown CUI " << cui;
+  // Preferred name and aliases are all eligible surfaces; sampling among them
+  // splits word-level statistics while the CUI stays constant.
+  const int options = static_cast<int>(concept_entry->aliases.size()) + 1;
+  const int pick = rng->UniformInt(options);
+  if (pick == 0) {
+    return ToLowerAscii(concept_entry->preferred_name);
+  }
+  return ToLowerAscii(concept_entry->aliases[pick - 1]);
+}
+
+std::string NoteGenerator::StatusWord(bool improving, Rng* rng) const {
+  return improving ? Pick(kImprovingWords, rng) : Pick(kWorseningWords, rng);
+}
+
+std::string NoteGenerator::AbsentCui(const PatientState& state, bool finding,
+                                     Rng* rng) const {
+  const std::vector<std::string>& pool =
+      finding ? finding_pool_ : symptom_pool_;
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    const std::string& cui = Pick(pool, rng);
+    bool associated = false;
+    for (const DiseaseProfile* disease : state.diseases) {
+      const auto& list =
+          finding ? disease->finding_cuis : disease->symptom_cuis;
+      if (std::find(list.begin(), list.end(), cui) != list.end()) {
+        associated = true;
+        break;
+      }
+    }
+    if (!associated) {
+      return cui;
+    }
+  }
+  return pool.front();
+}
+
+std::string NoteGenerator::AbsentDiseaseCui(const PatientState& state,
+                                             Rng* rng) const {
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    const std::string& cui = Pick(disease_pool_, rng);
+    bool has_it = false;
+    for (const DiseaseProfile* disease : state.diseases) {
+      if (disease->cui == cui) {
+        has_it = true;
+        break;
+      }
+    }
+    if (!has_it) {
+      return cui;
+    }
+  }
+  return disease_pool_.front();
+}
+
+std::string NoteGenerator::Generate(const PatientState& state, NoteStyle style,
+                                    Rng* rng) const {
+  switch (style) {
+    case NoteStyle::kNursing:
+      return GenerateNursing(state, rng);
+    case NoteStyle::kRadiology:
+      return GenerateRadiology(state, rng);
+    case NoteStyle::kEcho:
+      return GenerateEcho(state, rng);
+    case NoteStyle::kEcg:
+      return GenerateEcg(state, rng);
+  }
+  KDDN_CHECK(false) << "unhandled note style";
+  __builtin_unreachable();
+}
+
+std::string NoteGenerator::GenerateNursing(const PatientState& state,
+                                           Rng* rng) const {
+  std::vector<std::string> sentences;
+  sentences.push_back(std::to_string(state.age) +
+                      " year old patient admitted to the icu");
+  for (size_t d = 0; d < state.diseases.size(); ++d) {
+    const DiseaseProfile* disease = state.diseases[d];
+    const bool improving_d = !state.WorseningAt(d);
+    const std::string name = AliasFor(disease->cui, rng);
+    // Association signal: the status word sits right next to the concept it
+    // describes; *which* disease worsens is what predicts the outcome.
+    switch (rng->UniformInt(3)) {
+      case 0:
+        sentences.push_back(name + " " + StatusWord(improving_d, rng) +
+                            " this shift");
+        break;
+      case 1:
+        sentences.push_back("assessment notable for " +
+                            StatusWord(improving_d, rng) + " " + name);
+        break;
+      default:
+        sentences.push_back("known " + name + ", currently " +
+                            StatusWord(improving_d, rng));
+        break;
+    }
+    for (const std::string& symptom : disease->symptom_cuis) {
+      if (!rng->Bernoulli(improving_d ? 0.45 : 0.75)) {
+        continue;
+      }
+      const std::string symptom_name = AliasFor(symptom, rng);
+      if (rng->Bernoulli(0.5)) {
+        sentences.push_back("patient with " + symptom_name + " overnight, " +
+                            StatusWord(improving_d, rng) +
+                            " since yesterday");
+      } else {
+        sentences.push_back("noted " + symptom_name + " during the shift");
+      }
+    }
+    for (const std::string& treatment : disease->treatment_cuis) {
+      if (rng->Bernoulli(0.5)) {
+        sentences.push_back("continues on " + AliasFor(treatment, rng) +
+                            " per team");
+      }
+    }
+    for (const std::string& device : disease->device_cuis) {
+      if (!rng->Bernoulli(0.6)) {
+        continue;
+      }
+      const std::string device_name = AliasFor(device, rng);
+      if (improving_d) {
+        sentences.push_back(rng->Bernoulli(0.5)
+                                ? device_name +
+                                      " removal planned, tolerating weaning"
+                                : device_name + " removed without complication");
+      } else {
+        sentences.push_back(rng->Bernoulli(0.5)
+                                ? device_name + " remains in place"
+                                : "new " + device_name + " placed at bedside");
+      }
+    }
+  }
+  // Negation signal: absent symptoms, and sometimes absent *diseases* —
+  // their names still enter the bag of words, which only context-aware
+  // models can discount.
+  const int negations = 1 + rng->UniformInt(3);
+  for (int i = 0; i < negations; ++i) {
+    if (rng->Bernoulli(0.35)) {
+      sentences.push_back("no evidence of " +
+                          AliasFor(AbsentDiseaseCui(state, rng), rng) +
+                          " at this time");
+    } else {
+      const std::string absent = AliasFor(AbsentCui(state, false, rng), rng);
+      sentences.push_back(rng->Bernoulli(0.5) ? "denies " + absent
+                                              : "no " + absent +
+                                                    " at this time");
+    }
+  }
+  // Filler.
+  const int noise = 2 + rng->UniformInt(3);
+  for (int i = 0; i < noise; ++i) {
+    sentences.push_back(Pick(kNursingNoise, rng));
+  }
+  const bool closer_improving =
+      rng->Bernoulli(0.8) ? state.improving : !state.improving;
+  sentences.push_back(
+      closer_improving
+          ? "patient resting comfortably, condition stable"
+          : "patient remains critically ill, condition guarded");
+  return Join(sentences, ". ") + ".";
+}
+
+std::string NoteGenerator::GenerateRadiology(const PatientState& state,
+                                             Rng* rng) const {
+  std::vector<std::string> sentences;
+  sentences.push_back("portable chest radiograph obtained");
+  sentences.push_back(Pick(kRadNoise, rng));
+  for (size_t d = 0; d < state.diseases.size(); ++d) {
+    const DiseaseProfile* disease = state.diseases[d];
+    const bool improving_d = !state.WorseningAt(d);
+    const std::string name = AliasFor(disease->cui, rng);
+    sentences.push_back("findings compatible with " + name + ", " +
+                        StatusWord(improving_d, rng) +
+                        " since the prior study");
+    for (const std::string& finding : disease->finding_cuis) {
+      if (!rng->Bernoulli(improving_d ? 0.4 : 0.75)) {
+        continue;
+      }
+      const std::string finding_name = AliasFor(finding, rng);
+      switch (rng->UniformInt(3)) {
+        case 0:
+          sentences.push_back("there is " + finding_name +
+                              " in the " + AliasFor("C0024109", rng));
+          break;
+        case 1:
+          sentences.push_back(finding_name + " has " +
+                              StatusWord(improving_d, rng) +
+                              " in the interval");
+          break;
+        default:
+          sentences.push_back(StatusWord(improving_d, rng) + " " +
+                              finding_name + " again demonstrated");
+          break;
+      }
+    }
+    for (const std::string& device : disease->device_cuis) {
+      if (!rng->Bernoulli(0.6)) {
+        continue;
+      }
+      const std::string device_name = AliasFor(device, rng);
+      if (improving_d) {
+        sentences.push_back("interval removal of the " + device_name);
+      } else {
+        sentences.push_back("the " + device_name +
+                            " is in standard position");
+      }
+    }
+  }
+  // The paper's own example sentence pattern: negation over an absent
+  // finding used as evidence against an absent disease.
+  const int negations = 1 + rng->UniformInt(3);
+  for (int i = 0; i < negations; ++i) {
+    const std::string absent_finding =
+        AliasFor(AbsentCui(state, true, rng), rng);
+    if (rng->Bernoulli(0.4)) {
+      sentences.push_back("there is no " + absent_finding + " to suggest " +
+                          AliasFor(AbsentDiseaseCui(state, rng), rng));
+    } else {
+      sentences.push_back("no " + absent_finding +
+                          " is seen on today's examination");
+    }
+  }
+  // Serial-comparison paragraph: radiology reports restate interval change
+  // per problem, which is what makes RAD documents long (Table IV).
+  for (size_t d = 0; d < state.diseases.size(); ++d) {
+    if (rng->Bernoulli(0.7)) {
+      sentences.push_back("on serial review the " +
+                          AliasFor(state.diseases[d]->cui, rng) + " appears " +
+                          StatusWord(!state.WorseningAt(d), rng) +
+                          " relative to the examination of the prior day");
+    }
+  }
+  const int extra_noise = 1 + rng->UniformInt(3);
+  for (int i = 0; i < extra_noise; ++i) {
+    sentences.push_back(Pick(kRadNoise, rng));
+  }
+  const bool impression_improving =
+      rng->Bernoulli(0.8) ? state.improving : !state.improving;
+  sentences.push_back("impression: " + StatusWord(impression_improving, rng) +
+                      " cardiopulmonary process");
+  return Join(sentences, ". ") + ".";
+}
+
+std::string NoteGenerator::GenerateEcho(const PatientState& state,
+                                        Rng* rng) const {
+  std::vector<std::string> sentences;
+  sentences.push_back("transthoracic echocardiogram performed at bedside");
+  const bool lv_improving =
+      rng->Bernoulli(0.75) ? state.improving : !state.improving;
+  sentences.push_back(lv_improving
+                          ? "left ventricular systolic function is preserved"
+                          : "left ventricular systolic function is severely "
+                            "depressed");
+  for (size_t d = 0; d < state.diseases.size(); ++d) {
+    if (rng->Bernoulli(0.6)) {
+      sentences.push_back("examination notable for " +
+                          AliasFor(state.diseases[d]->cui, rng) + ", " +
+                          StatusWord(!state.WorseningAt(d), rng));
+    }
+  }
+  sentences.push_back(rng->Bernoulli(0.5)
+                          ? "no pericardial effusion or " +
+                                AliasFor("C0039231", rng) + " identified"
+                          : "valvular structures are grossly normal");
+  return Join(sentences, ". ") + ".";
+}
+
+std::string NoteGenerator::GenerateEcg(const PatientState& state,
+                                       Rng* rng) const {
+  std::vector<std::string> sentences;
+  sentences.push_back("twelve lead electrocardiogram");
+  const bool rhythm_improving =
+      rng->Bernoulli(0.75) ? state.improving : !state.improving;
+  sentences.push_back(rhythm_improving
+                          ? "sinus rhythm, rate within normal limits"
+                          : "sinus " + AliasFor("C0039239", rng) +
+                                " with frequent ectopy");
+  for (size_t d = 0; d < state.diseases.size(); ++d) {
+    if (rng->Bernoulli(0.4)) {
+      sentences.push_back("tracing consistent with " +
+                          AliasFor(state.diseases[d]->cui, rng) + ", " +
+                          StatusWord(!state.WorseningAt(d), rng) +
+                          " compared with prior");
+    }
+  }
+  sentences.push_back(rng->Bernoulli(0.5)
+                          ? "no acute st segment changes"
+                          : "nonspecific t wave abnormality");
+  return Join(sentences, ". ") + ".";
+}
+
+}  // namespace kddn::synth

@@ -1,0 +1,92 @@
+#ifndef KDDN_SYNTH_NOTE_GENERATOR_H_
+#define KDDN_SYNTH_NOTE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "kb/knowledge_base.h"
+#include "synth/disease_model.h"
+
+namespace kddn::synth {
+
+/// Note registers matching the paper's two corpora: NURSING (nursing progress
+/// notes) and the three examination styles aggregated into RAD
+/// (Radiology / Echo / ECG, Table I).
+enum class NoteStyle { kNursing, kRadiology, kEcho, kEcg };
+
+/// Human-readable style name ("Nursing", "Radiology", ...).
+const char* NoteStyleName(NoteStyle style);
+
+/// Everything the generator needs to know about a patient when writing one
+/// note. Each disease carries its *own* trajectory (`disease_worsening`):
+/// notes say "worsening pulmonary edema" next to that concept, so the
+/// predictive signal is the (disease, status) *pairing* — which bag-of-words
+/// baselines cannot represent but n-gram convolutions and the co-attention
+/// models can. This is the association signal the paper's attention tables
+/// VII–X surface. `improving` is the overall impression used for weaker
+/// global cues (note closers); when `disease_worsening` is empty every
+/// disease defaults to the global flag.
+struct PatientState {
+  int age = 65;
+  bool improving = true;
+  double severity = 0.0;
+  std::vector<const DiseaseProfile*> diseases;
+  std::vector<bool> disease_worsening;  // Parallel to `diseases` (optional).
+
+  /// Trajectory of disease `index`, falling back to the global flag.
+  bool WorseningAt(size_t index) const {
+    if (index < disease_worsening.size()) {
+      return disease_worsening[index];
+    }
+    return !improving;
+  }
+};
+
+/// Template-based clinical note writer over the UMLS-lite ontology. Notes
+/// plant signal at four levels so every baseline family has something to
+/// learn and the dual/co-attention models have something extra:
+///   1. word level   — status adjectives correlated with outcome;
+///   2. bigram level — negations ("no cardiac tamponade") that BoW misses;
+///   3. concept level — each mention samples a random alias, so surface forms
+///      split word statistics but map to a single CUI;
+///   4. association level — status words are emitted *adjacent to* the
+///      concept they describe, which co-attention can bind.
+class NoteGenerator {
+ public:
+  /// `kb` must outlive the generator.
+  explicit NoteGenerator(const kb::KnowledgeBase* kb);
+
+  /// Writes one note in the given style. Deterministic given the Rng state.
+  std::string Generate(const PatientState& state, NoteStyle style,
+                       Rng* rng) const;
+
+ private:
+  /// A random surface form (alias or preferred name) of the concept.
+  std::string AliasFor(const std::string& cui, Rng* rng) const;
+
+  /// A status word matching the patient trajectory.
+  std::string StatusWord(bool improving, Rng* rng) const;
+
+  /// A symptom/finding CUI *not* associated with the patient, for negations.
+  std::string AbsentCui(const PatientState& state, bool finding,
+                        Rng* rng) const;
+
+  /// A disease CUI the patient does not have, for "no evidence of X"
+  /// negations that plant misleading disease tokens in the bag of words.
+  std::string AbsentDiseaseCui(const PatientState& state, Rng* rng) const;
+
+  std::string GenerateNursing(const PatientState& state, Rng* rng) const;
+  std::string GenerateRadiology(const PatientState& state, Rng* rng) const;
+  std::string GenerateEcho(const PatientState& state, Rng* rng) const;
+  std::string GenerateEcg(const PatientState& state, Rng* rng) const;
+
+  const kb::KnowledgeBase* kb_;
+  std::vector<std::string> symptom_pool_;  // For negation sampling.
+  std::vector<std::string> finding_pool_;
+  std::vector<std::string> disease_pool_;
+};
+
+}  // namespace kddn::synth
+
+#endif  // KDDN_SYNTH_NOTE_GENERATOR_H_

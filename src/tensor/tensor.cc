@@ -1,0 +1,125 @@
+#include "tensor/tensor.h"
+
+#include <numeric>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace kddn {
+namespace {
+
+int64_t ShapeSize(const std::vector<int>& shape) {
+  int64_t total = 1;
+  for (int extent : shape) {
+    KDDN_CHECK_GE(extent, 0) << "negative tensor dimension";
+    total *= extent;
+  }
+  return shape.empty() ? 0 : total;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<size_t>(ShapeSize(shape_)), 0.0f);
+}
+
+Tensor Tensor::Zeros(std::vector<int> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromData(std::vector<int> shape, std::vector<float> data) {
+  Tensor t;
+  const int64_t expected = ShapeSize(shape);
+  KDDN_CHECK_EQ(expected, static_cast<int64_t>(data.size()))
+      << "FromData: shape wants " << expected << " elements, got "
+      << data.size();
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+Tensor Tensor::Eye(int n) {
+  KDDN_CHECK_GT(n, 0);
+  Tensor t({n, n});
+  for (int i = 0; i < n; ++i) {
+    t.at(i, i) = 1.0f;
+  }
+  return t;
+}
+
+int Tensor::dim(int axis) const {
+  const int r = rank();
+  if (axis < 0) {
+    axis += r;
+  }
+  KDDN_CHECK(axis >= 0 && axis < r)
+      << "axis " << axis << " out of range for rank " << r;
+  return shape_[axis];
+}
+
+float& Tensor::at(int i) {
+  KDDN_CHECK_EQ(rank(), 1);
+  KDDN_CHECK(i >= 0 && i < shape_[0]) << "index " << i << " out of range";
+  return data_[i];
+}
+
+float Tensor::at(int i) const { return const_cast<Tensor*>(this)->at(i); }
+
+float& Tensor::at(int i, int j) {
+  KDDN_CHECK_EQ(rank(), 2);
+  KDDN_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1])
+      << "index (" << i << "," << j << ") out of range for " << ShapeString();
+  return data_[static_cast<int64_t>(i) * shape_[1] + j];
+}
+
+float Tensor::at(int i, int j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+float& Tensor::at(int i, int j, int k) {
+  KDDN_CHECK_EQ(rank(), 3);
+  KDDN_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+             k < shape_[2])
+      << "index (" << i << "," << j << "," << k << ") out of range for "
+      << ShapeString();
+  return data_[(static_cast<int64_t>(i) * shape_[1] + j) * shape_[2] + k];
+}
+
+float Tensor::at(int i, int j, int k) const {
+  return const_cast<Tensor*>(this)->at(i, j, k);
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor Tensor::Reshape(std::vector<int> new_shape) const {
+  const int64_t expected = ShapeSize(new_shape);
+  KDDN_CHECK_EQ(expected, size())
+      << "Reshape: cannot view " << ShapeString() << " as new shape";
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    out << shape_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace kddn

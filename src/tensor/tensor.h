@@ -1,0 +1,95 @@
+#ifndef KDDN_TENSOR_TENSOR_H_
+#define KDDN_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kddn {
+
+/// Dense row-major float tensor. This is the storage type used by the whole
+/// NN stack; all differentiable structure lives in `autograd/`, so Tensor is a
+/// plain value type (copyable, movable) with no graph bookkeeping.
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, no elements). Useful as a "not yet set" state.
+  Tensor() = default;
+
+  /// Zero-filled tensor with the given shape. All dimensions must be >= 0.
+  explicit Tensor(std::vector<int> shape);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  /// Factory: zero-filled tensor.
+  static Tensor Zeros(std::vector<int> shape);
+
+  /// Factory: tensor filled with `value`.
+  static Tensor Full(std::vector<int> shape, float value);
+
+  /// Factory: takes ownership of `data`, which must have exactly
+  /// prod(shape) elements.
+  static Tensor FromData(std::vector<int> shape, std::vector<float> data);
+
+  /// Factory: identity matrix of size n x n.
+  static Tensor Eye(int n);
+
+  /// Number of dimensions.
+  int rank() const { return static_cast<int>(shape_.size()); }
+
+  /// Full shape vector.
+  const std::vector<int>& shape() const { return shape_; }
+
+  /// Extent of dimension `axis` (supports negative axes, Python-style).
+  int dim(int axis) const;
+
+  /// Total number of elements.
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+  /// True if the tensor holds no elements.
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Flat element access (no bounds check beyond debug builds).
+  float& operator[](int64_t index) { return data_[index]; }
+  float operator[](int64_t index) const { return data_[index]; }
+
+  /// Checked rank-1 access.
+  float& at(int i);
+  float at(int i) const;
+
+  /// Checked rank-2 access.
+  float& at(int i, int j);
+  float at(int i, int j) const;
+
+  /// Checked rank-3 access.
+  float& at(int i, int j, int k);
+  float at(int i, int j, int k) const;
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Returns a copy re-interpreted with a new shape of identical size.
+  Tensor Reshape(std::vector<int> new_shape) const;
+
+  /// Returns the elements as a std::vector (copy).
+  std::vector<float> ToVector() const { return data_; }
+
+  /// Human-readable shape like "[3, 4]".
+  std::string ShapeString() const;
+
+  /// True if shapes match exactly.
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace kddn
+
+#endif  // KDDN_TENSOR_TENSOR_H_

@@ -1,0 +1,265 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kddn {
+namespace {
+
+void CheckRank2(const Tensor& t, const char* name) {
+  KDDN_CHECK_EQ(t.rank(), 2) << name << " must be rank-2, got "
+                             << t.ShapeString();
+}
+
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  KDDN_CHECK(a.SameShape(b)) << op << ": shape mismatch " << a.ShapeString()
+                             << " vs " << b.ShapeString();
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMul lhs");
+  CheckRank2(b, "MatMul rhs");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  KDDN_CHECK_EQ(k, b.dim(0)) << "MatMul inner-dimension mismatch "
+                             << a.ShapeString() << " * " << b.ShapeString();
+  Tensor out({m, n});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = ap + static_cast<int64_t>(i) * k;
+    float* orow = op + static_cast<int64_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = bp + static_cast<int64_t>(kk) * n;
+      for (int j = 0; j < n; ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MatMulAtB(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMulAtB lhs");
+  CheckRank2(b, "MatMulAtB rhs");
+  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  KDDN_CHECK_EQ(k, b.dim(0)) << "MatMulAtB shared-dimension mismatch "
+                             << a.ShapeString() << " vs " << b.ShapeString();
+  Tensor out({m, n});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = ap + static_cast<int64_t>(kk) * m;
+    const float* brow = bp + static_cast<int64_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = op + static_cast<int64_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MatMulABt(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMulABt lhs");
+  CheckRank2(b, "MatMulABt rhs");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  KDDN_CHECK_EQ(k, b.dim(1)) << "MatMulABt shared-dimension mismatch "
+                             << a.ShapeString() << " vs " << b.ShapeString();
+  Tensor out({m, n});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = ap + static_cast<int64_t>(i) * k;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = bp + static_cast<int64_t>(j) * k;
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) {
+        acc += arow[kk] * brow[kk];
+      }
+      out.at(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  CheckRank2(a, "Transpose");
+  const int m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out.at(j, i) = a.at(i, j);
+    }
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add");
+  Tensor out = a;
+  AddInPlace(&out, b);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  Tensor out = a;
+  float* op = out.data();
+  const float* bp = b.data();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    op[i] -= bp[i];
+  }
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  Tensor out = a;
+  float* op = out.data();
+  const float* bp = b.data();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    op[i] *= bp[i];
+  }
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = a;
+  float* op = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    op[i] *= s;
+  }
+  return out;
+}
+
+void AddInPlace(Tensor* a, const Tensor& b) {
+  CheckSameShape(*a, b, "AddInPlace");
+  float* ap = a->data();
+  const float* bp = b.data();
+  for (int64_t i = 0; i < a->size(); ++i) {
+    ap[i] += bp[i];
+  }
+}
+
+void AxpyInPlace(Tensor* a, float s, const Tensor& b) {
+  CheckSameShape(*a, b, "AxpyInPlace");
+  float* ap = a->data();
+  const float* bp = b.data();
+  for (int64_t i = 0; i < a->size(); ++i) {
+    ap[i] += s * bp[i];
+  }
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
+  CheckRank2(a, "AddRowBroadcast input");
+  KDDN_CHECK_EQ(row.rank(), 1) << "AddRowBroadcast row must be rank-1";
+  const int m = a.dim(0), n = a.dim(1);
+  KDDN_CHECK_EQ(n, row.dim(0)) << "AddRowBroadcast width mismatch";
+  Tensor out = a;
+  float* op = out.data();
+  const float* rp = row.data();
+  for (int i = 0; i < m; ++i) {
+    float* orow = op + static_cast<int64_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      orow[j] += rp[j];
+    }
+  }
+  return out;
+}
+
+float Sum(const Tensor& a) {
+  double acc = 0.0;
+  const float* ap = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    acc += ap[i];
+  }
+  return static_cast<float>(acc);
+}
+
+float Mean(const Tensor& a) {
+  KDDN_CHECK_GT(a.size(), 0) << "Mean of empty tensor";
+  return Sum(a) / static_cast<float>(a.size());
+}
+
+float MaxValue(const Tensor& a) {
+  KDDN_CHECK_GT(a.size(), 0) << "MaxValue of empty tensor";
+  return *std::max_element(a.data(), a.data() + a.size());
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  CheckRank2(a, "SoftmaxRows");
+  const int m = a.dim(0), n = a.dim(1);
+  KDDN_CHECK_GT(n, 0) << "SoftmaxRows over zero-width rows";
+  Tensor out({m, n});
+  for (int i = 0; i < m; ++i) {
+    float row_max = a.at(i, 0);
+    for (int j = 1; j < n; ++j) {
+      row_max = std::max(row_max, a.at(i, j));
+    }
+    double total = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const float e = std::exp(a.at(i, j) - row_max);
+      out.at(i, j) = e;
+      total += e;
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (int j = 0; j < n; ++j) {
+      out.at(i, j) *= inv;
+    }
+  }
+  return out;
+}
+
+float SquaredNorm(const Tensor& a) {
+  double acc = 0.0;
+  const float* ap = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(ap[i]) * ap[i];
+  }
+  return static_cast<float>(acc);
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "MaxAbsDiff");
+  float worst = 0.0f;
+  const float* ap = a.data();
+  const float* bp = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(ap[i] - bp[i]));
+  }
+  return worst;
+}
+
+Tensor RandomNormal(std::vector<int> shape, float mean, float stddev,
+                    Rng* rng) {
+  KDDN_CHECK(rng != nullptr);
+  Tensor out(std::move(shape));
+  float* op = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    op[i] = static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return out;
+}
+
+Tensor RandomUniform(std::vector<int> shape, float lo, float hi, Rng* rng) {
+  KDDN_CHECK(rng != nullptr);
+  Tensor out(std::move(shape));
+  float* op = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    op[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return out;
+}
+
+}  // namespace kddn

@@ -1,0 +1,69 @@
+#ifndef KDDN_TENSOR_TENSOR_OPS_H_
+#define KDDN_TENSOR_TENSOR_OPS_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace kddn {
+
+/// Matrix product A[m,k] * B[k,n] -> [m,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// A^T * B for A[k,m], B[k,n] -> [m,n] (without materialising A^T).
+Tensor MatMulAtB(const Tensor& a, const Tensor& b);
+
+/// A * B^T for A[m,k], B[n,k] -> [m,n] (without materialising B^T).
+Tensor MatMulABt(const Tensor& a, const Tensor& b);
+
+/// Matrix transpose of a rank-2 tensor.
+Tensor Transpose(const Tensor& a);
+
+/// Elementwise sum; shapes must match.
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Elementwise difference; shapes must match.
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// Elementwise (Hadamard) product; shapes must match.
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// Scalar multiple.
+Tensor Scale(const Tensor& a, float s);
+
+/// In-place a += b; shapes must match.
+void AddInPlace(Tensor* a, const Tensor& b);
+
+/// In-place a += s * b; shapes must match.
+void AxpyInPlace(Tensor* a, float s, const Tensor& b);
+
+/// Adds a row vector to every row: a[m,n] + row[n] -> [m,n].
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& row);
+
+/// Sum of all elements.
+float Sum(const Tensor& a);
+
+/// Mean of all elements; tensor must be non-empty.
+float Mean(const Tensor& a);
+
+/// Largest element; tensor must be non-empty.
+float MaxValue(const Tensor& a);
+
+/// Row-wise softmax of a rank-2 tensor (numerically stabilised).
+Tensor SoftmaxRows(const Tensor& a);
+
+/// Squared L2 norm of all elements.
+float SquaredNorm(const Tensor& a);
+
+/// Max absolute elementwise difference between two same-shaped tensors.
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+/// Tensor with i.i.d. N(mean, stddev) entries.
+Tensor RandomNormal(std::vector<int> shape, float mean, float stddev,
+                    Rng* rng);
+
+/// Tensor with i.i.d. Uniform[lo, hi) entries.
+Tensor RandomUniform(std::vector<int> shape, float lo, float hi, Rng* rng);
+
+}  // namespace kddn
+
+#endif  // KDDN_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,133 @@
+#include "text/lemmatizer.h"
+
+#include "common/string_util.h"
+
+namespace kddn::text {
+namespace {
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+/// Undoes consonant doubling ("stopped" -> "stopp" -> "stop").
+std::string UndoubleIfNeeded(std::string stem) {
+  const size_t n = stem.size();
+  if (n >= 3 && stem[n - 1] == stem[n - 2] && !IsVowel(stem[n - 1]) &&
+      stem[n - 1] != 's' && stem[n - 1] != 'l' && stem[n - 1] != 'z') {
+    stem.pop_back();
+  }
+  return stem;
+}
+
+/// True if the stem plausibly needs a restored trailing 'e'
+/// ("increasing" -> "increas" -> "increase", "resolved" -> "resolv" ->
+/// "resolve"). English stems essentially never end in v/c/z/u, and a
+/// vowel+s ending ("increas", "caus") also marks a dropped 'e'.
+bool NeedsFinalE(const std::string& stem) {
+  const size_t n = stem.size();
+  if (n < 3) {
+    return false;
+  }
+  const char last = stem[n - 1];
+  const char prev = stem[n - 2];
+  if (last == 'v' || last == 'c' || last == 'z' || last == 'u') {
+    return true;
+  }
+  return last == 's' && IsVowel(prev);
+}
+
+}  // namespace
+
+Lemmatizer::Lemmatizer() {
+  irregular_ = {
+      // General English irregulars.
+      {"was", "be"},       {"were", "be"},      {"is", "be"},
+      {"are", "be"},       {"been", "be"},      {"has", "have"},
+      {"had", "have"},     {"did", "do"},       {"done", "do"},
+      {"went", "go"},      {"gone", "go"},      {"worse", "bad"},
+      {"worst", "bad"},    {"better", "good"},  {"best", "good"},
+      {"men", "man"},      {"women", "woman"},  {"children", "child"},
+      {"feet", "foot"},    {"teeth", "tooth"},  {"left", "left"},
+      {"found", "find"},   {"seen", "see"},     {"taken", "take"},
+      {"given", "give"},   {"fell", "fall"},    {"fallen", "fall"},
+      {"rose", "rise"},    {"risen", "rise"},   {"said", "say"},
+      // Clinical Greek/Latin plurals.
+      {"diagnoses", "diagnosis"},   {"prognoses", "prognosis"},
+      {"stenoses", "stenosis"},     {"thromboses", "thrombosis"},
+      {"fibroses", "fibrosis"},     {"necroses", "necrosis"},
+      {"emboli", "embolus"},        {"thrombi", "thrombus"},
+      {"bronchi", "bronchus"},      {"nuclei", "nucleus"},
+      {"atria", "atrium"},          {"bacteria", "bacterium"},
+      {"criteria", "criterion"},    {"phenomena", "phenomenon"},
+      {"vertebrae", "vertebra"},    {"pleurae", "pleura"},
+      {"metastases", "metastasis"}, {"apices", "apex"},
+      {"cortices", "cortex"},       {"indices", "index"},
+      {"femora", "femur"},          {"viscera", "viscus"},
+      // Frequent clinical words with misleading suffixes (keep as-is).
+      {"pus", "pus"},         {"status", "status"},   {"ileus", "ileus"},
+      {"mucus", "mucus"},     {"this", "this"},       {"his", "his"},
+      {"its", "its"},         {"diabetes", "diabetes"},
+      {"series", "series"},   {"species", "species"},
+      {"herpes", "herpes"},   {"ascites", "ascites"},
+      {"scabies", "scabies"}, {"during", "during"},
+      {"nursing", "nursing"}, {"morning", "morning"},
+      {"evening", "evening"}, {"bleeding", "bleeding"},
+      {"swelling", "swelling"},
+  };
+}
+
+std::string Lemmatizer::Lemma(std::string_view word) const {
+  std::string w(word);
+  auto it = irregular_.find(w);
+  if (it != irregular_.end()) {
+    return it->second;
+  }
+  const size_t n = w.size();
+  if (n <= 3) {
+    return w;
+  }
+
+  // -ies -> -y  (therapies -> therapy)
+  if (EndsWith(w, "ies") && n > 4) {
+    return w.substr(0, n - 3) + "y";
+  }
+  // -sses -> -ss (masses -> mass), -ches/-shes/-xes/-zes -> strip "es"
+  if (EndsWith(w, "sses") || EndsWith(w, "ches") || EndsWith(w, "shes") ||
+      EndsWith(w, "xes") || EndsWith(w, "zes")) {
+    return w.substr(0, n - 2);
+  }
+  // -ing (monitoring -> monitor, increasing -> increase)
+  if (EndsWith(w, "ing") && n > 5) {
+    std::string stem = UndoubleIfNeeded(w.substr(0, n - 3));
+    if (NeedsFinalE(stem)) {
+      stem.push_back('e');
+    }
+    return stem;
+  }
+  // -ed (improved -> improve, resolved -> resolve)
+  if (EndsWith(w, "ed") && n > 4 && !EndsWith(w, "eed")) {
+    std::string stem = UndoubleIfNeeded(w.substr(0, n - 2));
+    if (NeedsFinalE(stem)) {
+      stem.push_back('e');
+    }
+    return stem;
+  }
+  // plural -s (not -ss, -us, -is).
+  if (w.back() == 's' && !EndsWith(w, "ss") && !EndsWith(w, "us") &&
+      !EndsWith(w, "is")) {
+    return w.substr(0, n - 1);
+  }
+  return w;
+}
+
+std::vector<std::string> Lemmatizer::LemmatizeAll(
+    const std::vector<std::string>& words) const {
+  std::vector<std::string> lemmas;
+  lemmas.reserve(words.size());
+  for (const std::string& word : words) {
+    lemmas.push_back(Lemma(word));
+  }
+  return lemmas;
+}
+
+}  // namespace kddn::text

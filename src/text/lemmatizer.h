@@ -1,0 +1,33 @@
+#ifndef KDDN_TEXT_LEMMATIZER_H_
+#define KDDN_TEXT_LEMMATIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace kddn::text {
+
+/// Rule-based English lemmatizer standing in for the paper's preprocessing
+/// step ("lemmatizing the words in the texts", §VII-B1). Handles a table of
+/// irregular forms (incl. common clinical plurals like "diagnoses") plus
+/// regular suffix rules for plural -s/-es/-ies, -ing and -ed. Input must be a
+/// lower-cased token.
+class Lemmatizer {
+ public:
+  Lemmatizer();
+
+  /// Returns the lemma of a lower-cased token.
+  std::string Lemma(std::string_view word) const;
+
+  /// Lemmatizes a whole token sequence.
+  std::vector<std::string> LemmatizeAll(
+      const std::vector<std::string>& words) const;
+
+ private:
+  std::unordered_map<std::string, std::string> irregular_;
+};
+
+}  // namespace kddn::text
+
+#endif  // KDDN_TEXT_LEMMATIZER_H_

@@ -1,0 +1,55 @@
+#include "text/stopwords.h"
+
+namespace kddn::text {
+namespace {
+
+// Compact Onix-style list: function words that carry no clinical signal.
+constexpr const char* kStopwords[] = {
+    "a",       "about",  "above",  "after",   "again",  "against", "all",
+    "also",    "am",     "an",     "and",     "any",    "are",     "as",
+    "at",      "be",     "because", "been",   "before", "being",   "below",
+    "between", "both",   "but",    "by",      "can",    "cannot",  "could",
+    "did",     "do",     "does",   "doing",   "down",   "during",  "each",
+    "few",     "for",    "from",   "further", "had",    "has",     "have",
+    "having",  "he",     "her",    "here",    "hers",   "herself", "him",
+    "himself", "his",    "how",    "i",       "if",     "in",      "into",
+    "is",      "it",     "its",    "itself",  "just",   "me",      "more",
+    "most",    "my",     "myself", "no",      "nor",    "not",     "now",
+    "of",      "off",    "on",     "once",    "only",   "or",      "other",
+    "our",     "ours",   "out",    "over",    "own",    "per",     "same",
+    "she",     "should", "so",     "some",    "such",   "than",    "that",
+    "the",     "their",  "theirs", "them",    "themselves",        "then",
+    "there",   "these",  "they",   "this",    "those",  "through", "to",
+    "too",     "under",  "until",  "up",      "upon",   "very",    "was",
+    "we",      "were",   "what",   "when",    "where",  "which",   "while",
+    "who",     "whom",   "why",    "will",    "with",   "would",   "you",
+    "your",    "yours",  "yourself",          "yourselves",        "s",
+    "t",       "d",      "ll",     "m",       "o",      "re",      "ve",
+    "y",       "shall",  "may",    "might",   "must",   "ought",
+};
+
+}  // namespace
+
+StopwordList::StopwordList() {
+  for (const char* word : kStopwords) {
+    words_.insert(word);
+  }
+}
+
+bool StopwordList::Contains(std::string_view word) const {
+  return words_.count(std::string(word)) > 0;
+}
+
+std::vector<std::string> StopwordList::Filter(
+    const std::vector<std::string>& words) const {
+  std::vector<std::string> kept;
+  kept.reserve(words.size());
+  for (const std::string& word : words) {
+    if (!Contains(word)) {
+      kept.push_back(word);
+    }
+  }
+  return kept;
+}
+
+}  // namespace kddn::text

@@ -1,0 +1,34 @@
+#ifndef KDDN_TEXT_STOPWORDS_H_
+#define KDDN_TEXT_STOPWORDS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace kddn::text {
+
+/// Built-in stop-word list modelled on the Onix dictionary the paper uses
+/// (§VII-B1). Applied to word-level preprocessing only — the concept
+/// extractor deliberately sees raw text because UMLS concept aliases can
+/// contain stop words (§VII-B2).
+class StopwordList {
+ public:
+  StopwordList();
+
+  /// True if the lower-cased word is a stop word.
+  bool Contains(std::string_view word) const;
+
+  /// Filters a token sequence, keeping non-stop words in order.
+  std::vector<std::string> Filter(const std::vector<std::string>& words) const;
+
+  /// Number of stop words in the list.
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+}  // namespace kddn::text
+
+#endif  // KDDN_TEXT_STOPWORDS_H_

@@ -1,0 +1,90 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace kddn::text {
+
+TfIdf::TfIdf(const Vocabulary& vocab,
+             const std::vector<std::vector<int>>& docs) {
+  num_docs_ = static_cast<int>(docs.size());
+  doc_frequency_.assign(vocab.size(), 0);
+  term_frequency_.assign(vocab.size(), 0);
+  for (const auto& doc : docs) {
+    std::unordered_set<int> seen;
+    for (int id : doc) {
+      KDDN_CHECK(id >= 0 && id < vocab.size()) << "doc id out of vocabulary";
+      ++term_frequency_[id];
+      seen.insert(id);
+    }
+    for (int id : seen) {
+      ++doc_frequency_[id];
+    }
+  }
+}
+
+double TfIdf::Idf(int id) const {
+  KDDN_CHECK(id >= 0 && id < static_cast<int>(doc_frequency_.size()));
+  return std::log((1.0 + num_docs_) / (1.0 + doc_frequency_[id])) + 1.0;
+}
+
+double TfIdf::Salience(int id) const {
+  return static_cast<double>(term_frequency_[id]) * Idf(id);
+}
+
+std::vector<int> TfIdf::TopKIds(int k) const {
+  KDDN_CHECK_GT(k, 0);
+  std::vector<int> ids;
+  for (int id = 2; id < static_cast<int>(doc_frequency_.size()); ++id) {
+    if (term_frequency_[id] > 0) {
+      ids.push_back(id);
+    }
+  }
+  std::sort(ids.begin(), ids.end(), [this](int a, int b) {
+    const double sa = Salience(a), sb = Salience(b);
+    if (sa != sb) {
+      return sa > sb;
+    }
+    return a < b;
+  });
+  if (static_cast<int>(ids.size()) > k) {
+    ids.resize(k);
+  }
+  return ids;
+}
+
+std::vector<float> TfIdf::CountVector(const std::vector<int>& doc,
+                                      const std::vector<int>& selected,
+                                      bool normalize) {
+  std::unordered_map<int, int> slot;
+  slot.reserve(selected.size());
+  for (size_t i = 0; i < selected.size(); ++i) {
+    slot.emplace(selected[i], static_cast<int>(i));
+  }
+  std::vector<float> features(selected.size(), 0.0f);
+  for (int id : doc) {
+    auto it = slot.find(id);
+    if (it != slot.end()) {
+      features[it->second] += 1.0f;
+    }
+  }
+  if (normalize) {
+    double norm = 0.0;
+    for (float f : features) {
+      norm += static_cast<double>(f) * f;
+    }
+    if (norm > 0.0) {
+      const float inv = static_cast<float>(1.0 / std::sqrt(norm));
+      for (float& f : features) {
+        f *= inv;
+      }
+    }
+  }
+  return features;
+}
+
+}  // namespace kddn::text

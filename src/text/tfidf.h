@@ -1,0 +1,44 @@
+#ifndef KDDN_TEXT_TFIDF_H_
+#define KDDN_TEXT_TFIDF_H_
+
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace kddn::text {
+
+/// TF-IDF scorer over encoded documents, used by the BoW+SVM baseline
+/// (paper §VII-D): the top-k highest-scoring vocabulary words are selected
+/// and each document becomes a fixed-length term-frequency vector over them.
+class TfIdf {
+ public:
+  /// Fits document frequencies over encoded documents (ids from `vocab`).
+  TfIdf(const Vocabulary& vocab, const std::vector<std::vector<int>>& docs);
+
+  /// Smoothed inverse document frequency of a token id.
+  double Idf(int id) const;
+
+  /// Corpus-level tf-idf salience of a token id: total term frequency × idf.
+  double Salience(int id) const;
+
+  /// Ids of the k most salient tokens (sentinels excluded), most salient
+  /// first, ties broken by id for determinism.
+  std::vector<int> TopKIds(int k) const;
+
+  /// Term-frequency feature vector of `doc` over `selected` ids (counts,
+  /// L2-normalised when `normalize`).
+  static std::vector<float> CountVector(const std::vector<int>& doc,
+                                        const std::vector<int>& selected,
+                                        bool normalize = true);
+
+  int num_docs() const { return num_docs_; }
+
+ private:
+  int num_docs_ = 0;
+  std::vector<int64_t> doc_frequency_;   // Indexed by token id.
+  std::vector<int64_t> term_frequency_;  // Indexed by token id.
+};
+
+}  // namespace kddn::text
+
+#endif  // KDDN_TEXT_TFIDF_H_

@@ -1,0 +1,84 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace kddn::text {
+namespace {
+
+bool IsTokenChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+char LowerAscii(char c) {
+  if (c >= 'A' && c <= 'Z') {
+    return static_cast<char>(c - 'A' + 'a');
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  int i = 0;
+  const int n = static_cast<int>(text.size());
+  while (i < n) {
+    while (i < n && !IsTokenChar(text[i])) {
+      ++i;
+    }
+    if (i >= n) {
+      break;
+    }
+    const int begin = i;
+    std::string word;
+    while (i < n && IsTokenChar(text[i])) {
+      word.push_back(LowerAscii(text[i]));
+      ++i;
+    }
+    tokens.push_back({std::move(word), begin, i});
+  }
+  return tokens;
+}
+
+std::vector<std::string> TokenizeWords(std::string_view text) {
+  std::vector<std::string> words;
+  for (Token& token : Tokenize(text)) {
+    words.push_back(std::move(token.text));
+  }
+  return words;
+}
+
+std::vector<std::string> SplitSentences(std::string_view text) {
+  std::vector<std::string> sentences;
+  std::string current;
+  for (char c : text) {
+    if (c == '.' || c == '!' || c == '?' || c == ';' || c == '\n') {
+      bool has_content = false;
+      for (char s : current) {
+        if (IsTokenChar(s)) {
+          has_content = true;
+          break;
+        }
+      }
+      if (has_content) {
+        sentences.push_back(current);
+      }
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  bool has_content = false;
+  for (char s : current) {
+    if (IsTokenChar(s)) {
+      has_content = true;
+      break;
+    }
+  }
+  if (has_content) {
+    sentences.push_back(current);
+  }
+  return sentences;
+}
+
+}  // namespace kddn::text

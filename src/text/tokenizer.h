@@ -1,0 +1,33 @@
+#ifndef KDDN_TEXT_TOKENIZER_H_
+#define KDDN_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kddn::text {
+
+/// A token plus its character offset in the source text. Offsets let the
+/// concept extractor report mention positions (paper Fig. 6 sorts concept
+/// CUIs by position).
+struct Token {
+  std::string text;
+  int begin = 0;  // Byte offset of the first character.
+  int end = 0;    // One past the last character.
+};
+
+/// Splits raw clinical text into lower-cased alphanumeric tokens, mirroring
+/// the keras text-preprocessing defaults the paper uses (§VII-B1): anything
+/// that is not a letter or digit separates tokens.
+std::vector<Token> Tokenize(std::string_view text);
+
+/// Convenience: token strings only.
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+/// Splits text into sentences on '.', '!', '?', ';' and newlines; used by the
+/// hierarchical H-CNN baseline. Empty sentences are dropped.
+std::vector<std::string> SplitSentences(std::string_view text);
+
+}  // namespace kddn::text
+
+#endif  // KDDN_TEXT_TOKENIZER_H_

@@ -1,0 +1,73 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace kddn::text {
+
+Vocabulary Vocabulary::Build(const std::vector<std::vector<std::string>>& docs,
+                             int min_count) {
+  KDDN_CHECK_GE(min_count, 1);
+  std::unordered_map<std::string, int64_t> counts;
+  for (const auto& doc : docs) {
+    for (const std::string& token : doc) {
+      ++counts[token];
+    }
+  }
+  std::vector<std::pair<std::string, int64_t>> sorted(counts.begin(),
+                                                      counts.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return a.first < b.first;
+  });
+
+  Vocabulary vocab;
+  vocab.id_to_token_ = {"<pad>", "<unk>"};
+  vocab.frequencies_ = {0, 0};
+  for (auto& [token, count] : sorted) {
+    if (count < min_count) {
+      continue;
+    }
+    vocab.token_to_id_.emplace(token,
+                               static_cast<int>(vocab.id_to_token_.size()));
+    vocab.id_to_token_.push_back(token);
+    vocab.frequencies_.push_back(count);
+  }
+  return vocab;
+}
+
+int Vocabulary::Id(std::string_view token) const {
+  auto it = token_to_id_.find(std::string(token));
+  return it == token_to_id_.end() ? kUnkId : it->second;
+}
+
+const std::string& Vocabulary::TokenOf(int id) const {
+  KDDN_CHECK(id >= 0 && id < size()) << "vocabulary id " << id
+                                     << " out of range";
+  return id_to_token_[id];
+}
+
+std::vector<int> Vocabulary::Encode(const std::vector<std::string>& tokens,
+                                    bool drop_unknown) const {
+  std::vector<int> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    const int id = Id(token);
+    if (id == kUnkId && drop_unknown) {
+      continue;
+    }
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+int64_t Vocabulary::Frequency(int id) const {
+  KDDN_CHECK(id >= 0 && id < size()) << "vocabulary id " << id
+                                     << " out of range";
+  return frequencies_[id];
+}
+
+}  // namespace kddn::text

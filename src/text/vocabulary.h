@@ -1,0 +1,55 @@
+#ifndef KDDN_TEXT_VOCABULARY_H_
+#define KDDN_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace kddn::text {
+
+/// Token-to-id mapping shared by the word and concept branches. Ids 0 and 1
+/// are reserved for padding and unknown tokens; corpus tokens start at 2 and
+/// are assigned in decreasing-frequency order (ties broken lexicographically)
+/// so vocabularies are deterministic.
+class Vocabulary {
+ public:
+  static constexpr int kPadId = 0;
+  static constexpr int kUnkId = 1;
+
+  Vocabulary() = default;
+
+  /// Builds a vocabulary from token sequences, dropping tokens seen fewer
+  /// than `min_count` times.
+  static Vocabulary Build(const std::vector<std::vector<std::string>>& docs,
+                          int min_count = 1);
+
+  /// Id of a token; kUnkId if absent.
+  int Id(std::string_view token) const;
+
+  /// True if the token is in-vocabulary.
+  bool Contains(std::string_view token) const { return Id(token) != kUnkId; }
+
+  /// Token string for an id (including "<pad>"/"<unk>" sentinels).
+  const std::string& TokenOf(int id) const;
+
+  /// Encodes a token sequence; out-of-vocabulary tokens become kUnkId unless
+  /// `drop_unknown`, in which case they are skipped.
+  std::vector<int> Encode(const std::vector<std::string>& tokens,
+                          bool drop_unknown = false) const;
+
+  /// Total number of ids (including the two sentinels).
+  int size() const { return static_cast<int>(id_to_token_.size()); }
+
+  /// Corpus frequency of a token id (sentinels report 0).
+  int64_t Frequency(int id) const;
+
+ private:
+  std::unordered_map<std::string, int> token_to_id_;
+  std::vector<std::string> id_to_token_;
+  std::vector<int64_t> frequencies_;
+};
+
+}  // namespace kddn::text
+
+#endif  // KDDN_TEXT_VOCABULARY_H_

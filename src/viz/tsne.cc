@@ -1,0 +1,221 @@
+#include "viz/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace kddn::viz {
+namespace {
+
+/// Squared Euclidean distances between all row pairs.
+std::vector<double> PairwiseSquaredDistances(const Tensor& points) {
+  const int n = points.dim(0), d = points.dim(1);
+  std::vector<double> dist(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const float* pi = points.data() + static_cast<int64_t>(i) * d;
+    for (int j = i + 1; j < n; ++j) {
+      const float* pj = points.data() + static_cast<int64_t>(j) * d;
+      double acc = 0.0;
+      for (int k = 0; k < d; ++k) {
+        const double diff = static_cast<double>(pi[k]) - pj[k];
+        acc += diff * diff;
+      }
+      dist[static_cast<size_t>(i) * n + j] = acc;
+      dist[static_cast<size_t>(j) * n + i] = acc;
+    }
+  }
+  return dist;
+}
+
+/// Row-conditional probabilities with the bandwidth tuned to the target
+/// perplexity by bisection on beta = 1 / (2 sigma^2).
+std::vector<double> ConditionalProbabilities(const std::vector<double>& dist,
+                                             int n, double perplexity) {
+  const double target_entropy = std::log(perplexity);
+  std::vector<double> probs(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double beta = 1.0, beta_lo = 0.0, beta_hi = 1e12;
+    const double* drow = dist.data() + static_cast<size_t>(i) * n;
+    double* prow = probs.data() + static_cast<size_t>(i) * n;
+    for (int attempt = 0; attempt < 60; ++attempt) {
+      double sum = 0.0;
+      double weighted = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (j == i) {
+          prow[j] = 0.0;
+          continue;
+        }
+        const double p = std::exp(-beta * drow[j]);
+        prow[j] = p;
+        sum += p;
+        weighted += beta * drow[j] * p;
+      }
+      if (sum <= 0.0) {
+        beta /= 2.0;
+        continue;
+      }
+      const double entropy = std::log(sum) + weighted / sum;
+      const double diff = entropy - target_entropy;
+      if (std::fabs(diff) < 1e-5) {
+        break;
+      }
+      if (diff > 0.0) {  // Entropy too high -> sharpen.
+        beta_lo = beta;
+        beta = (beta_hi >= 1e12) ? beta * 2.0 : (beta + beta_hi) / 2.0;
+      } else {
+        beta_hi = beta;
+        beta = (beta + beta_lo) / 2.0;
+      }
+    }
+    double sum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      sum += prow[j];
+    }
+    if (sum > 0.0) {
+      for (int j = 0; j < n; ++j) {
+        prow[j] /= sum;
+      }
+    }
+  }
+  return probs;
+}
+
+}  // namespace
+
+Tensor Tsne(const Tensor& points, const TsneOptions& options) {
+  KDDN_CHECK_EQ(points.rank(), 2) << "Tsne wants [n, d] input";
+  const int n = points.dim(0);
+  KDDN_CHECK_GE(n, 4) << "Tsne needs at least 4 points";
+  KDDN_CHECK_GT(options.perplexity, 1.0);
+  KDDN_CHECK_LT(options.perplexity, static_cast<double>(n));
+
+  const std::vector<double> dist = PairwiseSquaredDistances(points);
+  std::vector<double> cond =
+      ConditionalProbabilities(dist, n, options.perplexity);
+
+  // Symmetrize: p_ij = (p_{j|i} + p_{i|j}) / 2n, floored for stability.
+  std::vector<double> p(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      p[static_cast<size_t>(i) * n + j] =
+          std::max((cond[static_cast<size_t>(i) * n + j] +
+                    cond[static_cast<size_t>(j) * n + i]) /
+                       (2.0 * n),
+                   1e-12);
+    }
+  }
+
+  Rng rng(options.seed);
+  std::vector<double> y(static_cast<size_t>(n) * 2);
+  std::vector<double> velocity(y.size(), 0.0);
+  for (double& v : y) {
+    v = rng.Normal(0.0, 1e-2);
+  }
+
+  const int exaggeration_until = options.iterations / 4;
+  std::vector<double> q(static_cast<size_t>(n) * n, 0.0);
+  std::vector<double> grad(y.size(), 0.0);
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < exaggeration_until ? options.early_exaggeration : 1.0;
+    // Student-t affinities in the embedding.
+    double q_sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double dy0 = y[2 * i] - y[2 * j];
+        const double dy1 = y[2 * i + 1] - y[2 * j + 1];
+        const double w = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+        q[static_cast<size_t>(i) * n + j] = w;
+        q[static_cast<size_t>(j) * n + i] = w;
+        q_sum += 2.0 * w;
+      }
+    }
+    q_sum = std::max(q_sum, 1e-12);
+
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) {
+          continue;
+        }
+        const double w = q[static_cast<size_t>(i) * n + j];
+        const double mult =
+            (exaggeration * p[static_cast<size_t>(i) * n + j] - w / q_sum) * w;
+        grad[2 * i] += 4.0 * mult * (y[2 * i] - y[2 * j]);
+        grad[2 * i + 1] += 4.0 * mult * (y[2 * i + 1] - y[2 * j + 1]);
+      }
+    }
+    const double momentum = iter < exaggeration_until
+                                ? options.initial_momentum
+                                : options.final_momentum;
+    for (size_t k = 0; k < y.size(); ++k) {
+      velocity[k] =
+          momentum * velocity[k] - options.learning_rate * grad[k];
+      y[k] += velocity[k];
+    }
+    // Re-center.
+    double mean0 = 0.0, mean1 = 0.0;
+    for (int i = 0; i < n; ++i) {
+      mean0 += y[2 * i];
+      mean1 += y[2 * i + 1];
+    }
+    mean0 /= n;
+    mean1 /= n;
+    for (int i = 0; i < n; ++i) {
+      y[2 * i] -= mean0;
+      y[2 * i + 1] -= mean1;
+    }
+  }
+
+  Tensor out({n, 2});
+  for (int i = 0; i < n; ++i) {
+    out.at(i, 0) = static_cast<float>(y[2 * i]);
+    out.at(i, 1) = static_cast<float>(y[2 * i + 1]);
+  }
+  return out;
+}
+
+double ClassSeparation(const Tensor& embedding,
+                       const std::vector<int>& labels) {
+  KDDN_CHECK_EQ(embedding.rank(), 2);
+  const int n = embedding.dim(0);
+  KDDN_CHECK_EQ(static_cast<size_t>(n), labels.size());
+  const int d = embedding.dim(1);
+  double total = 0.0;
+  int counted = 0;
+  for (int i = 0; i < n; ++i) {
+    double same_sum = 0.0, other_sum = 0.0;
+    int same_count = 0, other_count = 0;
+    for (int j = 0; j < n; ++j) {
+      if (i == j) {
+        continue;
+      }
+      double dist = 0.0;
+      for (int k = 0; k < d; ++k) {
+        const double diff = embedding.at(i, k) - embedding.at(j, k);
+        dist += diff * diff;
+      }
+      dist = std::sqrt(dist);
+      if (labels[i] == labels[j]) {
+        same_sum += dist;
+        ++same_count;
+      } else {
+        other_sum += dist;
+        ++other_count;
+      }
+    }
+    if (same_count == 0 || other_count == 0) {
+      continue;
+    }
+    const double a = same_sum / same_count;
+    const double b = other_sum / other_count;
+    total += (b - a) / std::max(a, b);
+    ++counted;
+  }
+  KDDN_CHECK_GT(counted, 0) << "need both classes for separation score";
+  return total / counted;
+}
+
+}  // namespace kddn::viz

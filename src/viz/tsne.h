@@ -1,0 +1,37 @@
+#ifndef KDDN_VIZ_TSNE_H_
+#define KDDN_VIZ_TSNE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace kddn::viz {
+
+/// t-SNE hyperparameters. Defaults follow van der Maaten & Hinton (2008),
+/// which is what sklearn's T-SNE (the paper's Figs 10–12 tool) implements.
+struct TsneOptions {
+  double perplexity = 30.0;
+  int iterations = 400;
+  double learning_rate = 120.0;
+  double early_exaggeration = 4.0;     // Applied for the first quarter.
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  uint64_t seed = 1;
+};
+
+/// Exact (non-Barnes-Hut) 2-D t-SNE of row vectors in `points` [n, d].
+/// Returns an [n, 2] embedding. O(n² · iterations); intended for the
+/// paper's "first 1000 patients" scale.
+Tensor Tsne(const Tensor& points, const TsneOptions& options = {});
+
+/// Silhouette-style separation score of a labelled 2-D embedding: mean over
+/// points of (nearest-other-class distance − mean-same-class distance) /
+/// max(...). Higher means the classes separate better; the benches use it to
+/// quantify the paper's qualitative Figs 10–12 claim that the *joint*
+/// representation clusters best.
+double ClassSeparation(const Tensor& embedding, const std::vector<int>& labels);
+
+}  // namespace kddn::viz
+
+#endif  // KDDN_VIZ_TSNE_H_

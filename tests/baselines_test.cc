@@ -1,0 +1,285 @@
+#include "baselines/lda.h"
+
+#include <cmath>
+
+#include "baselines/logreg.h"
+#include "baselines/svm.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "gtest/gtest.h"
+
+namespace kddn::baselines {
+namespace {
+
+/// Two-topic corpus: docs draw words from either {0..4} or {5..9}.
+std::vector<std::vector<int>> TwoTopicCorpus(int docs_per_topic, Rng* rng) {
+  std::vector<std::vector<int>> docs;
+  for (int t = 0; t < 2; ++t) {
+    for (int d = 0; d < docs_per_topic; ++d) {
+      std::vector<int> doc;
+      const int len = 20 + rng->UniformInt(10);
+      for (int w = 0; w < len; ++w) {
+        doc.push_back(t * 5 + rng->UniformInt(5));
+      }
+      docs.push_back(std::move(doc));
+    }
+  }
+  return docs;
+}
+
+TEST(LdaTest, RecoversTwoTopicStructure) {
+  Rng rng(1);
+  LdaOptions options;
+  options.num_topics = 2;
+  options.train_iterations = 80;
+  Lda lda(options);
+  const auto docs = TwoTopicCorpus(30, &rng);
+  lda.Fit(docs, 10);
+
+  // Documents from the same block should have more similar topic mixes than
+  // documents from different blocks.
+  auto theta = [&lda](int i) { return lda.TrainDocTopics(i); };
+  double within = 0.0, across = 0.0;
+  int within_n = 0, across_n = 0;
+  for (int i = 0; i < 60; i += 7) {
+    for (int j = i + 1; j < 60; j += 7) {
+      const auto a = theta(i), b = theta(j);
+      const double dist =
+          std::fabs(a[0] - b[0]) + std::fabs(a[1] - b[1]);
+      if ((i < 30) == (j < 30)) {
+        within += dist;
+        ++within_n;
+      } else {
+        across += dist;
+        ++across_n;
+      }
+    }
+  }
+  ASSERT_GT(within_n, 0);
+  ASSERT_GT(across_n, 0);
+  EXPECT_LT(within / within_n, across / across_n);
+}
+
+TEST(LdaTest, TopicsSumToOne) {
+  Rng rng(2);
+  Lda lda;
+  lda.Fit(TwoTopicCorpus(10, &rng), 10);
+  const auto theta = lda.TrainDocTopics(0);
+  double total = 0.0;
+  for (float p : theta) {
+    EXPECT_GE(p, 0.0f);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-4);
+  EXPECT_EQ(static_cast<int>(theta.size()), lda.num_topics());
+}
+
+TEST(LdaTest, InferenceMatchesTrainingStructure) {
+  Rng rng(3);
+  LdaOptions options;
+  options.num_topics = 2;
+  options.train_iterations = 80;
+  Lda lda(options);
+  lda.Fit(TwoTopicCorpus(30, &rng), 10);
+  // A fresh doc of words 0..4 should land near training docs 0..29's mix.
+  std::vector<int> doc(25, 2);
+  const auto inferred = lda.InferTopics(doc);
+  const auto train0 = lda.TrainDocTopics(0);
+  const int dominant_inferred = inferred[0] > inferred[1] ? 0 : 1;
+  const int dominant_train = train0[0] > train0[1] ? 0 : 1;
+  EXPECT_EQ(dominant_inferred, dominant_train);
+  EXPECT_GT(inferred[dominant_inferred], 0.8f);
+}
+
+TEST(LdaTest, TopicWordProbabilitiesNormalised) {
+  Rng rng(4);
+  LdaOptions options;
+  options.num_topics = 3;
+  Lda lda(options);
+  lda.Fit(TwoTopicCorpus(10, &rng), 10);
+  for (int k = 0; k < 3; ++k) {
+    double total = 0.0;
+    for (int w = 0; w < 10; ++w) {
+      total += lda.TopicWordProbability(k, w);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6);
+  }
+}
+
+TEST(LdaTest, RequiresFitAndValidatesInput) {
+  Lda lda;
+  EXPECT_THROW(lda.TrainDocTopics(0), KddnError);
+  EXPECT_THROW(lda.InferTopics({1, 2}), KddnError);
+  EXPECT_THROW(lda.Fit({{0, 11}}, 10), KddnError);  // Word out of range.
+  LdaOptions bad;
+  bad.num_topics = 1;
+  EXPECT_THROW(Lda{bad}, KddnError);
+}
+
+/// Linearly separable blobs in 2-D.
+void LinearBlobs(int n, Rng* rng, std::vector<std::vector<float>>* x,
+                 std::vector<int>* y) {
+  for (int i = 0; i < n; ++i) {
+    const int label = i % 2;
+    const float cx = label == 1 ? 2.0f : -2.0f;
+    x->push_back({static_cast<float>(rng->Normal(cx, 0.7)),
+                  static_cast<float>(rng->Normal(cx, 0.7))});
+    y->push_back(label);
+  }
+}
+
+TEST(KernelSvmTest, SeparatesLinearBlobs) {
+  Rng rng(5);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  LinearBlobs(120, &rng, &x, &y);
+  KernelSvm svm;
+  svm.Fit(x, y);
+  std::vector<std::vector<float>> xt;
+  std::vector<int> yt;
+  LinearBlobs(80, &rng, &xt, &yt);
+  std::vector<float> scores;
+  for (const auto& row : xt) {
+    scores.push_back(svm.Decision(row));
+  }
+  EXPECT_GT(eval::RocAuc(scores, yt), 0.95);
+  EXPECT_GT(svm.NumSupportVectors(), 0);
+  EXPECT_LE(svm.NumSupportVectors(), 120);
+}
+
+TEST(KernelSvmTest, PolynomialKernelSolvesXor) {
+  // XOR is not linearly separable; the poly kernel must handle it.
+  Rng rng(6);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    const float a = static_cast<float>(rng.Normal(0, 1));
+    const float b = static_cast<float>(rng.Normal(0, 1));
+    x.push_back({a, b});
+    y.push_back(a * b > 0 ? 1 : 0);
+  }
+  KernelSvmOptions options;
+  options.kernel = KernelType::kPolynomial;
+  options.degree = 2;
+  options.epochs = 120;
+  KernelSvm svm(options);
+  svm.Fit(x, y);
+  std::vector<float> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 100; ++i) {
+    const float a = static_cast<float>(rng.Normal(0, 1));
+    const float b = static_cast<float>(rng.Normal(0, 1));
+    scores.push_back(svm.Decision({a, b}));
+    labels.push_back(a * b > 0 ? 1 : 0);
+  }
+  EXPECT_GT(eval::RocAuc(scores, labels), 0.9);
+}
+
+TEST(KernelSvmTest, RbfKernelWorks) {
+  Rng rng(7);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  LinearBlobs(100, &rng, &x, &y);
+  KernelSvmOptions options;
+  options.kernel = KernelType::kRbf;
+  KernelSvm svm(options);
+  svm.Fit(x, y);
+  std::vector<float> scores;
+  for (const auto& row : x) {
+    scores.push_back(svm.Decision(row));
+  }
+  EXPECT_GT(eval::RocAuc(scores, y), 0.95);
+}
+
+TEST(KernelSvmTest, ValidatesInput) {
+  KernelSvm svm;
+  EXPECT_THROW(svm.Decision({1.0f}), KddnError);  // Not fitted.
+  EXPECT_THROW(svm.Fit({}, {}), KddnError);
+  EXPECT_THROW(svm.Fit({{1.0f}}, {1}), KddnError);           // One class.
+  EXPECT_THROW(svm.Fit({{1.0f}, {2.0f}}, {1, 2}), KddnError);  // Bad label.
+  EXPECT_THROW(svm.Fit({{1.0f}, {2.0f, 3.0f}}, {0, 1}), KddnError);  // Ragged.
+}
+
+TEST(LinearSvmTest, SeparatesBlobsAtBowScale) {
+  // 200-dimensional sparse-ish features.
+  Rng rng(8);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 300; ++i) {
+    const int label = i % 2;
+    std::vector<float> row(200, 0.0f);
+    for (int k = 0; k < 20; ++k) {
+      const int slot = rng.UniformInt(100) + (label == 1 ? 100 : 0);
+      row[slot] += 1.0f;
+    }
+    x.push_back(std::move(row));
+    y.push_back(label);
+  }
+  LinearSvm svm;
+  svm.Fit(x, y);
+  std::vector<float> scores;
+  for (const auto& row : x) {
+    scores.push_back(svm.Decision(row));
+  }
+  EXPECT_GT(eval::RocAuc(scores, y), 0.95);
+}
+
+TEST(LinearSvmTest, ValidatesInput) {
+  LinearSvm svm;
+  EXPECT_THROW(svm.Decision({1.0f}), KddnError);
+  LinearSvmOptions bad;
+  bad.lambda = 0.0;
+  EXPECT_THROW(LinearSvm{bad}, KddnError);
+}
+
+TEST(LogisticRegressionTest, SeparableDataAndProbabilities) {
+  Rng rng(9);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  LinearBlobs(200, &rng, &x, &y);
+  LogisticRegression lr;
+  lr.Fit(x, y);
+  std::vector<float> scores;
+  for (const auto& row : x) {
+    const float p = lr.PredictProbability(row);
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+    scores.push_back(p);
+  }
+  EXPECT_GT(eval::RocAuc(scores, y), 0.95);
+  // Far-away points should be confidently classified.
+  EXPECT_GT(lr.PredictProbability({5.0f, 5.0f}), 0.9f);
+  EXPECT_LT(lr.PredictProbability({-5.0f, -5.0f}), 0.1f);
+}
+
+TEST(LogisticRegressionTest, L2ShrinksWeights) {
+  Rng rng(10);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  LinearBlobs(100, &rng, &x, &y);
+  LogisticRegressionOptions weak, strong;
+  weak.l2 = 1e-6;
+  strong.l2 = 1.0;
+  LogisticRegression lr_weak(weak), lr_strong(strong);
+  lr_weak.Fit(x, y);
+  lr_strong.Fit(x, y);
+  auto norm = [](const std::vector<double>& w) {
+    double total = 0.0;
+    for (double v : w) {
+      total += v * v;
+    }
+    return total;
+  };
+  EXPECT_LT(norm(lr_strong.weights()), norm(lr_weak.weights()));
+}
+
+TEST(LogisticRegressionTest, ValidatesInput) {
+  LogisticRegression lr;
+  EXPECT_THROW(lr.PredictProbability({1.0f}), KddnError);
+  EXPECT_THROW(lr.Fit({}, {}), KddnError);
+  EXPECT_THROW(lr.Fit({{1.0f}}, {2}), KddnError);
+}
+
+}  // namespace
+}  // namespace kddn::baselines

@@ -1,0 +1,171 @@
+// Tests for the beyond-the-paper extensions: NegEx-lite negation detection
+// in the concept extractor and the APACHE/SAPS/SOFA-like structured severity
+// scores.
+#include <set>
+
+#include "baselines/severity_scores.h"
+#include "common/check.h"
+#include "eval/metrics.h"
+#include "gtest/gtest.h"
+#include "kb/concept_extractor.h"
+
+namespace kddn {
+namespace {
+
+class NegationTest : public ::testing::Test {
+ protected:
+  NegationTest() : kb_(kb::KnowledgeBase::BuildDefault()), extractor_(&kb_) {
+    options_.detect_negation = true;
+  }
+  kb::KnowledgeBase kb_;
+  kb::ConceptExtractor extractor_;
+  kb::ExtractionOptions options_;
+};
+
+TEST_F(NegationTest, MarksDirectNegation) {
+  const auto mentions =
+      extractor_.Extract("no pleural effusion is seen", options_);
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].cui, "C0032227");
+  EXPECT_TRUE(mentions[0].negated);
+}
+
+TEST_F(NegationTest, MarksDeniesAndWithout) {
+  const auto a = extractor_.Extract("patient denies chest pain", options_);
+  ASSERT_FALSE(a.empty());
+  EXPECT_TRUE(a[0].negated);
+  const auto b = extractor_.Extract("without fever overnight", options_);
+  ASSERT_FALSE(b.empty());
+  EXPECT_TRUE(b[0].negated);
+}
+
+TEST_F(NegationTest, AffirmedMentionIsNotMarked) {
+  const auto mentions =
+      extractor_.Extract("worsening pleural effusion is seen", options_);
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_FALSE(mentions[0].negated);
+}
+
+TEST_F(NegationTest, ScopeIsBoundedByTokens) {
+  // Trigger too far away (> 6 tokens by default).
+  const auto mentions = extractor_.Extract(
+      "no other complaint were raised overnight by family except ongoing "
+      "cough",
+      options_);
+  ASSERT_FALSE(mentions.empty());
+  EXPECT_FALSE(mentions.back().negated);
+}
+
+TEST_F(NegationTest, ScopeIsBoundedBySentence) {
+  const auto mentions = extractor_.Extract(
+      "no acute event. pleural effusion persists", options_);
+  ASSERT_FALSE(mentions.empty());
+  // The effusion is in the next sentence, outside the negation scope.
+  for (const auto& mention : mentions) {
+    if (mention.cui == "C0032227") {
+      EXPECT_FALSE(mention.negated);
+    }
+  }
+}
+
+TEST_F(NegationTest, PaperSentenceNegatesBothConcepts) {
+  const auto mentions = extractor_.Extract(
+      "there is no mediastinal vascular engorgement to suggest cardiac "
+      "tamponade",
+      options_);
+  ASSERT_EQ(mentions.size(), 2u);
+  EXPECT_TRUE(mentions[0].negated);  // Engorgement, directly negated.
+}
+
+TEST_F(NegationTest, FilterNegatedDropsMentions) {
+  kb::ExtractionOptions filter = options_;
+  filter.filter_negated = true;
+  const auto kept =
+      extractor_.Extract("no pneumonia. worsening pulmonary edema", filter);
+  std::set<std::string> cuis;
+  for (const auto& mention : kept) {
+    cuis.insert(mention.cui);
+  }
+  EXPECT_FALSE(cuis.count("C0032285"));  // Pneumonia dropped.
+  EXPECT_TRUE(cuis.count("C0034063"));   // Edema kept.
+}
+
+TEST_F(NegationTest, OffByDefaultForMetaMapFidelity) {
+  const auto mentions = extractor_.Extract("no pleural effusion is seen");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_FALSE(mentions[0].negated);  // Field untouched without the option.
+}
+
+class SeverityScoreTest : public ::testing::Test {
+ protected:
+  SeverityScoreTest() : kb_(kb::KnowledgeBase::BuildDefault()) {
+    synth::CohortConfig config;
+    config.num_patients = 2500;
+    config.seed = 33;
+    cohort_ = synth::Cohort::Generate(config, kb_);
+  }
+  kb::KnowledgeBase kb_;
+  synth::Cohort cohort_;
+};
+
+TEST_F(SeverityScoreTest, NamesExist) {
+  EXPECT_STREQ(
+      baselines::SeverityScoreName(baselines::SeverityScoreKind::kApacheLike),
+      "APACHE-like");
+  EXPECT_STREQ(
+      baselines::SeverityScoreName(baselines::SeverityScoreKind::kSofaLike),
+      "SOFA-like");
+}
+
+TEST_F(SeverityScoreTest, ScoresAreBetterThanChanceButBelowTextModels) {
+  // Structured scores see diagnoses + age but not the note trajectory, so
+  // they should rank meaningfully above 0.5 yet stay clearly below the
+  // Bayes ceiling (~0.9) — the paper's motivation for text-based models.
+  for (auto kind : {baselines::SeverityScoreKind::kApacheLike,
+                    baselines::SeverityScoreKind::kSapsLike,
+                    baselines::SeverityScoreKind::kSofaLike}) {
+    std::vector<float> scores;
+    std::vector<int> labels;
+    for (const synth::SyntheticPatient& patient : cohort_.patients()) {
+      scores.push_back(static_cast<float>(
+          baselines::SeverityScore(kind, patient, cohort_.panel())));
+      labels.push_back(
+          synth::IsPositive(patient.outcome, synth::Horizon::kWithinYear) ? 1
+                                                                          : 0);
+    }
+    const double auc = eval::RocAuc(scores, labels);
+    EXPECT_GT(auc, 0.60) << baselines::SeverityScoreName(kind);
+    EXPECT_LT(auc, 0.85) << baselines::SeverityScoreName(kind);
+  }
+}
+
+TEST_F(SeverityScoreTest, ApacheMonotoneInAgeAndDiagnoses) {
+  synth::SyntheticPatient young, old;
+  young.age = 30;
+  old.age = 80;
+  young.disease_indices = {0};
+  old.disease_indices = {0};
+  const double young_score = baselines::SeverityScore(
+      baselines::SeverityScoreKind::kApacheLike, young, cohort_.panel());
+  const double old_score = baselines::SeverityScore(
+      baselines::SeverityScoreKind::kApacheLike, old, cohort_.panel());
+  EXPECT_GT(old_score, young_score);
+
+  synth::SyntheticPatient multimorbid = old;
+  multimorbid.disease_indices = {0, 1, 2};
+  EXPECT_GT(baselines::SeverityScore(baselines::SeverityScoreKind::kApacheLike,
+                                     multimorbid, cohort_.panel()),
+            old_score);
+}
+
+TEST_F(SeverityScoreTest, RejectsBadDiseaseIndex) {
+  synth::SyntheticPatient bad;
+  bad.disease_indices = {9999};
+  EXPECT_THROW(
+      baselines::SeverityScore(baselines::SeverityScoreKind::kSofaLike, bad,
+                               cohort_.panel()),
+      KddnError);
+}
+
+}  // namespace
+}  // namespace kddn

@@ -1,0 +1,65 @@
+#include "common/flags.h"
+
+#include "common/check.h"
+#include "gtest/gtest.h"
+
+namespace kddn {
+namespace {
+
+Flags ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags::Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, EqualsAndSpaceSyntax) {
+  Flags flags = ParseArgs({"--corpus=rad", "--epochs", "7"});
+  EXPECT_EQ(flags.GetString("corpus", "x"), "rad");
+  EXPECT_EQ(flags.GetInt("epochs", 0), 7);
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  Flags flags = ParseArgs({"--verbose"});
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags flags = ParseArgs({});
+  EXPECT_FALSE(flags.Has("anything"));
+  EXPECT_EQ(flags.GetString("s", "fallback"), "fallback");
+  EXPECT_EQ(flags.GetInt("i", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("d", 1.5), 1.5);
+  EXPECT_TRUE(flags.GetBool("b", true));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags flags = ParseArgs({"input.txt", "--k=1", "output.txt"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "output.txt");
+}
+
+TEST(FlagsTest, NumericAndBooleanParsing) {
+  Flags flags = ParseArgs({"--lr=0.05", "--neg=-3", "--on=yes", "--off=0"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 0), 0.05);
+  EXPECT_EQ(flags.GetInt("neg", 0), -3);
+  EXPECT_TRUE(flags.GetBool("on", false));
+  EXPECT_FALSE(flags.GetBool("off", true));
+}
+
+TEST(FlagsTest, MalformedValuesThrow) {
+  Flags flags = ParseArgs({"--n=abc", "--b=maybe", "--x=1.5"});
+  EXPECT_THROW(flags.GetInt("n", 0), KddnError);
+  EXPECT_THROW(flags.GetBool("b", false), KddnError);
+  EXPECT_THROW(flags.GetInt("x", 0), KddnError);  // 1.5 is not an int.
+  EXPECT_THROW(ParseArgs({"--=v"}), KddnError);
+  EXPECT_THROW(ParseArgs({"--"}), KddnError);
+}
+
+TEST(FlagsTest, LastOccurrenceWins) {
+  Flags flags = ParseArgs({"--m=a", "--m=b"});
+  EXPECT_EQ(flags.GetString("m", ""), "b");
+}
+
+}  // namespace
+}  // namespace kddn

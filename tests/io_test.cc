@@ -1,0 +1,116 @@
+// Tests for the text serialization layers: knowledge-base TSV and cohort
+// JSONL round-trips.
+#include <sstream>
+
+#include "common/check.h"
+#include "gtest/gtest.h"
+#include "kb/kb_io.h"
+#include "synth/corpus_io.h"
+
+namespace kddn {
+namespace {
+
+TEST(KbIoTest, SemanticTypeNamesRoundTrip) {
+  for (auto type : {kb::SemanticType::kDiseaseOrSyndrome,
+                    kb::SemanticType::kSignOrSymptom,
+                    kb::SemanticType::kBiomedicalDevice,
+                    kb::SemanticType::kQualitativeConcept}) {
+    EXPECT_EQ(kb::ParseSemanticType(kb::SemanticTypeName(type)), type);
+  }
+  EXPECT_THROW(kb::ParseSemanticType("Not A Type"), KddnError);
+}
+
+TEST(KbIoTest, DefaultKbRoundTripsExactly) {
+  const kb::KnowledgeBase original = kb::KnowledgeBase::BuildDefault();
+  std::stringstream buffer;
+  kb::WriteKnowledgeBaseTsv(original, buffer);
+  const kb::KnowledgeBase restored = kb::ReadKnowledgeBaseTsv(buffer);
+  ASSERT_EQ(restored.size(), original.size());
+  for (const kb::Concept& entry : original.concepts()) {
+    const kb::Concept* copy = restored.FindByCui(entry.cui);
+    ASSERT_NE(copy, nullptr) << entry.cui;
+    EXPECT_EQ(copy->preferred_name, entry.preferred_name);
+    EXPECT_EQ(copy->aliases, entry.aliases);
+    EXPECT_EQ(copy->semantic_type, entry.semantic_type);
+    EXPECT_EQ(copy->definition, entry.definition);
+  }
+}
+
+TEST(KbIoTest, CommentsAndBlanksIgnored) {
+  std::stringstream in(
+      "# header\n"
+      "\n"
+      "C0000001\tFinding\tTest finding\talias a|alias b\tA definition\n");
+  const kb::KnowledgeBase kb = kb::ReadKnowledgeBaseTsv(in);
+  ASSERT_EQ(kb.size(), 1);
+  const kb::Concept* entry = kb.FindByCui("C0000001");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->aliases.size(), 2u);
+  EXPECT_EQ(entry->aliases[1], "alias b");
+}
+
+TEST(KbIoTest, MalformedRowsThrow) {
+  std::stringstream missing_fields("C1\tFinding\tname\n");
+  EXPECT_THROW(kb::ReadKnowledgeBaseTsv(missing_fields), KddnError);
+  std::stringstream bad_type("C1\tNope\tname\ta\tdef\n");
+  EXPECT_THROW(kb::ReadKnowledgeBaseTsv(bad_type), KddnError);
+  std::stringstream duplicate(
+      "C1\tFinding\tname\ta\tdef\nC1\tFinding\tname2\tb\tdef\n");
+  EXPECT_THROW(kb::ReadKnowledgeBaseTsv(duplicate), KddnError);
+}
+
+TEST(EscapeJsonTest, EscapesSpecials) {
+  EXPECT_EQ(synth::EscapeJson("plain"), "plain");
+  EXPECT_EQ(synth::EscapeJson("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+}
+
+class CorpusIoTest : public ::testing::Test {
+ protected:
+  CorpusIoTest() : kb_(kb::KnowledgeBase::BuildDefault()) {
+    synth::CohortConfig config;
+    config.num_patients = 60;
+    config.seed = 5;
+    cohort_ = synth::Cohort::Generate(config, kb_);
+  }
+  kb::KnowledgeBase kb_;
+  synth::Cohort cohort_;
+};
+
+TEST_F(CorpusIoTest, JsonlRoundTrip) {
+  std::stringstream buffer;
+  synth::WriteCohortJsonl(cohort_, buffer);
+  const auto records = synth::ReadCohortJsonl(buffer);
+  ASSERT_EQ(records.size(), cohort_.patients().size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const synth::SyntheticPatient& patient = cohort_.patients()[i];
+    const synth::PatientRecord& record = records[i];
+    EXPECT_EQ(record.id, patient.id);
+    EXPECT_EQ(record.age, patient.age);
+    EXPECT_EQ(record.outcome, patient.outcome);
+    EXPECT_EQ(record.text, patient.text);
+    ASSERT_EQ(record.disease_cuis.size(), patient.disease_indices.size());
+    for (size_t d = 0; d < record.disease_cuis.size(); ++d) {
+      EXPECT_EQ(record.disease_cuis[d],
+                cohort_.panel()[patient.disease_indices[d]].cui);
+    }
+    ASSERT_EQ(record.disease_worsening.size(),
+              patient.disease_worsening.size());
+    for (size_t d = 0; d < record.disease_worsening.size(); ++d) {
+      EXPECT_EQ(record.disease_worsening[d], patient.disease_worsening[d]);
+    }
+  }
+}
+
+TEST_F(CorpusIoTest, EmptyLinesSkippedAndBadJsonThrows) {
+  std::stringstream ok("\n\n");
+  EXPECT_TRUE(synth::ReadCohortJsonl(ok).empty());
+  std::stringstream bad("{\"id\":}");
+  EXPECT_THROW(synth::ReadCohortJsonl(bad), KddnError);
+  std::stringstream unknown_key("{\"mystery\":1}");
+  EXPECT_THROW(synth::ReadCohortJsonl(unknown_key), KddnError);
+  std::stringstream bad_outcome("{\"outcome\":9}");
+  EXPECT_THROW(synth::ReadCohortJsonl(bad_outcome), KddnError);
+}
+
+}  // namespace
+}  // namespace kddn

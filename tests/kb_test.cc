@@ -1,0 +1,174 @@
+#include "kb/knowledge_base.h"
+
+#include <set>
+
+#include "common/check.h"
+#include "gtest/gtest.h"
+#include "kb/concept_extractor.h"
+
+namespace kddn::kb {
+namespace {
+
+TEST(SemanticTypeTest, NamesAndClinicalSubset) {
+  EXPECT_STREQ(SemanticTypeName(SemanticType::kDiseaseOrSyndrome),
+               "Disease or Syndrome");
+  EXPECT_TRUE(IsClinicalSemanticType(SemanticType::kSignOrSymptom));
+  EXPECT_TRUE(IsClinicalSemanticType(SemanticType::kBiomedicalDevice));
+  EXPECT_FALSE(IsClinicalSemanticType(SemanticType::kQualitativeConcept));
+  EXPECT_FALSE(IsClinicalSemanticType(SemanticType::kTemporalConcept));
+  EXPECT_FALSE(IsClinicalSemanticType(SemanticType::kIdeaOrConcept));
+}
+
+TEST(KnowledgeBaseTest, AddAndLookup) {
+  KnowledgeBase kb;
+  kb.Add({"C1", "Test disease", {"test disease"},
+          SemanticType::kDiseaseOrSyndrome, "def"});
+  ASSERT_NE(kb.FindByCui("C1"), nullptr);
+  EXPECT_EQ(kb.FindByCui("C1")->preferred_name, "Test disease");
+  EXPECT_EQ(kb.FindByCui("C2"), nullptr);
+  EXPECT_EQ(kb.size(), 1);
+}
+
+TEST(KnowledgeBaseTest, DuplicateCuiRejected) {
+  KnowledgeBase kb;
+  kb.Add({"C1", "A", {"a"}, SemanticType::kFinding, ""});
+  EXPECT_THROW(kb.Add({"C1", "B", {"b"}, SemanticType::kFinding, ""}),
+               KddnError);
+  EXPECT_THROW(kb.Add({"", "B", {"b"}, SemanticType::kFinding, ""}),
+               KddnError);
+}
+
+TEST(DefaultKbTest, ContainsPaperCuis) {
+  KnowledgeBase kb = KnowledgeBase::BuildDefault();
+  // CUIs named in the paper's figures and tables.
+  for (const char* cui :
+       {"C0010200", "C0027051", "C1527391", "C0018802", "C0234438",
+        "C0008031", "C0549646", "C0034063", "C0747635", "C0013404",
+        "C0242184", "C0596790", "C0175730", "C0185115", "C0336630",
+        "C0015252", "C0332448", "C0003873", "C0085678", "C0728940",
+        "C0042963"}) {
+    EXPECT_NE(kb.FindByCui(cui), nullptr) << cui;
+  }
+  EXPECT_GE(kb.size(), 120);
+}
+
+TEST(DefaultKbTest, CoversAllSemanticTypes) {
+  KnowledgeBase kb = KnowledgeBase::BuildDefault();
+  EXPECT_GE(kb.OfType(SemanticType::kDiseaseOrSyndrome).size(), 25u);
+  EXPECT_GE(kb.OfType(SemanticType::kSignOrSymptom).size(), 15u);
+  EXPECT_GE(kb.OfType(SemanticType::kTherapeuticProcedure).size(), 10u);
+  EXPECT_GE(kb.OfType(SemanticType::kBiomedicalDevice).size(), 8u);
+  EXPECT_GE(kb.OfType(SemanticType::kClinicalDrug).size(), 8u);
+  EXPECT_GE(kb.OfType(SemanticType::kBodyPart).size(), 8u);
+  EXPECT_GE(kb.OfType(SemanticType::kQualitativeConcept).size(), 4u);
+}
+
+class ExtractorTest : public ::testing::Test {
+ protected:
+  ExtractorTest() : kb_(KnowledgeBase::BuildDefault()), extractor_(&kb_) {}
+  KnowledgeBase kb_;
+  ConceptExtractor extractor_;
+};
+
+TEST_F(ExtractorTest, TagsMultiWordConceptAsOne) {
+  // The paper's §I motivating sentence.
+  const auto mentions = extractor_.Extract(
+      "there is no mediastinal vascular engorgement to suggest cardiac "
+      "tamponade");
+  std::set<std::string> cuis;
+  for (const auto& m : mentions) {
+    cuis.insert(m.cui);
+  }
+  EXPECT_TRUE(cuis.count("C0743298"));  // Mediastinal vascular engorgement.
+  EXPECT_TRUE(cuis.count("C0039231"));  // Cardiac tamponade (one concept).
+}
+
+TEST_F(ExtractorTest, LongestMatchWins) {
+  const auto mentions =
+      extractor_.Extract("bilateral pleural effusion noted");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].cui, "C0747635");  // Not plain pleural effusion.
+}
+
+TEST_F(ExtractorTest, InflectedFormsMatchWithLowerScore) {
+  const auto exact = extractor_.Extract("patient with cough");
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(exact[0].cui, "C0010200");
+  EXPECT_EQ(exact[0].score, 1000.0f);
+
+  const auto inflected = extractor_.Extract("patient coughs at night");
+  ASSERT_EQ(inflected.size(), 1u);
+  EXPECT_EQ(inflected[0].cui, "C0010200");
+  EXPECT_EQ(inflected[0].score, 900.0f);
+}
+
+TEST_F(ExtractorTest, PositionsAreSortedAndUnfolded) {
+  // Same concept at two positions -> two mentions, sorted (Fig. 6).
+  const auto mentions =
+      extractor_.Extract("vomiting overnight, then more vomiting today");
+  ASSERT_EQ(mentions.size(), 2u);
+  EXPECT_EQ(mentions[0].cui, "C0042963");
+  EXPECT_EQ(mentions[1].cui, "C0042963");
+  EXPECT_LT(mentions[0].token_begin, mentions[1].token_begin);
+  const auto cuis = ConceptExtractor::CuiSequence(mentions);
+  ASSERT_EQ(cuis.size(), 2u);
+  EXPECT_EQ(cuis[0], "C0042963");
+}
+
+TEST_F(ExtractorTest, CharOffsetsPointAtMention) {
+  const std::string note = "Assessment: pulmonary edema worsening.";
+  const auto mentions = extractor_.Extract(note);
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(note.substr(mentions[0].char_begin,
+                        mentions[0].char_end - mentions[0].char_begin),
+            "pulmonary edema");
+  EXPECT_EQ(mentions[0].token_length, 2);
+}
+
+TEST_F(ExtractorTest, SemanticTypeFilterDropsGeneralConcepts) {
+  const std::string note = "patient stable this morning, no increased edema";
+  ExtractionOptions keep_all;
+  keep_all.filter_general = false;
+  const auto unfiltered = extractor_.Extract(note, keep_all);
+  const auto filtered = extractor_.Extract(note);
+  std::set<std::string> unfiltered_cuis, filtered_cuis;
+  for (const auto& m : unfiltered) unfiltered_cuis.insert(m.cui);
+  for (const auto& m : filtered) filtered_cuis.insert(m.cui);
+  EXPECT_TRUE(unfiltered_cuis.count("C0030705"));  // Patients (general).
+  EXPECT_TRUE(unfiltered_cuis.count("C0205360"));  // Stable (general).
+  EXPECT_FALSE(filtered_cuis.count("C0030705"));
+  EXPECT_FALSE(filtered_cuis.count("C0205360"));
+  EXPECT_TRUE(filtered_cuis.count("C0013604"));  // Edema survives.
+}
+
+TEST_F(ExtractorTest, MinScoreFilter) {
+  ExtractionOptions strict;
+  strict.min_score = 950.0f;
+  const auto mentions = extractor_.Extract("patient coughs", strict);
+  EXPECT_TRUE(mentions.empty());  // Lemma match scores 900.
+}
+
+TEST_F(ExtractorTest, EmptyAndConceptFreeText) {
+  EXPECT_TRUE(extractor_.Extract("").empty());
+  EXPECT_TRUE(extractor_.Extract("the quick brown fox").empty());
+}
+
+TEST_F(ExtractorTest, AliasesShareCui) {
+  const auto a = extractor_.Extract("known chf exacerbation");
+  const auto b = extractor_.Extract("worsening congestive heart failure");
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_EQ(a[0].cui, b[0].cui);
+  EXPECT_EQ(a[0].cui, "C0018802");
+}
+
+TEST_F(ExtractorTest, StopwordsInsideAliasesStillMatch) {
+  // "shortness of breath" contains the stop word "of"; extraction runs on raw
+  // text so it must still map to Dyspnea (paper §VII-B2 rationale).
+  const auto mentions = extractor_.Extract("complains of shortness of breath");
+  ASSERT_FALSE(mentions.empty());
+  EXPECT_EQ(mentions[0].cui, "C0013404");
+}
+
+}  // namespace
+}  // namespace kddn::kb

@@ -1,0 +1,114 @@
+#include "nn/serialization.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+#include "gtest/gtest.h"
+#include "models/ak_ddn.h"
+#include "tensor/tensor_ops.h"
+
+namespace kddn::nn {
+namespace {
+
+ParameterSet* MakeSet(Rng* rng, ParameterSet* params) {
+  params->Create("a", RandomNormal({3, 4}, 0, 1, rng));
+  params->Create("b", RandomNormal({5}, 0, 1, rng));
+  return params;
+}
+
+TEST(SerializationTest, StreamRoundTrip) {
+  Rng rng(1);
+  ParameterSet source;
+  MakeSet(&rng, &source);
+  std::stringstream buffer;
+  SaveParameters(source, buffer);
+
+  ParameterSet target;
+  MakeSet(&rng, &target);  // Different random values, same structure.
+  EXPECT_GT(MaxAbsDiff(source.Get("a")->value(), target.Get("a")->value()),
+            0.0f);
+  LoadParameters(&target, buffer);
+  EXPECT_EQ(MaxAbsDiff(source.Get("a")->value(), target.Get("a")->value()),
+            0.0f);
+  EXPECT_EQ(MaxAbsDiff(source.Get("b")->value(), target.Get("b")->value()),
+            0.0f);
+}
+
+TEST(SerializationTest, RejectsWrongStructure) {
+  Rng rng(2);
+  ParameterSet source;
+  MakeSet(&rng, &source);
+  std::stringstream buffer;
+  SaveParameters(source, buffer);
+
+  // Extra parameter -> count mismatch.
+  ParameterSet extra;
+  MakeSet(&rng, &extra);
+  extra.Create("c", Tensor({2}));
+  EXPECT_THROW(LoadParameters(&extra, buffer), KddnError);
+
+  // Wrong name.
+  buffer.clear();
+  buffer.seekg(0);
+  ParameterSet renamed;
+  renamed.Create("x", RandomNormal({3, 4}, 0, 1, &rng));
+  renamed.Create("b", RandomNormal({5}, 0, 1, &rng));
+  EXPECT_THROW(LoadParameters(&renamed, buffer), KddnError);
+
+  // Wrong shape.
+  buffer.clear();
+  buffer.seekg(0);
+  ParameterSet reshaped;
+  reshaped.Create("a", RandomNormal({4, 3}, 0, 1, &rng));
+  reshaped.Create("b", RandomNormal({5}, 0, 1, &rng));
+  EXPECT_THROW(LoadParameters(&reshaped, buffer), KddnError);
+}
+
+TEST(SerializationTest, RejectsGarbageAndTruncation) {
+  ParameterSet params;
+  Rng rng(3);
+  MakeSet(&rng, &params);
+  std::stringstream garbage("this is not a checkpoint");
+  EXPECT_THROW(LoadParameters(&params, garbage), KddnError);
+
+  std::stringstream full;
+  SaveParameters(params, full);
+  const std::string bytes = full.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW(LoadParameters(&params, truncated), KddnError);
+}
+
+TEST(SerializationTest, FileRoundTripPreservesModelPredictions) {
+  models::ModelConfig config;
+  config.word_vocab_size = 20;
+  config.concept_vocab_size = 10;
+  config.embedding_dim = 6;
+  config.num_filters = 4;
+  config.seed = 7;
+  models::AkDdn original(config);
+
+  data::Example example;
+  example.word_ids = {2, 3, 4, 5, 2};
+  example.concept_ids = {2, 3};
+  const float before = original.PredictPositiveProbability(example);
+
+  const std::string path = ::testing::TempDir() + "/kddn_ckpt.bin";
+  SaveParametersToFile(original.params(), path);
+
+  config.seed = 99;  // Different init — must be fully overwritten by load.
+  models::AkDdn restored(config);
+  EXPECT_NE(restored.PredictPositiveProbability(example), before);
+  LoadParametersFromFile(&restored.params(), path);
+  EXPECT_EQ(restored.PredictPositiveProbability(example), before);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileThrows) {
+  ParameterSet params;
+  EXPECT_THROW(LoadParametersFromFile(&params, "/nonexistent/kddn.bin"),
+               KddnError);
+}
+
+}  // namespace
+}  // namespace kddn::nn

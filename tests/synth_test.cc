@@ -1,0 +1,309 @@
+#include "synth/cohort.h"
+
+#include <set>
+
+#include "common/check.h"
+#include "gtest/gtest.h"
+#include "kb/concept_extractor.h"
+#include "synth/note_generator.h"
+
+namespace kddn::synth {
+namespace {
+
+class SynthTest : public ::testing::Test {
+ protected:
+  SynthTest() : kb_(kb::KnowledgeBase::BuildDefault()) {}
+  kb::KnowledgeBase kb_;
+};
+
+TEST_F(SynthTest, DiseasePanelIsValidated) {
+  const auto panel = BuildDiseasePanel(kb_);
+  EXPECT_GE(panel.size(), 20u);
+  for (const DiseaseProfile& profile : panel) {
+    EXPECT_GT(profile.lethality, 0.0);
+    EXPECT_LE(profile.lethality, 1.0);
+    EXPECT_GT(profile.prevalence, 0.0);
+    EXPECT_NE(kb_.FindByCui(profile.cui), nullptr);
+  }
+}
+
+TEST_F(SynthTest, HorizonNesting) {
+  EXPECT_TRUE(IsPositive(MortalityOutcome::kInHospital, Horizon::kInHospital));
+  EXPECT_TRUE(IsPositive(MortalityOutcome::kInHospital, Horizon::kWithin30Days));
+  EXPECT_TRUE(IsPositive(MortalityOutcome::kInHospital, Horizon::kWithinYear));
+  EXPECT_FALSE(
+      IsPositive(MortalityOutcome::kWithin30Days, Horizon::kInHospital));
+  EXPECT_TRUE(
+      IsPositive(MortalityOutcome::kWithin30Days, Horizon::kWithin30Days));
+  EXPECT_FALSE(IsPositive(MortalityOutcome::kWithinYear, Horizon::kWithin30Days));
+  EXPECT_TRUE(IsPositive(MortalityOutcome::kWithinYear, Horizon::kWithinYear));
+  for (Horizon horizon : kAllHorizons) {
+    EXPECT_FALSE(IsPositive(MortalityOutcome::kAlive, horizon));
+  }
+}
+
+TEST_F(SynthTest, NoteGeneratorMentionsDiseases) {
+  NoteGenerator generator(&kb_);
+  const auto panel = BuildDiseasePanel(kb_);
+  PatientState state;
+  state.diseases = {&panel[0]};  // CHF.
+  Rng rng(1);
+  bool mentioned = false;
+  // Over several draws at least one note must surface a CHF alias.
+  for (int i = 0; i < 5 && !mentioned; ++i) {
+    const std::string note = generator.Generate(state, NoteStyle::kNursing,
+                                                &rng);
+    mentioned = note.find("heart failure") != std::string::npos ||
+                note.find("chf") != std::string::npos;
+  }
+  EXPECT_TRUE(mentioned);
+}
+
+TEST_F(SynthTest, TrajectoryControlsStatusVocabulary) {
+  NoteGenerator generator(&kb_);
+  const auto panel = BuildDiseasePanel(kb_);
+  PatientState improving;
+  improving.improving = true;
+  improving.diseases = {&panel[0], &panel[3]};
+  improving.disease_worsening = {false, false};
+  PatientState worsening = improving;
+  worsening.improving = false;
+  worsening.disease_worsening = {true, true};
+
+  Rng rng(2);
+  std::string improving_text, worsening_text;
+  for (int i = 0; i < 8; ++i) {
+    improving_text += generator.Generate(improving, NoteStyle::kNursing, &rng);
+    worsening_text += generator.Generate(worsening, NoteStyle::kNursing, &rng);
+  }
+  auto count = [](const std::string& text, const std::string& needle) {
+    int n = 0;
+    for (size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  // Status vocabulary should track the per-disease trajectories; the note
+  // closers carry deliberate flip noise, so compare frequencies rather than
+  // demanding absence.
+  const int improving_good =
+      count(improving_text, "improv") + count(improving_text, "resolv") +
+      count(improving_text, "stable") + count(improving_text, "decreas");
+  const int improving_bad =
+      count(improving_text, "worsen") + count(improving_text, "deteriorat") +
+      count(improving_text, "increas") + count(improving_text, "escalat");
+  const int worsening_good =
+      count(worsening_text, "improv") + count(worsening_text, "resolv") +
+      count(worsening_text, "stable") + count(worsening_text, "decreas");
+  const int worsening_bad =
+      count(worsening_text, "worsen") + count(worsening_text, "deteriorat") +
+      count(worsening_text, "increas") + count(worsening_text, "escalat");
+  EXPECT_GT(improving_good, improving_bad);
+  EXPECT_GT(worsening_bad, worsening_good);
+  // Per-disease adjacency: a mixed patient mentions both vocabularies.
+  PatientState mixed = improving;
+  mixed.disease_worsening = {true, false};
+  std::string mixed_text;
+  for (int i = 0; i < 6; ++i) {
+    mixed_text += generator.Generate(mixed, NoteStyle::kNursing, &rng);
+  }
+  EXPECT_GT(count(mixed_text, "worsen") + count(mixed_text, "increas") +
+                count(mixed_text, "deteriorat") + count(mixed_text, "escalat"),
+            0);
+  EXPECT_GT(count(mixed_text, "improv") + count(mixed_text, "resolv") +
+                count(mixed_text, "stable") + count(mixed_text, "decreas"),
+            0);
+}
+
+TEST_F(SynthTest, AllStylesProduceExtractableConcepts) {
+  NoteGenerator generator(&kb_);
+  kb::ConceptExtractor extractor(&kb_);
+  const auto panel = BuildDiseasePanel(kb_);
+  PatientState state;
+  state.diseases = {&panel[2], &panel[6]};  // Tamponade + ARDS.
+  Rng rng(3);
+  for (NoteStyle style : {NoteStyle::kNursing, NoteStyle::kRadiology,
+                          NoteStyle::kEcho, NoteStyle::kEcg}) {
+    const std::string note = generator.Generate(state, style, &rng);
+    EXPECT_FALSE(note.empty()) << NoteStyleName(style);
+    EXPECT_FALSE(extractor.Extract(note).empty()) << NoteStyleName(style);
+  }
+}
+
+TEST_F(SynthTest, GenerationIsDeterministicInSeed) {
+  CohortConfig config;
+  config.num_patients = 50;
+  config.seed = 99;
+  Cohort a = Cohort::Generate(config, kb_);
+  Cohort b = Cohort::Generate(config, kb_);
+  ASSERT_EQ(a.patients().size(), b.patients().size());
+  for (size_t i = 0; i < a.patients().size(); ++i) {
+    EXPECT_EQ(a.patients()[i].text, b.patients()[i].text);
+    EXPECT_EQ(a.patients()[i].outcome, b.patients()[i].outcome);
+  }
+}
+
+TEST_F(SynthTest, MinorsAreExcluded) {
+  CohortConfig config;
+  config.num_patients = 400;
+  config.minor_fraction = 0.1;
+  Cohort cohort = Cohort::Generate(config, kb_);
+  EXPECT_GT(cohort.stats().excluded_minors, 0);
+  EXPECT_EQ(cohort.stats().generated, 400);
+  EXPECT_EQ(static_cast<int>(cohort.patients().size()) +
+                cohort.stats().excluded_minors,
+            400);
+  for (const SyntheticPatient& patient : cohort.patients()) {
+    EXPECT_GE(patient.age, 18);
+  }
+}
+
+TEST_F(SynthTest, PrevalenceMatchesTableTwoShape) {
+  CohortConfig config;
+  config.num_patients = 4000;
+  config.seed = 7;
+  Cohort cohort = Cohort::Generate(config, kb_);
+  const double n = static_cast<double>(cohort.patients().size());
+  const double in_hosp = cohort.CountPositive(Horizon::kInHospital) / n;
+  const double d30 = cohort.CountPositive(Horizon::kWithin30Days) / n;
+  const double d365 = cohort.CountPositive(Horizon::kWithinYear) / n;
+  // Table II: ~11–12% / ~15–16% / ~25–26%. Allow generous slack.
+  EXPECT_GT(in_hosp, 0.06);
+  EXPECT_LT(in_hosp, 0.20);
+  EXPECT_GT(d30, in_hosp);          // Nesting is strict in expectation.
+  EXPECT_GT(d365, d30);
+  EXPECT_GT(d365, 0.15);
+  EXPECT_LT(d365, 0.40);
+}
+
+TEST_F(SynthTest, OutcomeCorrelatesWithSeverity) {
+  CohortConfig config;
+  config.num_patients = 3000;
+  Cohort cohort = Cohort::Generate(config, kb_);
+  double dead_severity = 0.0, alive_severity = 0.0;
+  int dead = 0, alive = 0;
+  for (const SyntheticPatient& patient : cohort.patients()) {
+    if (patient.outcome == MortalityOutcome::kAlive) {
+      alive_severity += patient.severity;
+      ++alive;
+    } else {
+      dead_severity += patient.severity;
+      ++dead;
+    }
+  }
+  ASSERT_GT(dead, 0);
+  ASSERT_GT(alive, 0);
+  EXPECT_GT(dead_severity / dead, alive_severity / alive + 0.2);
+}
+
+TEST_F(SynthTest, RadCohortMixesStyles) {
+  CohortConfig config;
+  config.kind = CorpusKind::kRad;
+  config.num_patients = 500;
+  Cohort cohort = Cohort::Generate(config, kb_);
+  const auto counts = cohort.NoteCounts();
+  ASSERT_TRUE(counts.count(NoteStyle::kRadiology));
+  ASSERT_TRUE(counts.count(NoteStyle::kEcg));
+  ASSERT_TRUE(counts.count(NoteStyle::kEcho));
+  // Table I ordering: Radiology >> ECG >> Echo.
+  EXPECT_GT(counts.at(NoteStyle::kRadiology), counts.at(NoteStyle::kEcg));
+  EXPECT_GT(counts.at(NoteStyle::kEcg), counts.at(NoteStyle::kEcho));
+}
+
+TEST_F(SynthTest, RadNotesAreLongerThanNursing) {
+  CohortConfig nursing_config;
+  nursing_config.num_patients = 300;
+  CohortConfig rad_config = nursing_config;
+  rad_config.kind = CorpusKind::kRad;
+  Cohort nursing = Cohort::Generate(nursing_config, kb_);
+  Cohort rad = Cohort::Generate(rad_config, kb_);
+  auto mean_length = [](const Cohort& cohort) {
+    double total = 0.0;
+    for (const SyntheticPatient& patient : cohort.patients()) {
+      total += static_cast<double>(patient.text.size());
+    }
+    return total / static_cast<double>(cohort.patients().size());
+  };
+  // Tables III/IV: RAD documents are much longer per patient.
+  EXPECT_GT(mean_length(rad), mean_length(nursing) * 1.3);
+}
+
+TEST_F(SynthTest, ConceptFreePatientsAreTracked) {
+  CohortConfig config;
+  config.num_patients = 500;
+  config.concept_free_fraction = 0.1;
+  Cohort cohort = Cohort::Generate(config, kb_);
+  EXPECT_GT(cohort.stats().concept_free_patients, 10);
+}
+
+TEST_F(SynthTest, InvalidConfigRejected) {
+  CohortConfig config;
+  config.num_patients = 0;
+  EXPECT_THROW(Cohort::Generate(config, kb_), KddnError);
+}
+
+}  // namespace
+}  // namespace kddn::synth
+
+namespace kddn::synth {
+namespace {
+
+/// Property sweep over corpus kinds and sizes.
+class CohortPropertyTest
+    : public ::testing::TestWithParam<std::tuple<CorpusKind, int>> {
+ protected:
+  CohortPropertyTest() : kb_(kb::KnowledgeBase::BuildDefault()) {}
+  kb::KnowledgeBase kb_;
+};
+
+TEST_P(CohortPropertyTest, StructuralInvariants) {
+  const auto [kind, patients] = GetParam();
+  CohortConfig config;
+  config.kind = kind;
+  config.num_patients = patients;
+  config.seed = 1000 + patients;
+  Cohort cohort = Cohort::Generate(config, kb_);
+  EXPECT_EQ(cohort.stats().generated, patients);
+  EXPECT_LE(static_cast<int>(cohort.patients().size()), patients);
+  for (const SyntheticPatient& patient : cohort.patients()) {
+    EXPECT_GE(patient.age, 18);
+    EXPECT_FALSE(patient.text.empty());
+    EXPECT_FALSE(patient.disease_indices.empty());
+    EXPECT_EQ(patient.disease_worsening.size(),
+              patient.disease_indices.size());
+    EXPECT_FALSE(patient.note_styles.empty());
+    if (kind == CorpusKind::kNursing) {
+      for (NoteStyle style : patient.note_styles) {
+        EXPECT_EQ(style, NoteStyle::kNursing);
+      }
+    }
+  }
+  // Outcome monotonicity in expectation: severity of positives exceeds
+  // negatives at the one-year horizon for any non-trivial cohort.
+  if (patients >= 400) {
+    double pos = 0.0, neg = 0.0;
+    int npos = 0, nneg = 0;
+    for (const SyntheticPatient& patient : cohort.patients()) {
+      if (IsPositive(patient.outcome, Horizon::kWithinYear)) {
+        pos += patient.severity;
+        ++npos;
+      } else {
+        neg += patient.severity;
+        ++nneg;
+      }
+    }
+    if (npos > 10 && nneg > 10) {
+      EXPECT_GT(pos / npos, neg / nneg);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CohortPropertyTest,
+    ::testing::Combine(::testing::Values(CorpusKind::kNursing,
+                                         CorpusKind::kRad),
+                       ::testing::Values(30, 120, 500)));
+
+}  // namespace
+}  // namespace kddn::synth

@@ -1,0 +1,209 @@
+#include "text/tokenizer.h"
+
+#include "common/check.h"
+#include "gtest/gtest.h"
+#include "text/lemmatizer.h"
+#include "text/stopwords.h"
+#include "text/tfidf.h"
+#include "text/vocabulary.h"
+
+namespace kddn::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplitsOnPunctuation) {
+  const auto words = TokenizeWords("Patient has CHF; no edema/effusion.");
+  ASSERT_EQ(words.size(), 6u);
+  EXPECT_EQ(words[0], "patient");
+  EXPECT_EQ(words[2], "chf");
+  EXPECT_EQ(words[4], "edema");
+  EXPECT_EQ(words[5], "effusion");
+}
+
+TEST(TokenizerTest, OffsetsPointIntoSource) {
+  const std::string note = "No acute distress.";
+  const auto tokens = Tokenize(note);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(note.substr(tokens[1].begin, tokens[1].end - tokens[1].begin),
+            "acute");
+  EXPECT_EQ(tokens[2].begin, 9);
+  EXPECT_EQ(tokens[2].end, 17);
+}
+
+TEST(TokenizerTest, KeepsDigitsAndHandlesEmpty) {
+  const auto words = TokenizeWords("O2 sat 95%");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "o2");
+  EXPECT_EQ(words[2], "95");
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  ... !!").empty());
+}
+
+TEST(TokenizerTest, SplitSentences) {
+  const auto sentences =
+      SplitSentences("Lungs clear. No effusion; stable overnight.\nPlan: d/c");
+  ASSERT_EQ(sentences.size(), 4u);
+  EXPECT_EQ(sentences[0], "Lungs clear");
+  EXPECT_EQ(sentences[1], " No effusion");
+}
+
+TEST(TokenizerTest, SplitSentencesDropsEmpties) {
+  EXPECT_TRUE(SplitSentences("...!!!").empty());
+  EXPECT_EQ(SplitSentences("one").size(), 1u);
+}
+
+TEST(LemmatizerTest, IrregularForms) {
+  Lemmatizer lemmatizer;
+  EXPECT_EQ(lemmatizer.Lemma("was"), "be");
+  EXPECT_EQ(lemmatizer.Lemma("diagnoses"), "diagnosis");
+  EXPECT_EQ(lemmatizer.Lemma("emboli"), "embolus");
+  EXPECT_EQ(lemmatizer.Lemma("atria"), "atrium");
+  EXPECT_EQ(lemmatizer.Lemma("worse"), "bad");
+}
+
+TEST(LemmatizerTest, RegularPlurals) {
+  Lemmatizer lemmatizer;
+  EXPECT_EQ(lemmatizer.Lemma("effusions"), "effusion");
+  EXPECT_EQ(lemmatizer.Lemma("therapies"), "therapy");
+  EXPECT_EQ(lemmatizer.Lemma("masses"), "mass");
+  EXPECT_EQ(lemmatizer.Lemma("coughs"), "cough");
+  EXPECT_EQ(lemmatizer.Lemma("lungs"), "lung");
+}
+
+TEST(LemmatizerTest, MisleadingSuffixesPreserved) {
+  Lemmatizer lemmatizer;
+  EXPECT_EQ(lemmatizer.Lemma("status"), "status");
+  EXPECT_EQ(lemmatizer.Lemma("diabetes"), "diabetes");
+  EXPECT_EQ(lemmatizer.Lemma("ascites"), "ascites");
+  EXPECT_EQ(lemmatizer.Lemma("pus"), "pus");
+  EXPECT_EQ(lemmatizer.Lemma("mass"), "mass");
+}
+
+TEST(LemmatizerTest, IngAndEdForms) {
+  Lemmatizer lemmatizer;
+  EXPECT_EQ(lemmatizer.Lemma("increasing"), "increase");
+  EXPECT_EQ(lemmatizer.Lemma("improved"), "improve");
+  EXPECT_EQ(lemmatizer.Lemma("resolved"), "resolve");
+  EXPECT_EQ(lemmatizer.Lemma("monitoring"), "monitor");
+  EXPECT_EQ(lemmatizer.Lemma("stopped"), "stop");
+}
+
+TEST(LemmatizerTest, ShortWordsUntouched) {
+  Lemmatizer lemmatizer;
+  EXPECT_EQ(lemmatizer.Lemma("icu"), "icu");
+  EXPECT_EQ(lemmatizer.Lemma("ed"), "ed");
+  EXPECT_EQ(lemmatizer.Lemma("leg"), "leg");
+}
+
+TEST(LemmatizerTest, LemmatizeAllPreservesOrder) {
+  Lemmatizer lemmatizer;
+  const auto lemmas = lemmatizer.LemmatizeAll({"lungs", "were", "clear"});
+  ASSERT_EQ(lemmas.size(), 3u);
+  EXPECT_EQ(lemmas[0], "lung");
+  EXPECT_EQ(lemmas[1], "be");
+  EXPECT_EQ(lemmas[2], "clear");
+}
+
+TEST(StopwordsTest, ContainsFunctionWordsOnly) {
+  StopwordList stopwords;
+  EXPECT_TRUE(stopwords.Contains("the"));
+  EXPECT_TRUE(stopwords.Contains("there"));
+  EXPECT_TRUE(stopwords.Contains("no"));
+  EXPECT_FALSE(stopwords.Contains("tamponade"));
+  EXPECT_FALSE(stopwords.Contains("effusion"));
+  EXPECT_GT(stopwords.size(), 100u);
+}
+
+TEST(StopwordsTest, FilterKeepsOrder) {
+  StopwordList stopwords;
+  const auto kept = stopwords.Filter(
+      {"there", "is", "no", "mediastinal", "vascular", "engorgement"});
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0], "mediastinal");
+  EXPECT_EQ(kept[2], "engorgement");
+}
+
+TEST(VocabularyTest, BuildAssignsFrequencyOrder) {
+  Vocabulary vocab = Vocabulary::Build(
+      {{"cough", "fever", "cough"}, {"cough", "sepsis"}});
+  EXPECT_EQ(vocab.Id("cough"), 2);  // Most frequent after sentinels.
+  EXPECT_EQ(vocab.size(), 5);
+  EXPECT_EQ(vocab.TokenOf(Vocabulary::kPadId), "<pad>");
+  EXPECT_EQ(vocab.TokenOf(Vocabulary::kUnkId), "<unk>");
+  EXPECT_EQ(vocab.Frequency(vocab.Id("cough")), 3);
+}
+
+TEST(VocabularyTest, DeterministicTieBreak) {
+  Vocabulary vocab = Vocabulary::Build({{"beta", "alpha"}});
+  EXPECT_EQ(vocab.Id("alpha"), 2);
+  EXPECT_EQ(vocab.Id("beta"), 3);
+}
+
+TEST(VocabularyTest, MinCountDropsRareTokens) {
+  Vocabulary vocab =
+      Vocabulary::Build({{"common", "common", "rare"}}, /*min_count=*/2);
+  EXPECT_TRUE(vocab.Contains("common"));
+  EXPECT_FALSE(vocab.Contains("rare"));
+  EXPECT_THROW(Vocabulary::Build({}, 0), KddnError);
+}
+
+TEST(VocabularyTest, EncodeMapsUnknowns) {
+  Vocabulary vocab = Vocabulary::Build({{"cough"}});
+  const auto with_unk = vocab.Encode({"cough", "zebra"});
+  ASSERT_EQ(with_unk.size(), 2u);
+  EXPECT_EQ(with_unk[1], Vocabulary::kUnkId);
+  const auto dropped = vocab.Encode({"cough", "zebra"}, /*drop_unknown=*/true);
+  ASSERT_EQ(dropped.size(), 1u);
+}
+
+TEST(VocabularyTest, IdRangeChecks) {
+  Vocabulary vocab = Vocabulary::Build({{"a"}});
+  EXPECT_THROW(vocab.TokenOf(99), KddnError);
+  EXPECT_THROW(vocab.Frequency(-1), KddnError);
+}
+
+TEST(TfIdfTest, IdfRanksRareWordsHigher) {
+  Vocabulary vocab =
+      Vocabulary::Build({{"common", "rare"}, {"common"}, {"common"}});
+  const std::vector<std::vector<int>> docs = {
+      vocab.Encode({"common", "rare"}),
+      vocab.Encode({"common"}),
+      vocab.Encode({"common"}),
+  };
+  TfIdf tfidf(vocab, docs);
+  EXPECT_GT(tfidf.Idf(vocab.Id("rare")), tfidf.Idf(vocab.Id("common")));
+  EXPECT_EQ(tfidf.num_docs(), 3);
+}
+
+TEST(TfIdfTest, TopKSelectsSalientIds) {
+  Vocabulary vocab = Vocabulary::Build(
+      {{"cough", "cough", "cough", "fever"}, {"cough", "sepsis"}});
+  const std::vector<std::vector<int>> docs = {
+      vocab.Encode({"cough", "cough", "cough", "fever"}),
+      vocab.Encode({"cough", "sepsis"}),
+  };
+  TfIdf tfidf(vocab, docs);
+  const auto top1 = tfidf.TopKIds(1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0], vocab.Id("cough"));  // tf dominates here.
+  const auto top10 = tfidf.TopKIds(10);
+  EXPECT_EQ(top10.size(), 3u);  // Never exceeds live vocabulary.
+  EXPECT_THROW(tfidf.TopKIds(0), KddnError);
+}
+
+TEST(TfIdfTest, CountVectorNormalisation) {
+  const std::vector<int> doc = {5, 5, 7, 9};
+  const std::vector<int> selected = {5, 7};
+  const auto raw = TfIdf::CountVector(doc, selected, /*normalize=*/false);
+  ASSERT_EQ(raw.size(), 2u);
+  EXPECT_EQ(raw[0], 2.0f);
+  EXPECT_EQ(raw[1], 1.0f);
+  const auto unit = TfIdf::CountVector(doc, selected, /*normalize=*/true);
+  EXPECT_NEAR(unit[0] * unit[0] + unit[1] * unit[1], 1.0f, 1e-5f);
+  // A doc with no selected words yields the zero vector, not NaN.
+  const auto zero = TfIdf::CountVector({9}, selected);
+  EXPECT_EQ(zero[0], 0.0f);
+  EXPECT_EQ(zero[1], 0.0f);
+}
+
+}  // namespace
+}  // namespace kddn::text

@@ -1,0 +1,108 @@
+#include "viz/tsne.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "gtest/gtest.h"
+#include "tensor/tensor_ops.h"
+
+namespace kddn::viz {
+namespace {
+
+/// Two well-separated Gaussian blobs in 10-D.
+Tensor TwoBlobs(int per_class, std::vector<int>* labels, Rng* rng) {
+  Tensor points({2 * per_class, 10});
+  for (int i = 0; i < 2 * per_class; ++i) {
+    const int label = i < per_class ? 0 : 1;
+    labels->push_back(label);
+    for (int k = 0; k < 10; ++k) {
+      points.at(i, k) =
+          static_cast<float>(rng->Normal(label == 0 ? -2.0 : 2.0, 0.4));
+    }
+  }
+  return points;
+}
+
+TEST(TsneTest, OutputShapeAndCentering) {
+  Rng rng(1);
+  std::vector<int> labels;
+  Tensor points = TwoBlobs(20, &labels, &rng);
+  TsneOptions options;
+  options.iterations = 150;
+  options.perplexity = 10.0;
+  Tensor embedding = Tsne(points, options);
+  ASSERT_EQ(embedding.rank(), 2);
+  EXPECT_EQ(embedding.dim(0), 40);
+  EXPECT_EQ(embedding.dim(1), 2);
+  // Embedding is recentered each iteration.
+  double mean0 = 0.0, mean1 = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    mean0 += embedding.at(i, 0);
+    mean1 += embedding.at(i, 1);
+  }
+  EXPECT_NEAR(mean0 / 40.0, 0.0, 1e-3);
+  EXPECT_NEAR(mean1 / 40.0, 0.0, 1e-3);
+  for (int64_t i = 0; i < embedding.size(); ++i) {
+    EXPECT_FALSE(std::isnan(embedding[i]));
+  }
+}
+
+TEST(TsneTest, SeparatesWellSeparatedBlobs) {
+  Rng rng(2);
+  std::vector<int> labels;
+  Tensor points = TwoBlobs(30, &labels, &rng);
+  TsneOptions options;
+  options.iterations = 250;
+  options.perplexity = 12.0;
+  Tensor embedding = Tsne(points, options);
+  EXPECT_GT(ClassSeparation(embedding, labels), 0.4);
+}
+
+TEST(TsneTest, DeterministicInSeed) {
+  Rng rng(3);
+  std::vector<int> labels;
+  Tensor points = TwoBlobs(10, &labels, &rng);
+  TsneOptions options;
+  options.iterations = 60;
+  options.perplexity = 6.0;
+  Tensor a = Tsne(points, options);
+  Tensor b = Tsne(points, options);
+  EXPECT_LT(MaxAbsDiff(a, b), 1e-9f);
+}
+
+TEST(TsneTest, InvalidInputsRejected) {
+  Tensor tiny({2, 3});
+  EXPECT_THROW(Tsne(tiny), KddnError);  // Too few points.
+  Tensor points({50, 3});
+  TsneOptions bad;
+  bad.perplexity = 100.0;  // >= n.
+  EXPECT_THROW(Tsne(points, bad), KddnError);
+}
+
+TEST(ClassSeparationTest, SignMatchesGeometry) {
+  // Perfectly separated 1-D-ish layout.
+  Tensor good({4, 2});
+  good.at(0, 0) = -5;
+  good.at(1, 0) = -5.5;
+  good.at(2, 0) = 5;
+  good.at(3, 0) = 5.5;
+  EXPECT_GT(ClassSeparation(good, {0, 0, 1, 1}), 0.5);
+
+  // Interleaved layout scores poorly.
+  Tensor bad({4, 2});
+  bad.at(0, 0) = 0;
+  bad.at(1, 0) = 1;
+  bad.at(2, 0) = 0.5;
+  bad.at(3, 0) = 1.5;
+  EXPECT_LT(ClassSeparation(bad, {0, 1, 0, 1}),
+            ClassSeparation(good, {0, 0, 1, 1}));
+}
+
+TEST(ClassSeparationTest, RequiresBothClasses) {
+  Tensor points({3, 2});
+  EXPECT_THROW(ClassSeparation(points, {0, 0, 0}), KddnError);
+  EXPECT_THROW(ClassSeparation(points, {0, 1}), KddnError);  // Size mismatch.
+}
+
+}  // namespace
+}  // namespace kddn::viz
