@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kddn.dir/ablation_kddn.cc.o"
+  "CMakeFiles/ablation_kddn.dir/ablation_kddn.cc.o.d"
+  "ablation_kddn"
+  "ablation_kddn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kddn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_12_tsne.dir/fig10_12_tsne.cc.o"
+  "CMakeFiles/fig10_12_tsne.dir/fig10_12_tsne.cc.o.d"
+  "fig10_12_tsne"
+  "fig10_12_tsne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_12_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_12_tsne.
+# This may be replaced when dependencies are built.

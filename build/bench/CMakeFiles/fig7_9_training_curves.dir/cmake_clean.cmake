@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_9_training_curves.dir/fig7_9_training_curves.cc.o"
+  "CMakeFiles/fig7_9_training_curves.dir/fig7_9_training_curves.cc.o.d"
+  "fig7_9_training_curves"
+  "fig7_9_training_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_9_training_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

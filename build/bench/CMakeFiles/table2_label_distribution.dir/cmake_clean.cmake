@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_label_distribution.dir/table2_label_distribution.cc.o"
+  "CMakeFiles/table2_label_distribution.dir/table2_label_distribution.cc.o.d"
+  "table2_label_distribution"
+  "table2_label_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_label_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_nursing_auc.dir/table5_nursing_auc.cc.o"
+  "CMakeFiles/table5_nursing_auc.dir/table5_nursing_auc.cc.o.d"
+  "table5_nursing_auc"
+  "table5_nursing_auc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_nursing_auc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_rad_auc.dir/table6_rad_auc.cc.o"
+  "CMakeFiles/table6_rad_auc.dir/table6_rad_auc.cc.o.d"
+  "table6_rad_auc"
+  "table6_rad_auc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_rad_auc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

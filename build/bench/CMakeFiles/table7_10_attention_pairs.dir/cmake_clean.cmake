@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_10_attention_pairs.dir/table7_10_attention_pairs.cc.o"
+  "CMakeFiles/table7_10_attention_pairs.dir/table7_10_attention_pairs.cc.o.d"
+  "table7_10_attention_pairs"
+  "table7_10_attention_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_10_attention_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table7_10_attention_pairs.
+# This may be replaced when dependencies are built.

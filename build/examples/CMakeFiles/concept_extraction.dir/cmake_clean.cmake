@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concept_extraction.dir/concept_extraction.cpp.o"
+  "CMakeFiles/concept_extraction.dir/concept_extraction.cpp.o.d"
+  "concept_extraction"
+  "concept_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concept_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_explorer.dir/embedding_explorer.cpp.o"
+  "CMakeFiles/embedding_explorer.dir/embedding_explorer.cpp.o.d"
+  "embedding_explorer"
+  "embedding_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mortality_triage.dir/mortality_triage.cpp.o"
+  "CMakeFiles/mortality_triage.dir/mortality_triage.cpp.o.d"
+  "mortality_triage"
+  "mortality_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mortality_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/node.cc" "src/CMakeFiles/kddn.dir/autograd/node.cc.o" "gcc" "src/CMakeFiles/kddn.dir/autograd/node.cc.o.d"
+  "/root/repo/src/autograd/ops.cc" "src/CMakeFiles/kddn.dir/autograd/ops.cc.o" "gcc" "src/CMakeFiles/kddn.dir/autograd/ops.cc.o.d"
+  "/root/repo/src/baselines/lda.cc" "src/CMakeFiles/kddn.dir/baselines/lda.cc.o" "gcc" "src/CMakeFiles/kddn.dir/baselines/lda.cc.o.d"
+  "/root/repo/src/baselines/logreg.cc" "src/CMakeFiles/kddn.dir/baselines/logreg.cc.o" "gcc" "src/CMakeFiles/kddn.dir/baselines/logreg.cc.o.d"
+  "/root/repo/src/baselines/severity_scores.cc" "src/CMakeFiles/kddn.dir/baselines/severity_scores.cc.o" "gcc" "src/CMakeFiles/kddn.dir/baselines/severity_scores.cc.o.d"
+  "/root/repo/src/baselines/svm.cc" "src/CMakeFiles/kddn.dir/baselines/svm.cc.o" "gcc" "src/CMakeFiles/kddn.dir/baselines/svm.cc.o.d"
+  "/root/repo/src/common/check.cc" "src/CMakeFiles/kddn.dir/common/check.cc.o" "gcc" "src/CMakeFiles/kddn.dir/common/check.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/kddn.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/kddn.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/kddn.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/kddn.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/kddn.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/kddn.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/attention_html.cc" "src/CMakeFiles/kddn.dir/core/attention_html.cc.o" "gcc" "src/CMakeFiles/kddn.dir/core/attention_html.cc.o.d"
+  "/root/repo/src/core/attention_mining.cc" "src/CMakeFiles/kddn.dir/core/attention_mining.cc.o" "gcc" "src/CMakeFiles/kddn.dir/core/attention_mining.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/kddn.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/kddn.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/kddn.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/kddn.dir/core/trainer.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/kddn.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/kddn.dir/data/dataset.cc.o.d"
+  "/root/repo/src/eval/embedding_analysis.cc" "src/CMakeFiles/kddn.dir/eval/embedding_analysis.cc.o" "gcc" "src/CMakeFiles/kddn.dir/eval/embedding_analysis.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/kddn.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/kddn.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/roc.cc" "src/CMakeFiles/kddn.dir/eval/roc.cc.o" "gcc" "src/CMakeFiles/kddn.dir/eval/roc.cc.o.d"
+  "/root/repo/src/kb/concept_extractor.cc" "src/CMakeFiles/kddn.dir/kb/concept_extractor.cc.o" "gcc" "src/CMakeFiles/kddn.dir/kb/concept_extractor.cc.o.d"
+  "/root/repo/src/kb/kb_io.cc" "src/CMakeFiles/kddn.dir/kb/kb_io.cc.o" "gcc" "src/CMakeFiles/kddn.dir/kb/kb_io.cc.o.d"
+  "/root/repo/src/kb/knowledge_base.cc" "src/CMakeFiles/kddn.dir/kb/knowledge_base.cc.o" "gcc" "src/CMakeFiles/kddn.dir/kb/knowledge_base.cc.o.d"
+  "/root/repo/src/models/ak_ddn.cc" "src/CMakeFiles/kddn.dir/models/ak_ddn.cc.o" "gcc" "src/CMakeFiles/kddn.dir/models/ak_ddn.cc.o.d"
+  "/root/repo/src/models/bk_ddn.cc" "src/CMakeFiles/kddn.dir/models/bk_ddn.cc.o" "gcc" "src/CMakeFiles/kddn.dir/models/bk_ddn.cc.o.d"
+  "/root/repo/src/models/dkgam.cc" "src/CMakeFiles/kddn.dir/models/dkgam.cc.o" "gcc" "src/CMakeFiles/kddn.dir/models/dkgam.cc.o.d"
+  "/root/repo/src/models/gru.cc" "src/CMakeFiles/kddn.dir/models/gru.cc.o" "gcc" "src/CMakeFiles/kddn.dir/models/gru.cc.o.d"
+  "/root/repo/src/models/h_cnn.cc" "src/CMakeFiles/kddn.dir/models/h_cnn.cc.o" "gcc" "src/CMakeFiles/kddn.dir/models/h_cnn.cc.o.d"
+  "/root/repo/src/models/neural_model.cc" "src/CMakeFiles/kddn.dir/models/neural_model.cc.o" "gcc" "src/CMakeFiles/kddn.dir/models/neural_model.cc.o.d"
+  "/root/repo/src/models/text_cnn.cc" "src/CMakeFiles/kddn.dir/models/text_cnn.cc.o" "gcc" "src/CMakeFiles/kddn.dir/models/text_cnn.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/kddn.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/kddn.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/kddn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/kddn.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/parameter.cc" "src/CMakeFiles/kddn.dir/nn/parameter.cc.o" "gcc" "src/CMakeFiles/kddn.dir/nn/parameter.cc.o.d"
+  "/root/repo/src/nn/serialization.cc" "src/CMakeFiles/kddn.dir/nn/serialization.cc.o" "gcc" "src/CMakeFiles/kddn.dir/nn/serialization.cc.o.d"
+  "/root/repo/src/synth/cohort.cc" "src/CMakeFiles/kddn.dir/synth/cohort.cc.o" "gcc" "src/CMakeFiles/kddn.dir/synth/cohort.cc.o.d"
+  "/root/repo/src/synth/corpus_io.cc" "src/CMakeFiles/kddn.dir/synth/corpus_io.cc.o" "gcc" "src/CMakeFiles/kddn.dir/synth/corpus_io.cc.o.d"
+  "/root/repo/src/synth/disease_model.cc" "src/CMakeFiles/kddn.dir/synth/disease_model.cc.o" "gcc" "src/CMakeFiles/kddn.dir/synth/disease_model.cc.o.d"
+  "/root/repo/src/synth/note_generator.cc" "src/CMakeFiles/kddn.dir/synth/note_generator.cc.o" "gcc" "src/CMakeFiles/kddn.dir/synth/note_generator.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/kddn.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/kddn.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/tensor/tensor_ops.cc" "src/CMakeFiles/kddn.dir/tensor/tensor_ops.cc.o" "gcc" "src/CMakeFiles/kddn.dir/tensor/tensor_ops.cc.o.d"
+  "/root/repo/src/text/lemmatizer.cc" "src/CMakeFiles/kddn.dir/text/lemmatizer.cc.o" "gcc" "src/CMakeFiles/kddn.dir/text/lemmatizer.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "src/CMakeFiles/kddn.dir/text/stopwords.cc.o" "gcc" "src/CMakeFiles/kddn.dir/text/stopwords.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/CMakeFiles/kddn.dir/text/tfidf.cc.o" "gcc" "src/CMakeFiles/kddn.dir/text/tfidf.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/kddn.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/kddn.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/kddn.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/kddn.dir/text/vocabulary.cc.o.d"
+  "/root/repo/src/viz/tsne.cc" "src/CMakeFiles/kddn.dir/viz/tsne.cc.o" "gcc" "src/CMakeFiles/kddn.dir/viz/tsne.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

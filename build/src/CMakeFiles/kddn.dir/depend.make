@@ -1,0 +1,2 @@
+# Empty dependencies file for kddn.
+# This may be replaced when dependencies are built.
