@@ -2,11 +2,26 @@
 // on: matmul, the CNN block, co-attention forward+backward, MetaMap-style
 // extraction, LDA Gibbs sweeps, and t-SNE. Useful for spotting performance
 // regressions in the substrate.
+//
+// Run with --parallel_json[=path] to instead emit BENCH_parallel.json:
+// wall-clock of the parallel primitives (MatMul, CNN block) and of one
+// BK-DDN training epoch on a NURSING-scale synthetic corpus at 1/2/4
+// threads — the perf trajectory that future scaling PRs diff against.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "autograd/ops.h"
 #include "baselines/lda.h"
+#include "common/thread_pool.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
 #include "kb/concept_extractor.h"
+#include "models/bk_ddn.h"
 #include "nn/layers.h"
 #include "synth/cohort.h"
 #include "tensor/tensor_ops.h"
@@ -109,7 +124,125 @@ void BM_TsneSmall(benchmark::State& state) {
 }
 BENCHMARK(BM_TsneSmall);
 
+/// Seconds of wall clock for one call of `fn`, repeated `reps` times taking
+/// the best (least-noisy) run.
+template <typename Fn>
+double BestSeconds(int reps, const Fn& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    best = std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+void WriteJsonSection(std::ofstream& out, const char* name,
+                      const std::vector<int>& threads,
+                      const std::vector<double>& seconds, bool last = false) {
+  out << "  \"" << name << "_seconds\": {";
+  for (size_t i = 0; i < threads.size(); ++i) {
+    out << "\"" << threads[i] << "\": " << seconds[i]
+        << (i + 1 < threads.size() ? ", " : "");
+  }
+  out << "}" << (last ? "\n" : ",\n");
+}
+
+/// Emits BENCH_parallel.json: MatMul / CNN-block / training-epoch wall-clock
+/// at 1, 2, and 4 threads. All numbers are from the same deterministic
+/// kernels, so the outputs (not just the checksums) agree across rows — the
+/// columns differ only in wall-clock.
+int RunParallelBench(const std::string& out_path) {
+  const std::vector<int> thread_counts = {1, 2, 4};
+  std::vector<double> matmul_s, conv_s, epoch_s;
+
+  Rng rng(1);
+  const Tensor a = RandomNormal({256, 256}, 0, 1, &rng);
+  const Tensor b = RandomNormal({256, 256}, 0, 1, &rng);
+
+  nn::ParameterSet conv_params;
+  nn::Conv1dBank conv(&conv_params, "conv", 20, 50, {1, 2, 3}, &rng);
+  const ag::NodePtr conv_x =
+      ag::Node::Leaf(RandomNormal({512, 20}, 0, 1, &rng), false, "x");
+
+  // NURSING-scale synthetic corpus: paper-sized documents and embedding
+  // widths, patient count trimmed so the whole sweep stays interactive.
+  auto kb = kb::KnowledgeBase::BuildDefault();
+  kb::ConceptExtractor extractor(&kb);
+  synth::CohortConfig cohort_config;
+  cohort_config.num_patients = 400;
+  cohort_config.seed = 21;
+  const synth::Cohort cohort = synth::Cohort::Generate(cohort_config, kb);
+  data::DatasetOptions data_options;
+  data_options.max_words = 96;
+  data_options.max_concepts = 48;
+  const data::MortalityDataset dataset =
+      data::MortalityDataset::Build(cohort, extractor, data_options);
+
+  for (int threads : thread_counts) {
+    SetGlobalThreadPoolSize(threads);
+    matmul_s.push_back(
+        BestSeconds(5, [&] { benchmark::DoNotOptimize(MatMul(a, b)); }));
+    conv_s.push_back(
+        BestSeconds(5, [&] { benchmark::DoNotOptimize(conv.Forward(conv_x)); }));
+    epoch_s.push_back(BestSeconds(1, [&] {
+      models::ModelConfig model_config;
+      model_config.word_vocab_size = dataset.word_vocab().size();
+      model_config.concept_vocab_size = dataset.concept_vocab().size();
+      model_config.embedding_dim = 20;  // Paper's NURSING width.
+      model_config.num_filters = 50;    // Paper's filter count.
+      model_config.seed = 5;
+      models::BkDdn model(model_config);
+      core::TrainOptions train_options;
+      train_options.epochs = 1;
+      train_options.batch_size = 32;
+      train_options.num_threads = threads;
+      core::Trainer trainer(train_options);
+      trainer.Train(&model, dataset.train(), dataset.validation(),
+                    synth::Horizon::kInHospital);
+    }));
+    std::printf("threads=%d matmul=%.4fs conv=%.4fs epoch=%.3fs\n", threads,
+                matmul_s.back(), conv_s.back(), epoch_s.back());
+  }
+  SetGlobalThreadPoolSize(0);
+
+  std::ofstream out(out_path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"thread_counts\": [1, 2, 4],\n";
+  WriteJsonSection(out, "matmul_256", thread_counts, matmul_s);
+  WriteJsonSection(out, "conv_bank_512x20", thread_counts, conv_s);
+  WriteJsonSection(out, "bkddn_epoch_nursing400", thread_counts, epoch_s);
+  out << "  \"epoch_speedup_4_vs_1\": " << epoch_s[0] / epoch_s[2] << "\n";
+  out << "}\n";
+  std::printf("wrote %s (epoch speedup 4 vs 1 threads: %.2fx)\n",
+              out_path.c_str(), epoch_s[0] / epoch_s[2]);
+  return 0;
+}
+
 }  // namespace
 }  // namespace kddn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--parallel_json", 15) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return kddn::RunParallelBench(eq != nullptr ? eq + 1
+                                                  : "BENCH_parallel.json");
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,12 +8,14 @@
 // Flags: --corpus {nursing,rad}, --model (any Table V row name, deep models
 // only for --save), --horizon {0,30,365}, --patients, --epochs, --batch,
 // --lr, --embedding-dim, --filters, --seed, --save <path>, --load <path>,
+// --num_threads (pool size; results are bitwise identical at any value),
 // --verbose.
 #include <cstdio>
 #include <string>
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "common/thread_pool.h"
 #include "core/experiment.h"
 #include "kb/concept_extractor.h"
 #include "nn/serialization.h"
@@ -21,6 +23,7 @@
 int main(int argc, char** argv) {
   using namespace kddn;
   const Flags flags = Flags::Parse(argc, argv);
+  SetGlobalThreadPoolSize(flags.GetInt("num_threads", 0));
 
   const std::string corpus = flags.GetString("corpus", "nursing");
   const std::string model_name = flags.GetString("model", "AK-DDN");

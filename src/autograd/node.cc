@@ -5,6 +5,64 @@
 #include "common/check.h"
 
 namespace kddn::ag {
+namespace {
+
+thread_local GradSink* t_grad_sink = nullptr;
+
+}  // namespace
+
+GradSink::GradSink(const std::vector<NodePtr>& leaves) : leaves_(leaves) {
+  buffers_.resize(leaves_.size());
+  index_.reserve(leaves_.size());
+  for (size_t i = 0; i < leaves_.size(); ++i) {
+    KDDN_CHECK(leaves_[i] != nullptr) << "null leaf registered with GradSink";
+    index_.emplace(leaves_[i].get(), static_cast<int>(i));
+  }
+}
+
+bool GradSink::Redirects(const Node* leaf) const {
+  return index_.count(leaf) != 0;
+}
+
+Tensor& GradSink::BufferFor(const Node* leaf) {
+  const auto it = index_.find(leaf);
+  KDDN_CHECK(it != index_.end()) << "BufferFor on unregistered leaf";
+  Tensor& buffer = buffers_[it->second];
+  if (!buffer.SameShape(leaf->value())) {
+    buffer = Tensor(leaf->value().shape());
+  }
+  return buffer;
+}
+
+void GradSink::MergeInto() {
+  KDDN_CHECK(Current() != this)
+      << "MergeInto while this sink is installed on the calling thread";
+  for (size_t i = 0; i < leaves_.size(); ++i) {
+    if (buffers_[i].SameShape(leaves_[i]->value())) {
+      Tensor& grad = leaves_[i]->mutable_grad();
+      const Tensor& buffer = buffers_[i];
+      for (int64_t j = 0; j < grad.size(); ++j) {
+        grad[j] += buffer[j];
+      }
+    }
+  }
+}
+
+void GradSink::Reset() {
+  for (Tensor& buffer : buffers_) {
+    if (!buffer.empty()) {
+      buffer.Fill(0.0f);
+    }
+  }
+}
+
+GradSink* GradSink::Current() { return t_grad_sink; }
+
+GradSink::Scope::Scope(GradSink* sink) : previous_(t_grad_sink) {
+  t_grad_sink = sink;
+}
+
+GradSink::Scope::~Scope() { t_grad_sink = previous_; }
 
 NodePtr Node::Leaf(Tensor value, bool requires_grad, std::string name) {
   auto node = std::shared_ptr<Node>(new Node());
@@ -29,6 +87,9 @@ NodePtr Node::Op(std::string name, Tensor value, std::vector<NodePtr> parents,
 }
 
 const Tensor& Node::grad() const {
+  if (GradSink* sink = t_grad_sink; sink != nullptr && sink->Redirects(this)) {
+    return sink->BufferFor(this);
+  }
   if (!grad_.SameShape(value_)) {
     grad_ = Tensor(value_.shape());
   }
@@ -36,6 +97,9 @@ const Tensor& Node::grad() const {
 }
 
 Tensor& Node::mutable_grad() {
+  if (GradSink* sink = t_grad_sink; sink != nullptr && sink->Redirects(this)) {
+    return sink->BufferFor(this);
+  }
   if (!grad_.SameShape(value_)) {
     grad_ = Tensor(value_.shape());
   }

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -65,6 +66,66 @@ class Node {
   bool requires_grad_ = false;
   std::vector<NodePtr> parents_;
   std::function<void(Node*)> backward_;
+};
+
+/// Redirects gradient accumulation for a fixed set of shared leaves
+/// (trainable parameters) into private per-sink buffers, so several threads
+/// can run Backward() over graphs that share parameter leaves without racing
+/// on the leaves' gradients.
+///
+/// Usage (see core::Trainer): the coordinating thread creates one GradSink
+/// per work chunk over the parameter set; each worker installs the chunk's
+/// sink with GradSink::Scope for the duration of its forward/backward calls.
+/// While a sink is installed on a thread, Node::grad()/mutable_grad() on a
+/// registered leaf resolve to the sink's buffer — every backward closure
+/// already funnels through mutable_grad(), so no op needs to know. After the
+/// workers join, the coordinator calls MergeInto() on each sink in a fixed
+/// chunk order; floating-point accumulation order is then a function of the
+/// chunk layout alone, never of thread count or scheduling, which is what
+/// makes training bitwise reproducible at any --num_threads.
+class GradSink {
+ public:
+  /// Registers `leaves` (typically nn::ParameterSet::all()) for redirection.
+  explicit GradSink(const std::vector<NodePtr>& leaves);
+
+  GradSink(const GradSink&) = delete;
+  GradSink& operator=(const GradSink&) = delete;
+
+  /// True if gradient access to `leaf` is redirected by this sink.
+  bool Redirects(const Node* leaf) const;
+
+  /// The sink-private gradient buffer for a registered leaf; allocated
+  /// zero-filled (matching the leaf's value shape) on first access.
+  Tensor& BufferFor(const Node* leaf);
+
+  /// Adds every touched buffer into its leaf's real gradient, iterating
+  /// leaves in registration order. Must run on a thread with no sink
+  /// installed (otherwise the write would be redirected right back).
+  void MergeInto();
+
+  /// Zero-fills the touched buffers so the sink can be reused for the next
+  /// chunk without reallocating.
+  void Reset();
+
+  /// The sink installed on the calling thread, or nullptr.
+  static GradSink* Current();
+
+  /// RAII installation of a sink as the calling thread's redirect target.
+  class Scope {
+   public:
+    explicit Scope(GradSink* sink);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    GradSink* previous_;
+  };
+
+ private:
+  std::vector<NodePtr> leaves_;             // Registration order, for merging.
+  std::vector<Tensor> buffers_;             // Parallel to leaves_; lazy.
+  std::unordered_map<const Node*, int> index_;
 };
 
 /// Reverse-mode sweep from `root`, whose gradient is seeded with ones (so a

@@ -1,10 +1,12 @@
 #include "core/trainer.h"
 
 #include <cstdio>
+#include <memory>
 
 #include "autograd/ops.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "nn/optimizer.h"
 
 namespace kddn::core {
@@ -19,19 +21,42 @@ bool HasBothClasses(const std::vector<int>& labels) {
   return positive && negative;
 }
 
-/// Mean inference-mode cross-entropy over a split.
+/// SplitMix64-style mixer deriving a per-example dropout seed from the
+/// training seed, the epoch, and the example's position in the shuffled
+/// order. Scheduling-independent by construction.
+uint64_t MixSeed(uint64_t seed, uint64_t epoch, uint64_t position) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (epoch + 1) + position;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mean inference-mode cross-entropy over a split. Per-example losses are
+/// computed in parallel but summed in example order, so the result does not
+/// depend on the thread count.
 double MeanLoss(models::NeuralDocumentModel* model,
                 const std::vector<data::Example>& split,
-                synth::Horizon horizon) {
-  nn::ForwardContext ctx;
-  ctx.training = false;
-  double total = 0.0;
-  for (const data::Example& example : split) {
-    ag::NodePtr loss = ag::SoftmaxCrossEntropy(
-        model->Logits(example, ctx), example.Label(horizon) ? 1 : 0);
-    total += ag::ScalarValue(loss);
+                synth::Horizon horizon, ThreadPool* pool) {
+  if (split.empty()) {
+    return 0.0;
   }
-  return split.empty() ? 0.0 : total / static_cast<double>(split.size());
+  std::vector<double> losses(split.size(), 0.0);
+  pool->ParallelForBlocked(
+      static_cast<int64_t>(split.size()), /*min_block=*/4,
+      [&](int64_t begin, int64_t end) {
+        nn::ForwardContext ctx;
+        ctx.training = false;
+        for (int64_t i = begin; i < end; ++i) {
+          ag::NodePtr loss = ag::SoftmaxCrossEntropy(
+              model->Logits(split[i], ctx), split[i].Label(horizon) ? 1 : 0);
+          losses[i] = ag::ScalarValue(loss);
+        }
+      });
+  double total = 0.0;
+  for (double loss : losses) {
+    total += loss;
+  }
+  return total / static_cast<double>(split.size());
 }
 
 }  // namespace
@@ -40,6 +65,8 @@ Trainer::Trainer(const TrainOptions& options) : options_(options) {
   KDDN_CHECK_GT(options.epochs, 0);
   KDDN_CHECK_GT(options.batch_size, 0);
   KDDN_CHECK_GT(options.learning_rate, 0.0f);
+  KDDN_CHECK_GE(options.num_threads, 0);
+  KDDN_CHECK_GT(options.grad_chunk_size, 0);
 }
 
 eval::CurveRecorder Trainer::Train(models::NeuralDocumentModel* model,
@@ -53,9 +80,30 @@ eval::CurveRecorder Trainer::Train(models::NeuralDocumentModel* model,
   Rng rng(options_.seed);
   model->params().ZeroGrads();
 
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = &GlobalThreadPool();
+  if (options_.num_threads > 0) {
+    owned_pool = std::make_unique<ThreadPool>(options_.num_threads);
+    pool = owned_pool.get();
+  }
+
   std::vector<int> order(train.size());
   for (size_t i = 0; i < order.size(); ++i) {
     order[i] = static_cast<int>(i);
+  }
+
+  // One gradient buffer per chunk of the largest possible batch, reused
+  // across batches. The chunk layout is a function of batch_size and
+  // grad_chunk_size alone, so the ordered merge below sums gradients in the
+  // same floating-point order at every thread count.
+  const size_t chunk_size = static_cast<size_t>(options_.grad_chunk_size);
+  const size_t max_chunks =
+      (static_cast<size_t>(options_.batch_size) + chunk_size - 1) / chunk_size;
+  std::vector<std::unique_ptr<ag::GradSink>> sinks;
+  std::vector<double> chunk_losses(max_chunks, 0.0);
+  sinks.reserve(max_chunks);
+  for (size_t i = 0; i < max_chunks; ++i) {
+    sinks.push_back(std::make_unique<ag::GradSink>(model->params().all()));
   }
 
   // Best-validation snapshot (the paper uses the validation split "to find
@@ -80,26 +128,50 @@ eval::CurveRecorder Trainer::Train(models::NeuralDocumentModel* model,
       const size_t end =
           std::min(order.size(), begin + options_.batch_size);
       const float inv_batch = 1.0f / static_cast<float>(end - begin);
-      for (size_t b = begin; b < end; ++b) {
-        const data::Example& example = train[order[b]];
-        nn::ForwardContext ctx;
-        ctx.training = true;
-        ctx.rng = &rng;
-        ag::NodePtr loss = ag::SoftmaxCrossEntropy(
-            model->Logits(example, ctx), example.Label(horizon) ? 1 : 0);
-        epoch_loss += ag::ScalarValue(loss);
-        ++seen;
-        // Mean-reduce over the batch so the step size is batch-invariant.
-        ag::Backward(ag::Scale(loss, inv_batch));
+      const size_t num_chunks = (end - begin + chunk_size - 1) / chunk_size;
+
+      pool->ParallelFor(
+          static_cast<int64_t>(num_chunks), [&](int64_t chunk) {
+            ag::GradSink* sink = sinks[chunk].get();
+            sink->Reset();
+            ag::GradSink::Scope scope(sink);
+            double loss_sum = 0.0;
+            const size_t chunk_begin = begin + chunk * chunk_size;
+            const size_t chunk_end =
+                std::min(end, chunk_begin + chunk_size);
+            for (size_t b = chunk_begin; b < chunk_end; ++b) {
+              const data::Example& example = train[order[b]];
+              Rng example_rng(MixSeed(options_.seed, epoch, b));
+              nn::ForwardContext ctx;
+              ctx.training = true;
+              ctx.rng = &example_rng;
+              ag::NodePtr loss = ag::SoftmaxCrossEntropy(
+                  model->Logits(example, ctx),
+                  example.Label(horizon) ? 1 : 0);
+              loss_sum += ag::ScalarValue(loss);
+              // Mean-reduce over the batch so the step size is
+              // batch-invariant.
+              ag::Backward(ag::Scale(loss, inv_batch));
+            }
+            chunk_losses[chunk] = loss_sum;
+          });
+
+      // Ordered reduction: chunk 0 first, then chunk 1, ... — the summation
+      // order is fixed by the chunk layout, making the result independent of
+      // which worker ran which chunk.
+      for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+        sinks[chunk]->MergeInto();
+        epoch_loss += chunk_losses[chunk];
       }
+      seen += static_cast<int>(end - begin);
       optimizer.Step(model->params().all());
     }
 
     eval::CurvePoint point;
     point.epoch = epoch;
     point.train_loss = seen > 0 ? epoch_loss / seen : 0.0;
-    point.validation_loss = MeanLoss(model, validation, horizon);
-    point.validation_auc = EvaluateAuc(model, validation, horizon);
+    point.validation_loss = MeanLoss(model, validation, horizon, pool);
+    point.validation_auc = EvaluateAuc(model, validation, horizon, pool);
     recorder.Add(point);
     if (point.validation_auc > best_auc) {
       best_auc = point.validation_auc;
@@ -123,11 +195,22 @@ eval::CurveRecorder Trainer::Train(models::NeuralDocumentModel* model,
 
 std::vector<float> Trainer::Scores(models::NeuralDocumentModel* model,
                                    const std::vector<data::Example>& split) {
-  std::vector<float> scores;
-  scores.reserve(split.size());
-  for (const data::Example& example : split) {
-    scores.push_back(model->PredictPositiveProbability(example));
-  }
+  return Scores(model, split, &GlobalThreadPool());
+}
+
+std::vector<float> Trainer::Scores(models::NeuralDocumentModel* model,
+                                   const std::vector<data::Example>& split,
+                                   ThreadPool* pool) {
+  // Inference is embarrassingly parallel: every worker writes a disjoint
+  // index, so the score vector is identical for any thread count.
+  std::vector<float> scores(split.size());
+  pool->ParallelForBlocked(
+      static_cast<int64_t>(split.size()), /*min_block=*/4,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          scores[i] = model->PredictPositiveProbability(split[i]);
+        }
+      });
   return scores;
 }
 
@@ -144,6 +227,12 @@ std::vector<int> Trainer::Labels(const std::vector<data::Example>& split,
 double Trainer::EvaluateAuc(models::NeuralDocumentModel* model,
                             const std::vector<data::Example>& split,
                             synth::Horizon horizon) {
+  return EvaluateAuc(model, split, horizon, &GlobalThreadPool());
+}
+
+double Trainer::EvaluateAuc(models::NeuralDocumentModel* model,
+                            const std::vector<data::Example>& split,
+                            synth::Horizon horizon, ThreadPool* pool) {
   if (split.empty()) {
     return 0.5;
   }
@@ -151,7 +240,7 @@ double Trainer::EvaluateAuc(models::NeuralDocumentModel* model,
   if (!HasBothClasses(labels)) {
     return 0.5;
   }
-  return eval::RocAuc(Scores(model, split), labels);
+  return eval::RocAuc(Scores(model, split, pool), labels);
 }
 
 }  // namespace kddn::core

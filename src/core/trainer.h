@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "eval/metrics.h"
 #include "models/neural_model.h"
@@ -20,11 +21,29 @@ struct TrainOptions {
   float learning_rate = 0.08f;
   uint64_t seed = 5;
   bool verbose = false;  // Print per-epoch metrics to stderr.
+  /// Intra-batch parallelism: 0 uses the process-wide pool (see
+  /// common/thread_pool.h, sized by --num_threads in the binaries), > 0 gives
+  /// this trainer a private pool of that size. Results are bitwise identical
+  /// for every value — see the chunked reduction note on Trainer.
+  int num_threads = 0;
+  /// Examples per gradient-reduction chunk. Each chunk accumulates into its
+  /// own buffer and chunks merge in index order, so the floating-point sum
+  /// order depends only on this value, never on the thread count. Smaller
+  /// chunks expose more parallelism; larger ones use less buffer memory.
+  int grad_chunk_size = 8;
 };
 
 /// Mini-batch trainer: per-example graphs, gradient accumulation across the
 /// batch, one Adagrad step per batch, per-epoch validation loss/AUC tracking
 /// (the raw material of the paper's Figs 7–9).
+///
+/// Training is data-parallel within each mini-batch: the batch is cut into
+/// fixed-size chunks (TrainOptions::grad_chunk_size) that workers process
+/// into per-chunk ag::GradSink buffers, which the coordinating thread then
+/// merges in chunk order. Dropout noise is drawn from a per-example Rng
+/// derived from (seed, epoch, position), so neither the gradients nor the
+/// random stream depend on scheduling — the trained parameters are bitwise
+/// identical at any thread count.
 class Trainer {
  public:
   explicit Trainer(const TrainOptions& options = {});
@@ -36,9 +55,16 @@ class Trainer {
                             const std::vector<data::Example>& validation,
                             synth::Horizon horizon);
 
-  /// Positive-class probabilities over a split (inference mode).
+  /// Positive-class probabilities over a split (inference mode). Examples
+  /// are scored in parallel on the global pool into disjoint slots, so the
+  /// result is identical at any thread count.
   static std::vector<float> Scores(models::NeuralDocumentModel* model,
                                    const std::vector<data::Example>& split);
+
+  /// Scores on an explicit pool (used internally during training).
+  static std::vector<float> Scores(models::NeuralDocumentModel* model,
+                                   const std::vector<data::Example>& split,
+                                   ThreadPool* pool);
 
   /// 0/1 labels of a split for a horizon.
   static std::vector<int> Labels(const std::vector<data::Example>& split,
@@ -48,6 +74,11 @@ class Trainer {
   static double EvaluateAuc(models::NeuralDocumentModel* model,
                             const std::vector<data::Example>& split,
                             synth::Horizon horizon);
+
+  /// EvaluateAuc on an explicit pool (used internally during training).
+  static double EvaluateAuc(models::NeuralDocumentModel* model,
+                            const std::vector<data::Example>& split,
+                            synth::Horizon horizon, ThreadPool* pool);
 
  private:
   TrainOptions options_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace kddn {
 namespace {
@@ -18,6 +19,18 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
                              << " vs " << b.ShapeString();
 }
 
+/// Minimum multiply-accumulate count before a matmul fans out across the
+/// global pool; below this the fork/join overhead outweighs the work.
+constexpr int64_t kParallelMatMulFlops = int64_t{1} << 17;
+
+/// True if a matmul with this many MACs should use the row-blocked parallel
+/// path. The parallel kernels split the *output rows* across workers and
+/// keep the per-element accumulation order of the serial loops, so serial
+/// and parallel results are bitwise identical.
+bool UseParallelMatMul(int64_t flops) {
+  return flops >= kParallelMatMulFlops && GlobalThreadPool().num_threads() > 1;
+}
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -30,17 +43,27 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* ap = a.data();
   const float* bp = b.data();
   float* op = out.data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = ap + static_cast<int64_t>(i) * k;
-    float* orow = op + static_cast<int64_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = bp + static_cast<int64_t>(kk) * n;
-      for (int j = 0; j < n; ++j) {
-        orow[j] += av * brow[j];
+  auto rows = [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      const float* arow = ap + static_cast<int64_t>(i) * k;
+      float* orow = op + static_cast<int64_t>(i) * n;
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = bp + static_cast<int64_t>(kk) * n;
+        for (int j = 0; j < n; ++j) {
+          orow[j] += av * brow[j];
+        }
       }
     }
+  };
+  if (UseParallelMatMul(int64_t{m} * k * n)) {
+    GlobalThreadPool().ParallelForBlocked(
+        m, /*min_block=*/1, [&](int64_t begin, int64_t end) {
+          rows(static_cast<int>(begin), static_cast<int>(end));
+        });
+  } else {
+    rows(0, m);
   }
   return out;
 }
@@ -55,6 +78,26 @@ Tensor MatMulAtB(const Tensor& a, const Tensor& b) {
   const float* ap = a.data();
   const float* bp = b.data();
   float* op = out.data();
+  if (UseParallelMatMul(int64_t{m} * k * n)) {
+    // Row-blocked: each worker owns output rows [begin, end). Every element
+    // still accumulates over kk in ascending order, exactly like the serial
+    // kk-outer loop below, so the two paths agree bitwise.
+    GlobalThreadPool().ParallelForBlocked(
+        m, /*min_block=*/1, [&](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) {
+            float* orow = op + i * n;
+            for (int kk = 0; kk < k; ++kk) {
+              const float av = ap[static_cast<int64_t>(kk) * m + i];
+              if (av == 0.0f) continue;
+              const float* brow = bp + static_cast<int64_t>(kk) * n;
+              for (int j = 0; j < n; ++j) {
+                orow[j] += av * brow[j];
+              }
+            }
+          }
+        });
+    return out;
+  }
   for (int kk = 0; kk < k; ++kk) {
     const float* arow = ap + static_cast<int64_t>(kk) * m;
     const float* brow = bp + static_cast<int64_t>(kk) * n;
@@ -79,16 +122,28 @@ Tensor MatMulABt(const Tensor& a, const Tensor& b) {
   Tensor out({m, n});
   const float* ap = a.data();
   const float* bp = b.data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = ap + static_cast<int64_t>(i) * k;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = bp + static_cast<int64_t>(j) * k;
-      float acc = 0.0f;
-      for (int kk = 0; kk < k; ++kk) {
-        acc += arow[kk] * brow[kk];
+  float* op = out.data();
+  auto rows = [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      const float* arow = ap + static_cast<int64_t>(i) * k;
+      float* orow = op + static_cast<int64_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        const float* brow = bp + static_cast<int64_t>(j) * k;
+        float acc = 0.0f;
+        for (int kk = 0; kk < k; ++kk) {
+          acc += arow[kk] * brow[kk];
+        }
+        orow[j] = acc;
       }
-      out.at(i, j) = acc;
     }
+  };
+  if (UseParallelMatMul(int64_t{m} * k * n)) {
+    GlobalThreadPool().ParallelForBlocked(
+        m, /*min_block=*/1, [&](int64_t begin, int64_t end) {
+          rows(static_cast<int>(begin), static_cast<int>(end));
+        });
+  } else {
+    rows(0, m);
   }
   return out;
 }

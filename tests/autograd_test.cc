@@ -7,12 +7,15 @@
 #include "common/rng.h"
 #include "gtest/gtest.h"
 #include "tensor/tensor_ops.h"
+#include "testing/grad_check.h"
 #include "testing/gradient_check.h"
 
 namespace kddn::ag {
 namespace {
 
+using ::kddn::testing::ExpectGradCheck;
 using ::kddn::testing::ExpectGradientsMatchFiniteDifference;
+using ::kddn::testing::GradCheckOptions;
 
 NodePtr RandomLeaf(std::vector<int> shape, Rng* rng, const std::string& name) {
   return Node::Leaf(RandomNormal(std::move(shape), 0.0f, 1.0f, rng),
@@ -315,6 +318,33 @@ TEST(DropoutTest, InvalidRateThrows) {
   Rng rng(1);
   EXPECT_THROW(Dropout(x, 1.0f, true, &rng), KddnError);
   EXPECT_THROW(Dropout(x, -0.1f, true, &rng), KddnError);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropyEndToEnd) {
+  // Tight (rel. error < 1e-3) end-to-end check of the training loss head:
+  // embedding-style lookup -> matmul feature mix -> rank-1 logits ->
+  // softmax cross-entropy, against central finite differences.
+  Rng rng(31);
+  NodePtr table = RandomLeaf({6, 4}, &rng, "table");
+  NodePtr mix = RandomLeaf({4, 4}, &rng, "mix");
+  NodePtr readout = RandomLeaf({4, 2}, &rng, "readout");
+  auto build = [&] {
+    NodePtr embedded = EmbeddingLookup(table, {1, 4, 2, 4});
+    NodePtr features = Tanh(MatMul(embedded, mix));
+    NodePtr pooled = MaxOverTime(MatMul(features, readout));
+    return SoftmaxCrossEntropy(pooled, 1);
+  };
+  ExpectGradCheck(build, {table, mix, readout}, GradCheckOptions{});
+}
+
+TEST(GradCheck, SoftmaxCrossEntropyBothLabels) {
+  Rng rng(32);
+  NodePtr logits_src = RandomLeaf({5, 2}, &rng, "w");
+  for (int label = 0; label < 2; ++label) {
+    ExpectGradCheck(
+        [&] { return SoftmaxCrossEntropy(MaxOverTime(logits_src), label); },
+        {logits_src}, GradCheckOptions{});
+  }
 }
 
 TEST(GradCheck, AttentionComposite) {

@@ -1,0 +1,95 @@
+#ifndef KDDN_TESTS_TESTING_GRAD_CHECK_H_
+#define KDDN_TESTS_TESTING_GRAD_CHECK_H_
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/node.h"
+#include "gtest/gtest.h"
+
+namespace kddn::testing {
+
+/// Knobs for the central finite-difference gradient checker.
+struct GradCheckOptions {
+  /// Central-difference step. Larger steps reduce float32 cancellation noise
+  /// at the cost of O(eps^2) curvature error; 1e-2 is a good default for
+  /// losses of magnitude ~1.
+  float epsilon = 1e-2f;
+  /// Maximum allowed relative error |analytic - numeric| / denom, where
+  /// denom = max(denom_floor, |analytic|, |numeric|). The floor keeps the
+  /// metric absolute for near-zero gradients, where the relative form would
+  /// amplify float32 noise.
+  float rel_tolerance = 1e-3f;
+  float denom_floor = 1.0f;
+};
+
+/// Outcome of a gradient check: the worst relative error observed and where.
+struct GradCheckResult {
+  float max_rel_error = 0.0f;
+  int64_t elements_checked = 0;
+  std::string worst_location;
+};
+
+/// Compares reverse-mode gradients of a scalar-valued graph against central
+/// finite differences, perturbing every element of every leaf in `leaves`.
+///
+/// `build` must construct a fresh graph over the given persistent leaves and
+/// return a scalar loss node; it is re-invoked after each perturbation, so it
+/// must be deterministic (no training-mode dropout).
+inline GradCheckResult CheckGradients(
+    const std::function<ag::NodePtr()>& build,
+    const std::vector<ag::NodePtr>& leaves,
+    const GradCheckOptions& options = {}) {
+  for (const ag::NodePtr& leaf : leaves) {
+    leaf->ZeroGrad();
+  }
+  ag::Backward(build());
+
+  GradCheckResult result;
+  for (size_t l = 0; l < leaves.size(); ++l) {
+    const ag::NodePtr& leaf = leaves[l];
+    const Tensor analytic = leaf->grad();  // Copy: FD reruns perturb values.
+    Tensor& value = leaf->mutable_value();
+    for (int64_t i = 0; i < value.size(); ++i) {
+      const float original = value[i];
+      value[i] = original + options.epsilon;
+      const float plus = ag::ScalarValue(build());
+      value[i] = original - options.epsilon;
+      const float minus = ag::ScalarValue(build());
+      value[i] = original;
+      const float numeric = (plus - minus) / (2.0f * options.epsilon);
+      const float got = analytic[i];
+      const float denom = std::max(
+          {options.denom_floor, std::fabs(numeric), std::fabs(got)});
+      const float rel_error = std::fabs(got - numeric) / denom;
+      ++result.elements_checked;
+      if (rel_error > result.max_rel_error) {
+        result.max_rel_error = rel_error;
+        result.worst_location = "leaf " + std::to_string(l) + " (" +
+                                leaf->name() + ") element " +
+                                std::to_string(i) + ": analytic " +
+                                std::to_string(got) + " vs numeric " +
+                                std::to_string(numeric);
+      }
+    }
+  }
+  return result;
+}
+
+/// gtest wrapper: fails if any element's relative error exceeds
+/// options.rel_tolerance.
+inline void ExpectGradCheck(const std::function<ag::NodePtr()>& build,
+                            const std::vector<ag::NodePtr>& leaves,
+                            const GradCheckOptions& options = {}) {
+  const GradCheckResult result = CheckGradients(build, leaves, options);
+  EXPECT_GT(result.elements_checked, 0);
+  EXPECT_LE(result.max_rel_error, options.rel_tolerance)
+      << "worst element: " << result.worst_location;
+}
+
+}  // namespace kddn::testing
+
+#endif  // KDDN_TESTS_TESTING_GRAD_CHECK_H_

@@ -1,48 +1,26 @@
 #ifndef KDDN_TESTS_TESTING_GRADIENT_CHECK_H_
 #define KDDN_TESTS_TESTING_GRADIENT_CHECK_H_
 
-#include <cmath>
 #include <functional>
 #include <vector>
 
-#include "autograd/node.h"
-#include "gtest/gtest.h"
+#include "testing/grad_check.h"
 
 namespace kddn::testing {
 
-/// Verifies reverse-mode gradients against central finite differences.
-///
-/// `build` must construct a fresh graph over the given persistent leaves and
-/// return a scalar loss node; it is re-invoked after each perturbation, so it
-/// must be deterministic (no dropout in training mode).
+/// Legacy entry point, kept for the older element-wise tests; new tests
+/// should use ExpectGradCheck / CheckGradients from testing/grad_check.h
+/// directly. The (epsilon, tolerance) pair maps onto GradCheckOptions with
+/// the historical scale floor of 1.
 inline void ExpectGradientsMatchFiniteDifference(
     const std::function<ag::NodePtr()>& build,
     const std::vector<ag::NodePtr>& leaves, float epsilon = 1e-3f,
     float tolerance = 2e-2f) {
-  for (const ag::NodePtr& leaf : leaves) {
-    leaf->ZeroGrad();
-  }
-  ag::NodePtr loss = build();
-  ag::Backward(loss);
-
-  for (size_t l = 0; l < leaves.size(); ++l) {
-    const ag::NodePtr& leaf = leaves[l];
-    Tensor analytic = leaf->grad();
-    Tensor& value = leaf->mutable_value();
-    for (int64_t i = 0; i < value.size(); ++i) {
-      const float original = value[i];
-      value[i] = original + epsilon;
-      const float plus = ag::ScalarValue(build());
-      value[i] = original - epsilon;
-      const float minus = ag::ScalarValue(build());
-      value[i] = original;
-      const float numeric = (plus - minus) / (2.0f * epsilon);
-      const float got = analytic[i];
-      const float scale = std::max({1.0f, std::fabs(numeric), std::fabs(got)});
-      EXPECT_NEAR(got, numeric, tolerance * scale)
-          << "leaf " << l << " (" << leaf->name() << ") element " << i;
-    }
-  }
+  GradCheckOptions options;
+  options.epsilon = epsilon;
+  options.rel_tolerance = tolerance;
+  options.denom_floor = 1.0f;
+  ExpectGradCheck(build, leaves, options);
 }
 
 }  // namespace kddn::testing
