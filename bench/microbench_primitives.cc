@@ -7,11 +7,18 @@
 // wall-clock of the parallel primitives (MatMul, CNN block) and of one
 // BK-DDN training epoch on a NURSING-scale synthetic corpus at 1/2/4
 // threads — the perf trajectory that future scaling PRs diff against.
+//
+// Run with --serve_json[=path] to emit BENCH_serve.json: serving-path
+// wall-clock on a trained BK-DDN — one-at-a-time autograd forward vs the
+// frozen snapshot vs the batched inference engine, plus engine latency
+// percentiles and the concept-cache hit rate on a repeated-note workload.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <string>
 #include <vector>
 
@@ -23,6 +30,8 @@
 #include "kb/concept_extractor.h"
 #include "models/bk_ddn.h"
 #include "nn/layers.h"
+#include "serve/frozen_model.h"
+#include "serve/inference_engine.h"
 #include "synth/cohort.h"
 #include "tensor/tensor_ops.h"
 #include "viz/tsne.h"
@@ -227,6 +236,135 @@ int RunParallelBench(const std::string& out_path) {
   return 0;
 }
 
+/// Emits BENCH_serve.json: the serving-path acceptance numbers. Scores the
+/// same held-out split three ways — per-example autograd graph, per-example
+/// frozen forward, and the batched engine — asserts the three agree bitwise,
+/// and measures a repeated-note ScoreNote workload for the cache hit rate.
+int RunServeBench(const std::string& out_path) {
+  auto kb = kb::KnowledgeBase::BuildDefault();
+  kb::ConceptExtractor extractor(&kb);
+  synth::CohortConfig cohort_config;
+  cohort_config.num_patients = 400;
+  cohort_config.seed = 21;
+  const synth::Cohort cohort = synth::Cohort::Generate(cohort_config, kb);
+  data::DatasetOptions data_options;
+  data_options.max_words = 96;
+  data_options.max_concepts = 48;
+  const data::MortalityDataset dataset =
+      data::MortalityDataset::Build(cohort, extractor, data_options);
+
+  models::ModelConfig model_config;
+  model_config.word_vocab_size = dataset.word_vocab().size();
+  model_config.concept_vocab_size = dataset.concept_vocab().size();
+  model_config.embedding_dim = 20;
+  model_config.num_filters = 50;
+  model_config.seed = 5;
+  models::BkDdn model(model_config);
+  core::TrainOptions train_options;
+  train_options.epochs = 1;
+  train_options.batch_size = 32;
+  core::Trainer trainer(train_options);
+  std::printf("training BK-DDN for the serve bench...\n");
+  trainer.Train(&model, dataset.train(), dataset.validation(),
+                synth::Horizon::kInHospital);
+
+  const std::vector<data::Example>& split = dataset.test();
+  const size_t n = split.size();
+  std::vector<float> autograd_scores(n), frozen_scores(n), engine_scores(n);
+
+  const double autograd_s = BestSeconds(3, [&] {
+    for (size_t i = 0; i < n; ++i) {
+      autograd_scores[i] = model.PredictPositiveProbability(split[i]);
+    }
+  });
+
+  const serve::FrozenModel frozen = serve::FrozenModel::Freeze(model);
+  serve::FrozenModel::Workspace ws;
+  const double frozen_s = BestSeconds(3, [&] {
+    for (size_t i = 0; i < n; ++i) {
+      frozen_scores[i] = frozen.ScorePositive(split[i], &ws);
+    }
+  });
+
+  serve::EngineOptions engine_options;
+  engine_options.max_batch = 16;
+  engine_options.flush_deadline_ms = 2;
+  serve::InferenceEngine engine(&frozen, engine_options);
+  const double engine_s = BestSeconds(3, [&] {
+    std::vector<std::future<float>> futures;
+    futures.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      futures.push_back(engine.ScoreAsync(split[i]));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      engine_scores[i] = futures[i].get();
+    }
+  });
+
+  bool bitwise = true;
+  for (size_t i = 0; i < n; ++i) {
+    bitwise = bitwise && autograd_scores[i] == frozen_scores[i] &&
+              autograd_scores[i] == engine_scores[i];
+  }
+
+  // Raw-note workload: every note scored twice, so a working concept cache
+  // converges to a 50% hit rate.
+  serve::NotePipeline pipeline;
+  pipeline.word_vocab = &dataset.word_vocab();
+  pipeline.concept_vocab = &dataset.concept_vocab();
+  pipeline.extractor = &extractor;
+  pipeline.options = data_options;
+  serve::InferenceEngine note_engine(&frozen, pipeline, engine_options);
+  size_t notes_scored = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (size_t i = 0; i < std::min<size_t>(40, cohort.patients().size());
+         ++i) {
+      note_engine.ScoreNote(cohort.patients()[i].text);
+      ++notes_scored;
+    }
+  }
+
+  const serve::StatsSnapshot engine_stats = engine.stats();
+  const serve::StatsSnapshot note_stats = note_engine.stats();
+  std::printf(
+      "n=%zu autograd=%.4fs frozen=%.4fs engine=%.4fs bitwise=%s "
+      "cache_hit_rate=%.2f\n",
+      n, autograd_s, frozen_s, engine_s, bitwise ? "yes" : "NO",
+      note_stats.cache_hit_rate);
+
+  std::ofstream out(out_path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"test_examples\": " << n << ",\n";
+  out << "  \"snapshot_fingerprint\": \"" << std::hex << frozen.fingerprint()
+      << std::dec << "\",\n";
+  out << "  \"autograd_seconds\": " << autograd_s << ",\n";
+  out << "  \"frozen_seconds\": " << frozen_s << ",\n";
+  out << "  \"engine_batched_seconds\": " << engine_s << ",\n";
+  out << "  \"autograd_notes_per_s\": " << static_cast<double>(n) / autograd_s
+      << ",\n";
+  out << "  \"frozen_notes_per_s\": " << static_cast<double>(n) / frozen_s
+      << ",\n";
+  out << "  \"engine_batched_notes_per_s\": "
+      << static_cast<double>(n) / engine_s << ",\n";
+  out << "  \"batched_vs_autograd_speedup\": " << autograd_s / engine_s
+      << ",\n";
+  out << "  \"bitwise_match\": " << (bitwise ? "true" : "false") << ",\n";
+  out << "  \"raw_notes_scored\": " << notes_scored << ",\n";
+  out << "  \"note_cache_hit_rate\": " << note_stats.cache_hit_rate << ",\n";
+  out << "  \"engine_stats\": " << engine_stats.ToJson() << ",\n";
+  out << "  \"note_engine_stats\": " << note_stats.ToJson() << "\n";
+  out << "}\n";
+  std::printf("wrote %s (batched vs autograd: %.2fx)\n", out_path.c_str(),
+              autograd_s / engine_s);
+  return bitwise ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace kddn
 
@@ -236,6 +374,11 @@ int main(int argc, char** argv) {
       const char* eq = std::strchr(argv[i], '=');
       return kddn::RunParallelBench(eq != nullptr ? eq + 1
                                                   : "BENCH_parallel.json");
+    }
+    if (std::strncmp(argv[i], "--serve_json", 12) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return kddn::RunServeBench(eq != nullptr ? eq + 1
+                                               : "BENCH_serve.json");
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -9,9 +9,13 @@
 // only for --save), --horizon {0,30,365}, --patients, --epochs, --batch,
 // --lr, --embedding-dim, --filters, --seed, --save <path>, --load <path>,
 // --num_threads (pool size; results are bitwise identical at any value),
-// --verbose.
+// --verbose, --serve (BK-DDN/AK-DDN: re-score the test split through a
+// frozen snapshot + batched engine and check it against the graph path),
+// --serve_batch (engine max_batch, default 16).
 #include <cstdio>
+#include <future>
 #include <string>
+#include <vector>
 
 #include "common/check.h"
 #include "common/flags.h"
@@ -19,6 +23,8 @@
 #include "core/experiment.h"
 #include "kb/concept_extractor.h"
 #include "nn/serialization.h"
+#include "serve/frozen_model.h"
+#include "serve/inference_engine.h"
 
 int main(int argc, char** argv) {
   using namespace kddn;
@@ -108,6 +114,38 @@ int main(int argc, char** argv) {
     nn::SaveParametersToFile(model->params(), path);
     std::printf("saved checkpoint to %s (%lld weights)\n", path.c_str(),
                 static_cast<long long>(model->params().TotalWeights()));
+  }
+
+  if (flags.GetBool("serve", false)) {
+    KDDN_CHECK(model_name == "BK-DDN" || model_name == "AK-DDN")
+        << "--serve requires a dual-network model";
+    // Snapshot the trained weights and score the whole test split through
+    // the batched engine; the serving AUC must reproduce the graph-path AUC
+    // exactly (FrozenModel's bitwise contract).
+    const serve::FrozenModel frozen = serve::FrozenModel::Freeze(*model);
+    serve::EngineOptions engine_options;
+    engine_options.max_batch = flags.GetInt("serve_batch", 16);
+    serve::InferenceEngine engine(&frozen, engine_options);
+    std::vector<std::future<float>> futures;
+    futures.reserve(dataset.test().size());
+    for (const data::Example& example : dataset.test()) {
+      futures.push_back(engine.ScoreAsync(example));
+    }
+    std::vector<float> scores;
+    scores.reserve(futures.size());
+    for (std::future<float>& future : futures) {
+      scores.push_back(future.get());
+    }
+    const double served_auc =
+        eval::RocAuc(scores, core::Trainer::Labels(dataset.test(), horizon));
+    std::printf("served test AUC (snapshot %016llx): %.3f%s\n",
+                static_cast<unsigned long long>(frozen.fingerprint()),
+                served_auc,
+                served_auc == auc ? " [matches graph path]"
+                                  : " [MISMATCH vs graph path]");
+    std::printf("serve stats: %s\n", engine.stats().ToJson().c_str());
+    KDDN_CHECK_EQ(served_auc, auc)
+        << "frozen snapshot diverged from the training graph";
   }
   return 0;
 }

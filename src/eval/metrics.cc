@@ -47,9 +47,12 @@ double RocAuc(const std::vector<float>& scores,
     }
   }
   const int64_t negatives = static_cast<int64_t>(labels.size()) - positives;
-  KDDN_CHECK(positives > 0 && negatives > 0)
-      << "AUC needs both classes (got " << positives << " positives / "
-      << negatives << " negatives)";
+  if (positives == 0 || negatives == 0) {
+    // One-class input: no (positive, negative) pair exists, so the pairwise
+    // definition is vacuous. Return chance level, the same convention
+    // core::Trainer::EvaluateAuc uses for one-class validation splits.
+    return 0.5;
+  }
   const double u = positive_rank_sum -
                    static_cast<double>(positives) * (positives + 1) / 2.0;
   return u / (static_cast<double>(positives) * static_cast<double>(negatives));

@@ -7,8 +7,13 @@
 namespace kddn::eval {
 
 /// Area under the ROC curve via the Mann–Whitney U statistic with midrank tie
-/// handling — the paper's sole reported metric (§VII-C). `labels` are 0/1;
-/// both classes must be present.
+/// handling — the paper's sole reported metric (§VII-C). `labels` are 0/1.
+/// Equivalent to the pairwise definition: over all (positive, negative) pairs,
+/// the fraction where the positive outscores the negative, counting ties as
+/// half (tests/property_test.cc asserts this against the O(n²) form).
+/// Degenerate one-class inputs return 0.5 — the chance value, matching
+/// core::Trainer::EvaluateAuc's convention for one-class splits — because no
+/// ranking is observable without both classes.
 double RocAuc(const std::vector<float>& scores, const std::vector<int>& labels);
 
 /// Fraction of correct predictions at the given score threshold.

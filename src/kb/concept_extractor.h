@@ -43,6 +43,11 @@ struct ExtractionOptions {
   int negation_scope_tokens = 6;
 };
 
+/// Stable 64-bit FNV-1a fingerprint of a raw note. Serving keys its
+/// concept-extraction cache on this (extraction is a pure function of the
+/// raw text), so identical notes across requests hit the cache.
+uint64_t NoteFingerprint(std::string_view raw_text);
+
 /// Dictionary-based concept tagger standing in for MetaMap. Operates on the
 /// *raw* text (stop words are not removed first — the paper notes UMLS
 /// aliases may contain stop words, §VII-B2), matching the longest

@@ -6,7 +6,8 @@
 namespace kddn::models {
 
 BkDdn::BkDdn(const ModelConfig& config)
-    : init_rng_(config.seed),
+    : NeuralDocumentModel(config),
+      init_rng_(config.seed),
       word_embedding_(&params_, "word_emb", config.word_vocab_size,
                       config.embedding_dim, &init_rng_),
       concept_embedding_(&params_, "concept_emb", config.concept_vocab_size,

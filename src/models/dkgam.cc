@@ -7,7 +7,8 @@
 namespace kddn::models {
 
 Dkgam::Dkgam(const ModelConfig& config)
-    : init_rng_(config.seed),
+    : NeuralDocumentModel(config),
+      init_rng_(config.seed),
       concept_embedding_(&params_, "concept_emb", config.concept_vocab_size,
                          config.embedding_dim, &init_rng_),
       concept_conv_(&params_, "concept_conv", config.embedding_dim,

@@ -8,7 +8,8 @@
 namespace kddn::models {
 
 GruModel::GruModel(const ModelConfig& config, int hidden_dim, int max_steps)
-    : init_rng_(config.seed),
+    : NeuralDocumentModel(config),
+      init_rng_(config.seed),
       embedding_(&params_, "word_emb", config.word_vocab_size,
                  config.embedding_dim, &init_rng_),
       classifier_(&params_, "cls", hidden_dim, 2, &init_rng_),

@@ -6,7 +6,8 @@
 namespace kddn::models {
 
 HCnn::HCnn(const ModelConfig& config, int chunk_size)
-    : init_rng_(config.seed),
+    : NeuralDocumentModel(config),
+      init_rng_(config.seed),
       embedding_(&params_, "word_emb", config.word_vocab_size,
                  config.embedding_dim, &init_rng_),
       sentence_conv_(&params_, "sent_conv", config.embedding_dim,

@@ -54,7 +54,14 @@ class NeuralDocumentModel {
   nn::ParameterSet& params() { return params_; }
   const nn::ParameterSet& params() const { return params_; }
 
+  /// The configuration the model was built with — the architecture half of a
+  /// checkpoint (serve::FrozenModel snapshots rebuild shapes from it).
+  const ModelConfig& config() const { return config_; }
+
  protected:
+  explicit NeuralDocumentModel(const ModelConfig& config) : config_(config) {}
+
+  ModelConfig config_;
   nn::ParameterSet params_;
 };
 

@@ -6,7 +6,8 @@
 namespace kddn::models {
 
 TextCnn::TextCnn(const ModelConfig& config)
-    : init_rng_(config.seed),
+    : NeuralDocumentModel(config),
+      init_rng_(config.seed),
       embedding_(&params_, "word_emb", config.word_vocab_size,
                  config.embedding_dim, &init_rng_),
       conv_(&params_, "word_conv", config.embedding_dim, config.num_filters,
@@ -30,7 +31,8 @@ Tensor TextCnn::Represent(const data::Example& example) {
 }
 
 ConceptCnn::ConceptCnn(const ModelConfig& config)
-    : init_rng_(config.seed),
+    : NeuralDocumentModel(config),
+      init_rng_(config.seed),
       embedding_(&params_, "concept_emb", config.concept_vocab_size,
                  config.embedding_dim, &init_rng_),
       conv_(&params_, "concept_conv", config.embedding_dim,

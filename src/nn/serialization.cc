@@ -1,9 +1,11 @@
 #include "nn/serialization.h"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "common/check.h"
 
@@ -11,7 +13,18 @@ namespace kddn::nn {
 namespace {
 
 constexpr char kMagic[4] = {'K', 'D', 'D', 'N'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
+
+/// FNV-1a 64-bit over a byte range, matching serve::FrozenModel's blob
+/// fingerprint constants.
+uint64_t Fnv1a(const char* data, size_t bytes) {
+  uint64_t state = 1469598103934665603ULL;
+  for (size_t i = 0; i < bytes; ++i) {
+    state ^= static_cast<unsigned char>(data[i]);
+    state *= 1099511628211ULL;
+  }
+  return state;
+}
 
 void WriteU32(std::ostream& out, uint32_t value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
@@ -38,21 +51,28 @@ int32_t ReadI32(std::istream& in) {
 }  // namespace
 
 void SaveParameters(const ParameterSet& params, std::ostream& out) {
-  out.write(kMagic, sizeof(kMagic));
-  WriteU32(out, kVersion);
-  WriteU32(out, static_cast<uint32_t>(params.all().size()));
+  // Body is staged in memory so the trailing checksum can cover it; model
+  // checkpoints here are small (a few MB at the paper's sizes).
+  std::ostringstream body;
+  WriteU32(body, static_cast<uint32_t>(params.all().size()));
   for (const ag::NodePtr& param : params.all()) {
     const std::string& name = param->name();
-    WriteU32(out, static_cast<uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    WriteU32(body, static_cast<uint32_t>(name.size()));
+    body.write(name.data(), static_cast<std::streamsize>(name.size()));
     const Tensor& value = param->value();
-    WriteU32(out, static_cast<uint32_t>(value.rank()));
+    WriteU32(body, static_cast<uint32_t>(value.rank()));
     for (int axis = 0; axis < value.rank(); ++axis) {
-      WriteI32(out, value.dim(axis));
+      WriteI32(body, value.dim(axis));
     }
-    out.write(reinterpret_cast<const char*>(value.data()),
-              static_cast<std::streamsize>(value.size() * sizeof(float)));
+    body.write(reinterpret_cast<const char*>(value.data()),
+               static_cast<std::streamsize>(value.size() * sizeof(float)));
   }
+  const std::string bytes = body.str();
+  const uint64_t checksum = Fnv1a(bytes.data(), bytes.size());
+  out.write(kMagic, sizeof(kMagic));
+  WriteU32(out, kVersion);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
   KDDN_CHECK(out.good()) << "checkpoint write failed";
 }
 
@@ -63,31 +83,50 @@ void LoadParameters(ParameterSet* params, std::istream& in) {
   KDDN_CHECK(in.good() && std::equal(magic, magic + 4, kMagic))
       << "not a KDDN checkpoint";
   const uint32_t version = ReadU32(in);
-  KDDN_CHECK_EQ(version, kVersion) << "unsupported checkpoint version";
-  const uint32_t count = ReadU32(in);
+  KDDN_CHECK_EQ(version, kVersion)
+      << "unsupported checkpoint version " << version << " (expected "
+      << kVersion << ")";
+
+  // Slurp the rest of the stream: everything but the trailing u64 is the
+  // checksummed body.
+  std::string rest((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  KDDN_CHECK(rest.size() >= sizeof(uint64_t))
+      << "truncated checkpoint: missing checksum";
+  const size_t body_size = rest.size() - sizeof(uint64_t);
+  uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, rest.data() + body_size,
+              sizeof(stored_checksum));
+  const uint64_t computed_checksum = Fnv1a(rest.data(), body_size);
+  KDDN_CHECK_EQ(computed_checksum, stored_checksum)
+      << "checkpoint checksum mismatch: the stream is corrupt (truncated or "
+         "bit-flipped after writing)";
+
+  std::istringstream body(rest.substr(0, body_size));
+  const uint32_t count = ReadU32(body);
   KDDN_CHECK_EQ(count, params->all().size())
       << "checkpoint has " << count << " parameters, model has "
       << params->all().size();
   for (const ag::NodePtr& param : params->all()) {
-    const uint32_t name_length = ReadU32(in);
+    const uint32_t name_length = ReadU32(body);
     std::string name(name_length, '\0');
-    in.read(name.data(), name_length);
-    KDDN_CHECK(in.good()) << "truncated checkpoint";
+    body.read(name.data(), name_length);
+    KDDN_CHECK(body.good()) << "truncated checkpoint";
     KDDN_CHECK_EQ(name, param->name())
         << "checkpoint parameter order mismatch: expected " << param->name()
         << ", found " << name;
-    const uint32_t rank = ReadU32(in);
+    const uint32_t rank = ReadU32(body);
     std::vector<int> shape;
     for (uint32_t axis = 0; axis < rank; ++axis) {
-      shape.push_back(ReadI32(in));
+      shape.push_back(ReadI32(body));
     }
     Tensor& value = param->mutable_value();
     KDDN_CHECK(shape == value.shape())
         << "shape mismatch for " << name << ": checkpoint "
         << Tensor(shape).ShapeString() << " vs model " << value.ShapeString();
-    in.read(reinterpret_cast<char*>(value.data()),
-            static_cast<std::streamsize>(value.size() * sizeof(float)));
-    KDDN_CHECK(in.good()) << "truncated checkpoint payload for " << name;
+    body.read(reinterpret_cast<char*>(value.data()),
+              static_cast<std::streamsize>(value.size() * sizeof(float)));
+    KDDN_CHECK(body.good()) << "truncated checkpoint payload for " << name;
   }
 }
 

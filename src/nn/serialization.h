@@ -8,12 +8,15 @@
 
 namespace kddn::nn {
 
-/// Binary checkpoint format for trained models:
+/// Binary checkpoint format for trained models (version 2):
 ///   magic "KDDN" + version u32, parameter count u32, then per parameter:
-///   name (u32 length + bytes), rank u32, dims i32..., float32 payload.
-/// Loading requires the destination ParameterSet to have the same parameters
-/// (same names, shapes, order) — i.e. a model constructed with the same
-/// ModelConfig — and fails loudly otherwise.
+///   name (u32 length + bytes), rank u32, dims i32..., float32 payload;
+///   finally a u64 FNV-1a checksum over every byte after the version field.
+/// The checksum makes silent corruption (truncation, bit flips) a loud load
+/// failure rather than a quietly wrong model. Loading requires the
+/// destination ParameterSet to have the same parameters (same names, shapes,
+/// order) — i.e. a model constructed with the same ModelConfig — and fails
+/// loudly otherwise. Version-1 checkpoints (no checksum) are rejected.
 
 /// Writes all parameters of `params` to `out`.
 void SaveParameters(const ParameterSet& params, std::ostream& out);

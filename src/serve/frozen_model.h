@@ -1,0 +1,120 @@
+#ifndef KDDN_SERVE_FROZEN_MODEL_H_
+#define KDDN_SERVE_FROZEN_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/neural_model.h"
+#include "tensor/tensor.h"
+
+namespace kddn::serve {
+
+/// Immutable inference snapshot of a trained BK-DDN or AK-DDN. Freeze()
+/// deep-copies the model's ParameterSet into one contiguous float blob (the
+/// canonical storage, fingerprinted for cache keys and change detection) and
+/// materialises per-parameter tensors from it for the forward kernels. The
+/// forward pass is gradient-free: no ag::Node graph is allocated, dropout is
+/// the identity (inference mode), and all intermediates live in a caller- or
+/// thread-owned Workspace that is reused across calls.
+///
+/// Bitwise contract: scoring an example through a FrozenModel produces the
+/// same float, bit for bit, as NeuralDocumentModel::PredictPositiveProbability
+/// on the source model — at any thread-pool size and in any batch
+/// interleaving. This holds because the matmul/softmax stages call the exact
+/// same deterministic tensor kernels the autograd ops call, and the
+/// elementwise stages (lookup, pad, unfold, relu, max-over-time, concat,
+/// bias add) replicate those ops' arithmetic exactly. tests/serve_test.cc
+/// enforces the contract.
+class FrozenModel {
+ public:
+  enum class Kind { kBkDdn, kAkDdn };
+
+  /// Per-call scratch. One instance per thread; buffers are reallocated only
+  /// when a document's shape outgrows them, so steady-state serving of
+  /// same-truncation traffic does no per-request tensor allocation outside
+  /// the shared matmul kernels.
+  struct Workspace {
+    Tensor word_emb;      // [m_w, d] embedded words.
+    Tensor concept_emb;   // [m_c, d] embedded concepts.
+    Tensor word_in;       // CNN input, word branch (AK: interaction rows).
+    Tensor concept_in;    // CNN input, concept branch.
+    Tensor atti_scores;   // Co-attention scores (AK-DDN only).
+    Tensor atti_weights;  // Row-softmaxed scores.
+    Tensor ic;            // Word-queries-concepts interaction matrix.
+    Tensor iw;            // Concept-queries-words interaction matrix.
+    Tensor padded;        // Conv input padded to the largest filter width.
+    Tensor windows;       // im2col windows for the current filter width.
+    Tensor feature_map;   // Conv scores [windows, filters].
+    Tensor fused;         // [1, out_w + out_c] pooled features.
+    Tensor logits;        // [2].
+  };
+
+  /// Snapshots a trained model. Only BK-DDN and AK-DDN are servable (they are
+  /// the paper's end products); any other model kind fails with a KddnError.
+  static FrozenModel Freeze(const models::NeuralDocumentModel& model);
+
+  /// Rank-1 logits [2] for one example, written through `ws`. Empty word or
+  /// concept sequences (possible for raw serving traffic; training drops such
+  /// patients) are scored as a single <pad> token, so every input has a
+  /// well-defined probability.
+  Tensor Logits(const data::Example& example, Workspace* ws) const;
+
+  /// Probability of the positive (death) class.
+  float ScorePositive(const data::Example& example, Workspace* ws) const;
+
+  /// Convenience overload using a thread-local Workspace (the per-thread
+  /// scratch reuse path the engine relies on).
+  float ScorePositive(const data::Example& example) const;
+
+  Kind kind() const { return kind_; }
+  const char* name() const {
+    return kind_ == Kind::kBkDdn ? "BK-DDN" : "AK-DDN";
+  }
+
+  /// FNV-1a over the weight blob bytes: two snapshots of identical weights
+  /// share a fingerprint; any weight change alters it.
+  uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Total scalar weights in the snapshot.
+  int64_t num_weights() const { return static_cast<int64_t>(blob_.size()); }
+
+  /// The contiguous weight blob (read-only; canonical snapshot storage).
+  const std::vector<float>& blob() const { return blob_; }
+
+ private:
+  FrozenModel() = default;
+
+  /// The two CNN branches share this: pad, unfold per width, convolve, bias,
+  /// ReLU, max-over-time; pooled features are written to
+  /// fused[0, offset .. offset + num_filters * |widths|).
+  void ConvBank(const Tensor& input, const std::vector<Tensor>& weights,
+                const std::vector<Tensor>& biases, Workspace* ws,
+                int fused_offset) const;
+
+  Kind kind_ = Kind::kBkDdn;
+  int embedding_dim_ = 0;
+  int num_filters_ = 0;
+  std::vector<int> filter_widths_;
+  bool residual_ = true;  // AK-DDN: raw embeddings concatenated alongside.
+
+  std::vector<float> blob_;  // All weights, contiguous, registration order.
+  uint64_t fingerprint_ = 0;
+
+  // Kernel-ready tensors materialised from blob_ at Freeze() time (the
+  // shared matmul kernels take Tensor operands; weights are a few hundred KB
+  // so the copy is cheap and keeps Tensor free of aliasing machinery).
+  Tensor word_table_;                  // [V_w, d]
+  Tensor concept_table_;               // [V_c, d]
+  std::vector<Tensor> word_conv_w_;    // Per width: [filters, width * in_dim].
+  std::vector<Tensor> word_conv_b_;    // Per width: [filters].
+  std::vector<Tensor> concept_conv_w_;
+  std::vector<Tensor> concept_conv_b_;
+  Tensor cls_weight_;                  // [in, 2]
+  Tensor cls_bias_;                    // [2]
+};
+
+}  // namespace kddn::serve
+
+#endif  // KDDN_SERVE_FROZEN_MODEL_H_

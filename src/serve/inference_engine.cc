@@ -1,0 +1,177 @@
+#include "serve/inference_engine.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "text/tokenizer.h"
+
+namespace kddn::serve {
+
+namespace {
+
+/// Word-side preprocessing, mirroring data::MortalityDataset exactly:
+/// tokenize → lemmatize → stop-word filter (§VII-B1).
+std::vector<std::string> PreprocessWords(const std::string& raw,
+                                         const text::Lemmatizer& lemmatizer,
+                                         const text::StopwordList& stopwords) {
+  return stopwords.Filter(lemmatizer.LemmatizeAll(text::TokenizeWords(raw)));
+}
+
+void TruncateIds(std::vector<int>* ids, int limit) {
+  if (static_cast<int>(ids->size()) > limit) {
+    ids->resize(static_cast<size_t>(limit));
+  }
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(const FrozenModel* model,
+                                 const EngineOptions& options)
+    : model_(model), options_(options) {
+  KDDN_CHECK(model_ != nullptr);
+  KDDN_CHECK_GT(options_.max_batch, 0) << "max_batch must be positive";
+  KDDN_CHECK_GE(options_.flush_deadline_ms, 0);
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+InferenceEngine::InferenceEngine(const FrozenModel* model,
+                                 const NotePipeline& pipeline,
+                                 const EngineOptions& options)
+    : InferenceEngine(model, options) {
+  KDDN_CHECK(pipeline.word_vocab != nullptr);
+  KDDN_CHECK(pipeline.concept_vocab != nullptr);
+  KDDN_CHECK(pipeline.extractor != nullptr);
+  has_pipeline_ = true;
+  pipeline_ = pipeline;
+  if (options_.cache_capacity > 0) {
+    concept_cache_ = std::make_unique<LruCache<uint64_t, std::vector<int>>>(
+        static_cast<size_t>(options_.cache_capacity));
+  }
+}
+
+InferenceEngine::~InferenceEngine() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+}
+
+float InferenceEngine::Score(const data::Example& example) {
+  return ScoreAsync(example).get();
+}
+
+std::future<float> InferenceEngine::ScoreAsync(data::Example example) {
+  auto request = std::make_unique<Request>();
+  request->example = std::move(example);
+  request->enqueued = std::chrono::steady_clock::now();
+  std::future<float> future = request->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    KDDN_CHECK(!stopping_) << "ScoreAsync after engine shutdown";
+    queue_.push_back(std::move(request));
+  }
+  queue_cv_.notify_all();
+  return future;
+}
+
+float InferenceEngine::ScoreNote(const std::string& raw_text) {
+  return Score(EncodeNote(raw_text));
+}
+
+data::Example InferenceEngine::EncodeNote(const std::string& raw_text) {
+  KDDN_CHECK(has_pipeline_)
+      << "EncodeNote requires an engine constructed with a NotePipeline";
+  data::Example example;
+  example.word_ids = pipeline_.word_vocab->Encode(
+      PreprocessWords(raw_text, lemmatizer_, stopwords_));
+  TruncateIds(&example.word_ids, pipeline_.options.max_words);
+
+  const uint64_t key = kb::NoteFingerprint(raw_text);
+  if (concept_cache_ != nullptr) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (const std::vector<int>* hit = concept_cache_->Get(key)) {
+      example.concept_ids = *hit;
+      stats_.RecordCacheHit();
+      return example;
+    }
+  }
+  stats_.RecordCacheMiss();
+  example.concept_ids = pipeline_.concept_vocab->Encode(
+      kb::ConceptExtractor::CuiSequence(pipeline_.extractor->Extract(
+          raw_text, pipeline_.options.extraction)));
+  TruncateIds(&example.concept_ids, pipeline_.options.max_concepts);
+  if (concept_cache_ != nullptr) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    concept_cache_->Put(key, example.concept_ids);
+  }
+  return example;
+}
+
+void InferenceEngine::WorkerLoop() {
+  while (true) {
+    std::vector<std::unique_ptr<Request>> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ with a drained queue.
+      }
+      // Hold the batch open until it fills or the oldest request's flush
+      // deadline passes. Shutdown flushes immediately.
+      const auto deadline =
+          queue_.front()->enqueued +
+          std::chrono::milliseconds(options_.flush_deadline_ms);
+      queue_cv_.wait_until(lock, deadline, [this] {
+        return stopping_ ||
+               static_cast<int>(queue_.size()) >= options_.max_batch;
+      });
+      const size_t take = std::min(queue_.size(),
+                                   static_cast<size_t>(options_.max_batch));
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+void InferenceEngine::ExecuteBatch(
+    std::vector<std::unique_ptr<Request>> batch) {
+  const int64_t n = static_cast<int64_t>(batch.size());
+  std::vector<float> scores(batch.size());
+  try {
+    // One pool fan-out per batch; each pool thread reuses its own Workspace
+    // across batches and writes a disjoint scores slot, so results are
+    // independent of the batch composition and the thread count.
+    GlobalThreadPool().ParallelFor(n, [&](int64_t i) {
+      static thread_local FrozenModel::Workspace ws;
+      scores[static_cast<size_t>(i)] =
+          model_->ScorePositive(batch[static_cast<size_t>(i)]->example, &ws);
+    });
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (std::unique_ptr<Request>& request : batch) {
+      request->promise.set_exception(error);
+    }
+    return;
+  }
+  const auto done = std::chrono::steady_clock::now();
+  stats_.RecordBatch(static_cast<int>(batch.size()));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    stats_.RecordRequestLatencyMs(
+        std::chrono::duration<double, std::milli>(done - batch[i]->enqueued)
+            .count());
+    batch[i]->promise.set_value(scores[i]);
+  }
+}
+
+}  // namespace kddn::serve

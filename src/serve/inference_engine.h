@@ -1,0 +1,133 @@
+#ifndef KDDN_SERVE_INFERENCE_ENGINE_H_
+#define KDDN_SERVE_INFERENCE_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "kb/concept_extractor.h"
+#include "serve/frozen_model.h"
+#include "serve/lru_cache.h"
+#include "serve/stats.h"
+#include "text/lemmatizer.h"
+#include "text/stopwords.h"
+#include "text/vocabulary.h"
+
+namespace kddn::serve {
+
+/// Micro-batching knobs.
+struct EngineOptions {
+  /// A batch flushes as soon as this many requests are queued...
+  int max_batch = 16;
+  /// ...or when the oldest queued request has waited this long, whichever
+  /// comes first. 0 flushes every request immediately (batch size 1).
+  int flush_deadline_ms = 2;
+  /// Concept-extraction LRU entries (ScoreNote path); 0 disables the cache.
+  int cache_capacity = 1024;
+};
+
+/// Preprocessing assets for raw-text scoring — the same pipeline
+/// data::MortalityDataset applies at training time (tokenize → lemmatize →
+/// stop-word filter → encode on the word side; cached MetaMap-style
+/// extraction → encode on the concept side). All pointers are borrowed and
+/// must outlive the engine.
+struct NotePipeline {
+  const text::Vocabulary* word_vocab = nullptr;
+  const text::Vocabulary* concept_vocab = nullptr;
+  const kb::ConceptExtractor* extractor = nullptr;
+  /// max_words / max_concepts truncation and extraction knobs; must match
+  /// the options the vocabularies were built with.
+  data::DatasetOptions options;
+};
+
+/// Batched, thread-safe serving front-end over a FrozenModel. Requests from
+/// any number of client threads queue on an internal worker; the worker
+/// flushes a batch when `max_batch` requests are waiting or the oldest has
+/// aged past `flush_deadline_ms`, and executes the batch as one fan-out on
+/// the process-wide ThreadPool (per-thread Workspaces, disjoint outputs).
+///
+/// Scores are bitwise identical to the single-example autograd path for
+/// every batch composition and thread count — batching changes scheduling,
+/// never arithmetic (each document keeps its own ragged-shape forward).
+class InferenceEngine {
+ public:
+  /// Engine without a raw-text pipeline: Score/ScoreAsync only.
+  explicit InferenceEngine(const FrozenModel* model,
+                           const EngineOptions& options = {});
+
+  /// Engine that can also serve raw notes end to end (ScoreNote).
+  InferenceEngine(const FrozenModel* model, const NotePipeline& pipeline,
+                  const EngineOptions& options = {});
+
+  /// Flushes the queue (pending requests are still scored) and joins the
+  /// worker.
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Blocking score of one encoded example (positive-class probability).
+  /// Safe to call from any thread; the call participates in batching.
+  float Score(const data::Example& example);
+
+  /// Asynchronous variant; the future resolves when the batch containing the
+  /// request executes.
+  std::future<float> ScoreAsync(data::Example example);
+
+  /// Raw clinical note in, mortality probability out: runs the training-time
+  /// preprocessing pipeline (concept extraction served from the LRU cache),
+  /// then scores through the batch queue. Notes with no in-vocabulary words
+  /// or no extracted concepts are scored as a single <pad> token on the
+  /// affected branch, so every input — empty, punctuation-only, stop-word
+  /// -only, or fully OOV — returns a well-defined probability.
+  float ScoreNote(const std::string& raw_text);
+
+  /// Preprocesses a raw note to a model-ready example (ScoreNote's first
+  /// half). Requires a NotePipeline.
+  data::Example EncodeNote(const std::string& raw_text);
+
+  /// Serving counters (latency percentiles, batch histogram, cache rates).
+  StatsSnapshot stats() const { return stats_.Snapshot(); }
+
+  const FrozenModel& model() const { return *model_; }
+
+ private:
+  struct Request {
+    data::Example example;
+    std::promise<float> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WorkerLoop();
+  /// Scores one batch on the global pool and fulfils its promises.
+  void ExecuteBatch(std::vector<std::unique_ptr<Request>> batch);
+
+  const FrozenModel* model_;
+  EngineOptions options_;
+  bool has_pipeline_ = false;
+  NotePipeline pipeline_;
+  text::Lemmatizer lemmatizer_;
+  text::StopwordList stopwords_;
+
+  Stats stats_;
+
+  std::mutex cache_mutex_;
+  std::unique_ptr<LruCache<uint64_t, std::vector<int>>> concept_cache_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<Request>> queue_;
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+}  // namespace kddn::serve
+
+#endif  // KDDN_SERVE_INFERENCE_ENGINE_H_

@@ -1,0 +1,73 @@
+#ifndef KDDN_SERVE_LRU_CACHE_H_
+#define KDDN_SERVE_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace kddn::serve {
+
+/// Least-recently-used cache with a fixed entry capacity. Used by the
+/// inference engine to memoise concept extraction per note (the extractor
+/// re-scans identical raw text on every request otherwise). Not thread-safe:
+/// the engine serialises access under its own mutex, which keeps the cache
+/// itself trivial to reason about.
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  /// `capacity` is the maximum number of retained entries; must be > 0 (a
+  /// disabled cache is modelled by not constructing one).
+  explicit LruCache(size_t capacity) : capacity_(capacity) {
+    KDDN_CHECK_GT(capacity, 0u) << "LruCache capacity must be positive";
+  }
+
+  /// Returns the cached value and marks the entry most-recently-used, or
+  /// nullptr on a miss. The pointer is invalidated by the next Put().
+  const Value* Get(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return nullptr;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or overwrites `key`, marking it most-recently-used and evicting
+  /// the least-recently-used entry if over capacity.
+  void Put(const Key& key, Value value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    if (order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  size_t size() const { return order_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  void Clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  size_t capacity_;
+  // Front = most recently used; `index_` points into `order_`.
+  std::list<std::pair<Key, Value>> order_;
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator>
+      index_;
+};
+
+}  // namespace kddn::serve
+
+#endif  // KDDN_SERVE_LRU_CACHE_H_

@@ -1,0 +1,102 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace kddn::serve {
+
+void Stats::RecordRequestLatencyMs(double ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++requests_;
+  latency_total_ms_ += ms;
+  latency_max_ms_ = std::max(latency_max_ms_, ms);
+  if (latency_samples_.size() < kMaxLatencySamples) {
+    latency_samples_.push_back(ms);
+  } else {
+    latency_samples_[latency_cursor_] = ms;
+    latency_cursor_ = (latency_cursor_ + 1) % kMaxLatencySamples;
+  }
+}
+
+void Stats::RecordBatch(int size) {
+  KDDN_CHECK_GT(size, 0) << "batch of zero requests";
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++batches_;
+  batch_request_total_ += size;
+  if (static_cast<size_t>(size) >= batch_histogram_.size()) {
+    batch_histogram_.resize(static_cast<size_t>(size) + 1, 0);
+  }
+  ++batch_histogram_[static_cast<size_t>(size)];
+}
+
+void Stats::RecordCacheHit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++cache_hits_;
+}
+
+void Stats::RecordCacheMiss() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++cache_misses_;
+}
+
+StatsSnapshot Stats::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StatsSnapshot snapshot;
+  snapshot.requests = requests_;
+  snapshot.batches = batches_;
+  snapshot.cache_hits = cache_hits_;
+  snapshot.cache_misses = cache_misses_;
+  const int64_t lookups = cache_hits_ + cache_misses_;
+  snapshot.cache_hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(cache_hits_) /
+                         static_cast<double>(lookups);
+  snapshot.p50_latency_ms = PercentileOf(latency_samples_, 0.5);
+  snapshot.p99_latency_ms = PercentileOf(latency_samples_, 0.99);
+  snapshot.mean_latency_ms =
+      requests_ == 0 ? 0.0 : latency_total_ms_ / static_cast<double>(requests_);
+  snapshot.max_latency_ms = latency_max_ms_;
+  snapshot.mean_batch_size =
+      batches_ == 0 ? 0.0
+                    : static_cast<double>(batch_request_total_) /
+                          static_cast<double>(batches_);
+  snapshot.batch_size_histogram = batch_histogram_;
+  return snapshot;
+}
+
+double PercentileOf(std::vector<double> samples, double q) {
+  KDDN_CHECK(q >= 0.0 && q <= 1.0) << "percentile q out of [0,1]";
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const double position = q * static_cast<double>(samples.size());
+  size_t rank = position <= 1.0 ? 0 : static_cast<size_t>(std::ceil(position)) - 1;
+  rank = std::min(rank, samples.size() - 1);
+  return samples[rank];
+}
+
+std::string StatsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"requests\": " << requests << ", \"batches\": " << batches
+      << ", \"cache_hits\": " << cache_hits
+      << ", \"cache_misses\": " << cache_misses
+      << ", \"cache_hit_rate\": " << cache_hit_rate
+      << ", \"p50_latency_ms\": " << p50_latency_ms
+      << ", \"p99_latency_ms\": " << p99_latency_ms
+      << ", \"mean_latency_ms\": " << mean_latency_ms
+      << ", \"max_latency_ms\": " << max_latency_ms
+      << ", \"mean_batch_size\": " << mean_batch_size
+      << ", \"batch_size_histogram\": [";
+  for (size_t i = 0; i < batch_size_histogram.size(); ++i) {
+    out << batch_size_histogram[i]
+        << (i + 1 < batch_size_histogram.size() ? ", " : "");
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace kddn::serve

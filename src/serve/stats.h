@@ -1,0 +1,72 @@
+#ifndef KDDN_SERVE_STATS_H_
+#define KDDN_SERVE_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kddn::serve {
+
+/// Point-in-time view of the serving counters, safe to read after the engine
+/// has moved on. Latencies are end-to-end per request (enqueue to scored);
+/// the batch histogram counts executed batches by size.
+struct StatsSnapshot {
+  int64_t requests = 0;
+  int64_t batches = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;  // hits / (hits + misses); 0 if no lookups.
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double mean_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  double mean_batch_size = 0.0;
+  /// batch_size_histogram[s] = number of executed batches with exactly s
+  /// requests (index 0 unused).
+  std::vector<int64_t> batch_size_histogram;
+
+  /// Single-line JSON object with every field above (for BENCH_serve.json and
+  /// log lines).
+  std::string ToJson() const;
+};
+
+/// Thread-safe serving counters: per-request latency (bounded sample
+/// reservoir, newest-wins), batch-size histogram, and concept-cache hit/miss
+/// counts. Recording is O(1); Snapshot() sorts the retained samples to
+/// compute percentiles.
+class Stats {
+ public:
+  /// Latency samples retained for percentile estimates. Older samples are
+  /// overwritten ring-buffer style once full, so percentiles track the most
+  /// recent window rather than the whole process lifetime.
+  static constexpr size_t kMaxLatencySamples = 8192;
+
+  void RecordRequestLatencyMs(double ms);
+  void RecordBatch(int size);
+  void RecordCacheHit();
+  void RecordCacheMiss();
+
+  StatsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  int64_t requests_ = 0;
+  int64_t batches_ = 0;
+  int64_t batch_request_total_ = 0;
+  int64_t cache_hits_ = 0;
+  int64_t cache_misses_ = 0;
+  double latency_total_ms_ = 0.0;
+  double latency_max_ms_ = 0.0;
+  std::vector<double> latency_samples_;  // Ring buffer of recent latencies.
+  size_t latency_cursor_ = 0;
+  std::vector<int64_t> batch_histogram_;
+};
+
+/// Percentile of an unsorted sample set by the nearest-rank method
+/// (`q` in [0, 1]); 0 for an empty sample. Exposed for tests.
+double PercentileOf(std::vector<double> samples, double q);
+
+}  // namespace kddn::serve
+
+#endif  // KDDN_SERVE_STATS_H_

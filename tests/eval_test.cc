@@ -57,10 +57,16 @@ TEST(RocAucTest, RandomScoresNearHalf) {
 
 TEST(RocAucTest, DegenerateInputsRejected) {
   EXPECT_THROW(RocAuc({}, {}), KddnError);
-  EXPECT_THROW(RocAuc({0.5f, 0.6f}, {1, 1}), KddnError);  // One class only.
-  EXPECT_THROW(RocAuc({0.5f, 0.6f}, {0, 0}), KddnError);
   EXPECT_THROW(RocAuc({0.5f}, {0, 1}), KddnError);         // Size mismatch.
   EXPECT_THROW(RocAuc({0.5f, 0.6f}, {0, 2}), KddnError);   // Bad label.
+}
+
+TEST(RocAucTest, OneClassInputsAreChance) {
+  // One-class inputs have no (positive, negative) pair, so the pairwise
+  // definition is vacuous; RocAuc documents chance level for them, the same
+  // convention core::Trainer::EvaluateAuc uses for one-class splits.
+  EXPECT_DOUBLE_EQ(RocAuc({0.5f, 0.6f}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0.5f, 0.6f}, {0, 0}), 0.5);
 }
 
 TEST(AccuracyTest, ThresholdBehaviour) {

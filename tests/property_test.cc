@@ -197,6 +197,61 @@ INSTANTIATE_TEST_SUITE_P(Grid, AucPropertyTest,
                                             ::testing::Values(0.1, 0.3,
                                                               0.5)));
 
+// The O(n²) definition RocAuc must reproduce: over all (positive, negative)
+// pairs, count 1 for positive > negative and 1/2 for a tie.
+double PairwiseAuc(const std::vector<float>& scores,
+                   const std::vector<int>& labels) {
+  double wins = 0.0;
+  int64_t pairs = 0;
+  for (size_t p = 0; p < labels.size(); ++p) {
+    if (labels[p] != 1) {
+      continue;
+    }
+    for (size_t n = 0; n < labels.size(); ++n) {
+      if (labels[n] != 0) {
+        continue;
+      }
+      ++pairs;
+      if (scores[p] > scores[n]) {
+        wins += 1.0;
+      } else if (scores[p] == scores[n]) {
+        wins += 0.5;
+      }
+    }
+  }
+  return pairs > 0 ? wins / static_cast<double>(pairs) : 0.5;
+}
+
+TEST_P(AucPropertyTest, MatchesPairwiseDefinitionWithHeavyTies) {
+  const auto [n, prevalence] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 131 + prevalence * 7919));
+  std::vector<float> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < n; ++i) {
+    labels.push_back(rng.Bernoulli(prevalence) ? 1 : 0);
+    // Quantized scores force many exact ties across and within classes, the
+    // regime where midrank handling matters.
+    const double raw = rng.Normal(labels.back() * 1.0, 1.0);
+    scores.push_back(static_cast<float>(std::round(raw * 2.0) / 2.0));
+  }
+  const double pairwise = PairwiseAuc(scores, labels);
+  EXPECT_NEAR(eval::RocAuc(scores, labels), pairwise, 1e-9)
+      << "midrank AUC diverged from the pairwise definition";
+}
+
+TEST(AucDegenerateTest, SingleClassReturnsChance) {
+  // No (positive, negative) pair exists, so the pairwise definition is
+  // vacuous; RocAuc documents 0.5 (chance) for this case, matching
+  // core::Trainer::EvaluateAuc on one-class splits.
+  EXPECT_DOUBLE_EQ(eval::RocAuc({0.2f, 0.9f, 0.4f}, {1, 1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(eval::RocAuc({0.2f, 0.9f, 0.4f}, {0, 0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(eval::RocAuc({0.7f}, {0}), 0.5);
+}
+
+TEST(AucDegenerateTest, AllTiedScoresAreChance) {
+  EXPECT_DOUBLE_EQ(eval::RocAuc({0.5f, 0.5f, 0.5f, 0.5f}, {1, 0, 1, 0}), 0.5);
+}
+
 // ---------------------------------------------------------------------------
 // Knowledge-base coverage: every concept's preferred name, embedded in a
 // sentence, is recovered by the extractor with the right CUI and maximal

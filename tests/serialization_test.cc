@@ -77,6 +77,45 @@ TEST(SerializationTest, RejectsGarbageAndTruncation) {
   const std::string bytes = full.str();
   std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
   EXPECT_THROW(LoadParameters(&params, truncated), KddnError);
+
+  // Losing even the final byte must be loud: the checksum no longer lines up.
+  std::stringstream short_one(bytes.substr(0, bytes.size() - 1));
+  EXPECT_THROW(LoadParameters(&params, short_one), KddnError);
+}
+
+TEST(SerializationTest, RejectsBitFlips) {
+  ParameterSet params;
+  Rng rng(4);
+  MakeSet(&rng, &params);
+  std::stringstream out;
+  SaveParameters(params, out);
+  const std::string clean = out.str();
+
+  // Flip one bit at a spread of positions — header, name bytes, float
+  // payload, checksum itself. Every flip must fail the load (format v1
+  // would silently accept payload flips as different weights).
+  for (size_t pos : {size_t{0}, size_t{9}, clean.size() / 2,
+                     clean.size() - 5, clean.size() - 1}) {
+    std::string corrupt = clean;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x10);
+    std::stringstream in(corrupt);
+    ParameterSet target;
+    MakeSet(&rng, &target);
+    EXPECT_THROW(LoadParameters(&target, in), KddnError)
+        << "bit flip at byte " << pos << " loaded silently";
+  }
+}
+
+TEST(SerializationTest, RejectsVersion1Checkpoints) {
+  ParameterSet params;
+  Rng rng(5);
+  MakeSet(&rng, &params);
+  std::stringstream out;
+  SaveParameters(params, out);
+  std::string bytes = out.str();
+  bytes[4] = 1;  // Version field follows the 4-byte magic.
+  std::stringstream in(bytes);
+  EXPECT_THROW(LoadParameters(&params, in), KddnError);
 }
 
 TEST(SerializationTest, FileRoundTripPreservesModelPredictions) {
