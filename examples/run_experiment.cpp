@@ -12,6 +12,16 @@
 // --verbose, --serve (BK-DDN/AK-DDN: re-score the test split through a
 // frozen snapshot + batched engine and check it against the graph path),
 // --serve_batch (engine max_batch, default 16).
+//
+// Crash safety: --checkpoint_dir <dir> checkpoints the trainer atomically
+// every --checkpoint_every epochs (default 1); re-running the same command
+// with --resume after an interruption restarts from the last checkpoint and
+// produces bitwise-identical weights to the uninterrupted run:
+//
+//   ./build/examples/run_experiment --model=AK-DDN --epochs=8 \
+//       --checkpoint_dir=ckpt            # killed mid-run...
+//   ./build/examples/run_experiment --model=AK-DDN --epochs=8 \
+//       --checkpoint_dir=ckpt --resume   # ...finishes the same run
 #include <cstdio>
 #include <future>
 #include <string>
@@ -99,6 +109,9 @@ int main(int argc, char** argv) {
         static_cast<float>(flags.GetDouble("lr", 0.08));
     train_options.verbose = flags.GetBool("verbose", false);
     train_options.seed = cohort_config.seed + 1;
+    train_options.checkpoint_dir = flags.GetString("checkpoint_dir", "");
+    train_options.checkpoint_every = flags.GetInt("checkpoint_every", 1);
+    train_options.resume = flags.GetBool("resume", false);
     core::Trainer trainer(train_options);
     trainer.Train(model.get(), dataset.train(), dataset.validation(),
                   horizon);

@@ -1,0 +1,71 @@
+#include "common/fault_injector.h"
+
+#include "common/check.h"
+
+namespace kddn {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& site, int fail_on_hit) {
+  KDDN_CHECK_GE(fail_on_hit, 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_[site] = SiteState{fail_on_hit, 0, false};
+  armed_sites_.store(static_cast<int>(sites_.size()),
+                     std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.erase(site);
+  armed_sites_.store(static_cast<int>(sites_.size()),
+                     std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  armed_sites_.store(0, std::memory_order_relaxed);
+}
+
+int FaultInjector::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+void FaultInjector::Hit(const char* site) {
+  if (armed_sites_.load(std::memory_order_relaxed) == 0) {
+    return;  // Production fast path: nothing armed anywhere.
+  }
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sites_.find(site);
+    if (it == sites_.end()) {
+      return;
+    }
+    SiteState& state = it->second;
+    const int hit = state.hits++;
+    if (!state.fired && hit == state.fail_on_hit) {
+      state.fired = true;
+      fire = true;
+    }
+  }
+  if (fire) {
+    throw KddnError(std::string("injected fault at ") + site);
+  }
+}
+
+FaultInjector::ScopedFault::ScopedFault(std::string site, int fail_on_hit)
+    : site_(std::move(site)) {
+  FaultInjector::Instance().Arm(site_, fail_on_hit);
+}
+
+FaultInjector::ScopedFault::~ScopedFault() {
+  FaultInjector::Instance().Disarm(site_);
+}
+
+}  // namespace kddn

@@ -1,0 +1,82 @@
+#ifndef KDDN_COMMON_FAULT_INJECTOR_H_
+#define KDDN_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace kddn {
+
+/// Deterministic, site-keyed fault injection for robustness tests. I/O paths
+/// mark crash-relevant points with KDDN_FAULT_POINT("subsystem.op"); in
+/// production nothing is armed and each point costs one relaxed atomic load.
+/// A test arms a site to throw KddnError on a specific upcoming hit:
+///
+///   FaultInjector::ScopedFault crash("nn.save.commit");  // next hit throws
+///   EXPECT_THROW(nn::SaveParametersToFile(params, path), KddnError);
+///
+/// Hits are counted per arming, so `fail_on_hit = 3` simulates a crash on the
+/// fourth traversal (e.g. "truncate after three corpus lines"). A site fires
+/// at most once per arming — retries after the injected failure proceed
+/// normally, which is exactly the crash-then-recover sequence the tests
+/// exercise. All methods are thread-safe.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms `site` to throw on hit number `fail_on_hit` (0 = the next hit).
+  /// Re-arming resets the site's hit count.
+  void Arm(const std::string& site, int fail_on_hit = 0);
+
+  /// Disarms one site / every site. Disarming an unarmed site is a no-op.
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// Hits recorded for `site` since it was last armed (0 if unarmed).
+  int HitCount(const std::string& site) const;
+
+  /// Called by KDDN_FAULT_POINT. Throws KddnError("injected fault at <site>")
+  /// when this hit is the one the site was armed for; otherwise returns.
+  void Hit(const char* site);
+
+  /// RAII arming for tests: arms in the constructor, disarms the site in the
+  /// destructor so a failing test cannot leak an armed fault into the next.
+  class ScopedFault {
+   public:
+    explicit ScopedFault(std::string site, int fail_on_hit = 0);
+    ~ScopedFault();
+
+    ScopedFault(const ScopedFault&) = delete;
+    ScopedFault& operator=(const ScopedFault&) = delete;
+
+   private:
+    std::string site_;
+  };
+
+ private:
+  FaultInjector() = default;
+
+  struct SiteState {
+    int fail_on_hit = 0;
+    int hits = 0;
+    bool fired = false;
+  };
+
+  mutable std::mutex mutex_;
+  /// Fast-path guard: number of armed sites. Zero (the production state)
+  /// means Hit() returns without touching the mutex or the map.
+  std::atomic<int> armed_sites_{0};
+  std::unordered_map<std::string, SiteState> sites_;
+};
+
+}  // namespace kddn
+
+/// Crash-injection point. `site` must be a string literal naming the
+/// subsystem and operation, e.g. "nn.save.commit" or "corpus.read.line".
+#define KDDN_FAULT_POINT(site) ::kddn::FaultInjector::Instance().Hit(site)
+
+#endif  // KDDN_COMMON_FAULT_INJECTOR_H_

@@ -1,13 +1,17 @@
 #include "core/trainer.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <utility>
 
 #include "autograd/ops.h"
 #include "common/check.h"
+#include "common/fault_injector.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "nn/optimizer.h"
+#include "nn/serialization.h"
 
 namespace kddn::core {
 namespace {
@@ -61,12 +65,19 @@ double MeanLoss(models::NeuralDocumentModel* model,
 
 }  // namespace
 
+std::string CheckpointPath(const std::string& checkpoint_dir) {
+  return checkpoint_dir + "/checkpoint.kddn";
+}
+
 Trainer::Trainer(const TrainOptions& options) : options_(options) {
   KDDN_CHECK_GT(options.epochs, 0);
   KDDN_CHECK_GT(options.batch_size, 0);
   KDDN_CHECK_GT(options.learning_rate, 0.0f);
   KDDN_CHECK_GE(options.num_threads, 0);
   KDDN_CHECK_GT(options.grad_chunk_size, 0);
+  KDDN_CHECK_GT(options.checkpoint_every, 0);
+  KDDN_CHECK(!options.resume || !options.checkpoint_dir.empty())
+      << "resume requires a checkpoint_dir";
 }
 
 eval::CurveRecorder Trainer::Train(models::NeuralDocumentModel* model,
@@ -119,7 +130,76 @@ eval::CurveRecorder Trainer::Train(models::NeuralDocumentModel* model,
   };
 
   eval::CurveRecorder recorder;
-  for (int epoch = 1; epoch <= options_.epochs; ++epoch) {
+
+  // --- Crash safety -------------------------------------------------------
+  const bool checkpointing = !options_.checkpoint_dir.empty();
+  const std::string checkpoint_path =
+      checkpointing ? CheckpointPath(options_.checkpoint_dir) : std::string();
+  if (checkpointing) {
+    std::filesystem::create_directories(options_.checkpoint_dir);
+  }
+  // Checkpoints capture the exact epoch-boundary training state: current
+  // weights, optimizer accumulators, best-validation snapshot, and curve.
+  auto write_checkpoint = [&](int completed_epochs) {
+    nn::TrainerState state;
+    state.completed_epochs = completed_epochs;
+    state.seed = options_.seed;
+    state.best_validation_auc = best_auc;
+    state.curve = recorder.points();
+    state.accumulators = optimizer.ExportState();
+    const auto& params = model->params().all();
+    if (!best_params.empty()) {
+      state.best_params.reserve(params.size());
+      for (size_t i = 0; i < params.size(); ++i) {
+        state.best_params.emplace_back(params[i]->name(), best_params[i]);
+      }
+    }
+    nn::SaveCheckpointToFile(model->params(), &state, checkpoint_path);
+  };
+
+  int start_epoch = 1;
+  if (options_.resume && std::filesystem::exists(checkpoint_path)) {
+    nn::TrainerState state;
+    KDDN_CHECK(
+        nn::LoadCheckpointFromFile(&model->params(), &state, checkpoint_path))
+        << checkpoint_path << " is a model-only checkpoint; cannot resume";
+    KDDN_CHECK_EQ(state.seed, options_.seed)
+        << "resume seed mismatch: checkpoint was trained with seed "
+        << state.seed;
+    KDDN_CHECK_GE(options_.epochs, state.completed_epochs)
+        << "checkpoint already covers " << state.completed_epochs
+        << " epochs but this run asks for " << options_.epochs;
+    optimizer.ImportState(std::move(state.accumulators));
+    best_auc = state.best_validation_auc;
+    const auto& params = model->params().all();
+    if (!state.best_params.empty()) {
+      KDDN_CHECK_EQ(state.best_params.size(), params.size())
+          << "best-parameter snapshot does not match the model";
+      for (size_t i = 0; i < params.size(); ++i) {
+        KDDN_CHECK_EQ(state.best_params[i].first, params[i]->name())
+            << "best-parameter snapshot order mismatch";
+        best_params.push_back(std::move(state.best_params[i].second));
+      }
+    }
+    for (const eval::CurvePoint& point : state.curve) {
+      recorder.Add(point);
+    }
+    // Replay the completed epochs' shuffles: the generator state and the
+    // evolving example order end up exactly where the uninterrupted run's
+    // would be, which is what makes resume bitwise-exact.
+    for (int epoch = 1; epoch <= state.completed_epochs; ++epoch) {
+      rng.Shuffle(&order);
+    }
+    start_epoch = state.completed_epochs + 1;
+    if (options_.verbose) {
+      std::fprintf(stderr, "[%s] resuming at epoch %d from %s\n",
+                   model->name(), start_epoch, checkpoint_path.c_str());
+    }
+  }
+  // ------------------------------------------------------------------------
+
+  for (int epoch = start_epoch; epoch <= options_.epochs; ++epoch) {
+    KDDN_FAULT_POINT("core.train.epoch");
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
     int seen = 0;
@@ -182,6 +262,10 @@ eval::CurveRecorder Trainer::Train(models::NeuralDocumentModel* model,
                    "[%s] epoch %d train_loss=%.4f val_loss=%.4f val_auc=%.4f\n",
                    model->name(), epoch, point.train_loss,
                    point.validation_loss, point.validation_auc);
+    }
+    if (checkpointing && (epoch % options_.checkpoint_every == 0 ||
+                          epoch == options_.epochs)) {
+      write_checkpoint(epoch);
     }
   }
   if (!best_params.empty() && !validation.empty()) {

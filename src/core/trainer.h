@@ -1,6 +1,7 @@
 #ifndef KDDN_CORE_TRAINER_H_
 #define KDDN_CORE_TRAINER_H_
 
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -31,7 +32,25 @@ struct TrainOptions {
   /// order depends only on this value, never on the thread count. Smaller
   /// chunks expose more parallelism; larger ones use less buffer memory.
   int grad_chunk_size = 8;
+  /// Crash safety: when non-empty, the trainer atomically writes
+  /// CheckpointPath(checkpoint_dir) — model weights plus trainer state
+  /// (epoch, seed, Adagrad accumulators, best-validation snapshot, curve) —
+  /// after every `checkpoint_every`-th epoch and after the final epoch. The
+  /// directory is created if missing.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  /// Restart from the checkpoint in `checkpoint_dir` if one exists (a cold
+  /// start otherwise). Resume is exact: the restarted run consumes the same
+  /// shuffle stream, per-example dropout seeds, and optimizer state the
+  /// uninterrupted run would have, so the trained parameters are bitwise
+  /// identical to never having crashed (tests/robustness_test.cc enforces
+  /// this at 1 and 4 threads). Requires the same TrainOptions::seed and an
+  /// epoch horizon >= the checkpoint's completed epochs.
+  bool resume = false;
 };
+
+/// The checkpoint file a Trainer reads and writes inside `checkpoint_dir`.
+std::string CheckpointPath(const std::string& checkpoint_dir);
 
 /// Mini-batch trainer: per-example graphs, gradient accumulation across the
 /// batch, one Adagrad step per batch, per-epoch validation loss/AUC tracking
@@ -44,6 +63,11 @@ struct TrainOptions {
 /// derived from (seed, epoch, position), so neither the gradients nor the
 /// random stream depend on scheduling — the trained parameters are bitwise
 /// identical at any thread count.
+///
+/// With TrainOptions::checkpoint_dir set, training is also crash-safe:
+/// checkpoints are written atomically at epoch boundaries, and
+/// TrainOptions::resume restarts from the last one with bitwise-identical
+/// results (see the TrainOptions field docs).
 class Trainer {
  public:
   explicit Trainer(const TrainOptions& options = {});

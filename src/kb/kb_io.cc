@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/fault_injector.h"
 #include "common/string_util.h"
 
 namespace kddn::kb {
@@ -39,23 +40,32 @@ std::vector<std::string> SplitTabs(const std::string& line) {
 
 }  // namespace
 
-SemanticType ParseSemanticType(const std::string& name) {
-  for (SemanticType type : kAllTypes) {
-    if (name == SemanticTypeName(type)) {
-      return type;
+bool TryParseSemanticType(const std::string& name, SemanticType* type) {
+  for (SemanticType candidate : kAllTypes) {
+    if (name == SemanticTypeName(candidate)) {
+      *type = candidate;
+      return true;
     }
   }
-  KDDN_CHECK(false) << "unknown semantic type: " << name;
-  __builtin_unreachable();
+  return false;
+}
+
+SemanticType ParseSemanticType(const std::string& name) {
+  SemanticType type;
+  KDDN_CHECK(TryParseSemanticType(name, &type))
+      << "unknown semantic type: " << name;
+  return type;
 }
 
 void WriteKnowledgeBaseTsv(const KnowledgeBase& kb, std::ostream& out) {
   out << "# CUI\tsemantic type\tpreferred name\taliases\tdefinition\n";
   for (const Concept& entry : kb.concepts()) {
+    KDDN_FAULT_POINT("kb.write.line");
     out << entry.cui << '\t' << SemanticTypeName(entry.semantic_type) << '\t'
         << entry.preferred_name << '\t' << Join(entry.aliases, "|") << '\t'
         << entry.definition << '\n';
   }
+  KDDN_CHECK(out.good()) << "knowledge-base write failed";
 }
 
 KnowledgeBase ReadKnowledgeBaseTsv(std::istream& in) {
@@ -64,6 +74,9 @@ KnowledgeBase ReadKnowledgeBaseTsv(std::istream& in) {
   int line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
+    // A read failure (disk error, truncation mid-stream) must abort the load
+    // rather than hand back whatever prefix happened to parse.
+    KDDN_FAULT_POINT("kb.read.line");
     const std::string trimmed = Strip(line);
     if (trimmed.empty() || trimmed[0] == '#') {
       continue;
@@ -74,10 +87,14 @@ KnowledgeBase ReadKnowledgeBaseTsv(std::istream& in) {
         << fields.size();
     Concept entry;
     entry.cui = Strip(fields[0]);
-    entry.semantic_type = ParseSemanticType(Strip(fields[1]));
+    KDDN_CHECK(TryParseSemanticType(Strip(fields[1]), &entry.semantic_type))
+        << "line " << line_number << ": unknown semantic type "
+        << Strip(fields[1]);
     entry.preferred_name = Strip(fields[2]);
     entry.aliases = Split(fields[3], "|");
     entry.definition = Strip(fields[4]);
+    KDDN_CHECK(kb.FindByCui(entry.cui) == nullptr)
+        << "line " << line_number << ": duplicate CUI " << entry.cui;
     kb.Add(std::move(entry));
   }
   return kb;

@@ -21,11 +21,16 @@ namespace kddn::kb {
 /// unknown labels.
 SemanticType ParseSemanticType(const std::string& name);
 
+/// Non-throwing variant: returns false on unknown labels (used by the TSV
+/// reader so its error can name the offending line).
+bool TryParseSemanticType(const std::string& name, SemanticType* type);
+
 /// Writes every concept of `kb` in the TSV format.
 void WriteKnowledgeBaseTsv(const KnowledgeBase& kb, std::ostream& out);
 
 /// Reads a TSV stream into a new knowledge base; throws KddnError on
-/// malformed rows or duplicate CUIs.
+/// malformed rows or duplicate CUIs, naming the offending line number in the
+/// message.
 KnowledgeBase ReadKnowledgeBaseTsv(std::istream& in);
 
 /// File-path convenience wrappers.

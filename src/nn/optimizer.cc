@@ -1,5 +1,6 @@
 #include "nn/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -14,18 +15,39 @@ Adagrad::Adagrad(float learning_rate, float epsilon)
 
 void Adagrad::Step(const std::vector<ag::NodePtr>& params) {
   for (const ag::NodePtr& param : params) {
+    KDDN_CHECK(!param->name().empty())
+        << "Adagrad requires named parameters (register via ParameterSet)";
     Tensor& value = param->mutable_value();
     Tensor& grad = param->mutable_grad();
     auto [it, inserted] =
-        accumulators_.try_emplace(param.get(), Tensor(value.shape()));
+        accumulators_.try_emplace(param->name(), Tensor(value.shape()));
     Tensor& acc = it->second;
-    KDDN_CHECK(acc.SameShape(value)) << "parameter shape changed mid-training";
+    KDDN_CHECK(acc.SameShape(value))
+        << "accumulator/parameter shape mismatch for " << param->name();
     for (int64_t i = 0; i < value.size(); ++i) {
       const float g = grad[i];
       acc[i] += g * g;
       value[i] -= learning_rate_ * g / std::sqrt(acc[i] + epsilon_);
     }
     grad.Fill(0.0f);
+  }
+}
+
+std::vector<std::pair<std::string, Tensor>> Adagrad::ExportState() const {
+  std::vector<std::pair<std::string, Tensor>> state(accumulators_.begin(),
+                                                    accumulators_.end());
+  std::sort(state.begin(), state.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return state;
+}
+
+void Adagrad::ImportState(std::vector<std::pair<std::string, Tensor>> state) {
+  accumulators_.clear();
+  for (auto& [name, acc] : state) {
+    KDDN_CHECK(!name.empty()) << "unnamed accumulator in optimizer state";
+    const bool inserted =
+        accumulators_.emplace(name, std::move(acc)).second;
+    KDDN_CHECK(inserted) << "duplicate accumulator " << name;
   }
 }
 

@@ -1,7 +1,9 @@
 #ifndef KDDN_NN_OPTIMIZER_H_
 #define KDDN_NN_OPTIMIZER_H_
 
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "autograd/node.h"
@@ -21,18 +23,33 @@ class Optimizer {
 
 /// Adagrad (paper §VI): θ_t = θ_{t-1} − α / sqrt(Σ g_i² + ε) · g_t,
 /// with a per-weight accumulator of squared gradients.
+///
+/// Accumulators are keyed by parameter *name* (every trainable leaf is
+/// registered through ParameterSet::Create, which enforces unique non-empty
+/// names), so the state can be checkpointed and restored into a freshly
+/// constructed model: Export/ImportState round-trips make a resumed run
+/// bitwise identical to an uninterrupted one.
 class Adagrad : public Optimizer {
  public:
   explicit Adagrad(float learning_rate, float epsilon = 1e-8f);
 
   void Step(const std::vector<ag::NodePtr>& params) override;
 
+  /// Accumulator snapshot in name-sorted order (deterministic checkpoint
+  /// bytes regardless of hash-map iteration order).
+  std::vector<std::pair<std::string, Tensor>> ExportState() const;
+
+  /// Replaces the accumulator state (checkpoint resume). Duplicate names
+  /// throw; shapes are validated lazily on the next Step against the
+  /// parameter they apply to.
+  void ImportState(std::vector<std::pair<std::string, Tensor>> state);
+
   float learning_rate() const { return learning_rate_; }
 
  private:
   float learning_rate_;
   float epsilon_;
-  std::unordered_map<ag::Node*, Tensor> accumulators_;
+  std::unordered_map<std::string, Tensor> accumulators_;
 };
 
 /// Plain SGD with optional L2 weight decay; used for ablation comparisons.

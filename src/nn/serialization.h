@@ -1,9 +1,13 @@
 #ifndef KDDN_NN_SERIALIZATION_H_
 #define KDDN_NN_SERIALIZATION_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "eval/metrics.h"
 #include "nn/parameter.h"
 
 namespace kddn::nn {
@@ -11,23 +15,66 @@ namespace kddn::nn {
 /// Binary checkpoint format for trained models (version 2):
 ///   magic "KDDN" + version u32, parameter count u32, then per parameter:
 ///   name (u32 length + bytes), rank u32, dims i32..., float32 payload;
+///   optionally a trainer-state section (marker "TRST", see TrainerState);
 ///   finally a u64 FNV-1a checksum over every byte after the version field.
 /// The checksum makes silent corruption (truncation, bit flips) a loud load
 /// failure rather than a quietly wrong model. Loading requires the
 /// destination ParameterSet to have the same parameters (same names, shapes,
 /// order) — i.e. a model constructed with the same ModelConfig — and fails
 /// loudly otherwise. Version-1 checkpoints (no checksum) are rejected.
+///
+/// File writes are atomic: Save*ToFile stages the bytes in `<path>.tmp` and
+/// renames onto `path` only after a complete, flushed write, so a crash at
+/// any point leaves the previous checkpoint intact (enforced by the
+/// fault-injection tests in tests/robustness_test.cc).
 
-/// Writes all parameters of `params` to `out`.
+/// Everything beyond the weights that core::Trainer needs to restart at an
+/// epoch boundary and reproduce the uninterrupted run bit for bit: the
+/// training seed (shuffle replay), name-keyed Adagrad accumulators, the
+/// best-validation snapshot, and the curve recorded so far. Tensors are
+/// stored as exact float32 bytes and scalars as raw little-endian values, so
+/// a round trip loses nothing.
+struct TrainerState {
+  int completed_epochs = 0;
+  uint64_t seed = 0;
+  double best_validation_auc = -1.0;
+  /// Per-epoch curve points recorded before the checkpoint.
+  std::vector<eval::CurvePoint> curve;
+  /// Adagrad accumulators, name-sorted (Adagrad::ExportState order).
+  std::vector<std::pair<std::string, Tensor>> accumulators;
+  /// Best-validation parameter snapshot in model registration order; empty
+  /// if no epoch has completed validation yet.
+  std::vector<std::pair<std::string, Tensor>> best_params;
+};
+
+/// Writes all parameters of `params` to `out` (no trainer state).
 void SaveParameters(const ParameterSet& params, std::ostream& out);
 
+/// Writes parameters plus, when `state` is non-null, the trainer-state
+/// section.
+void SaveCheckpoint(const ParameterSet& params, const TrainerState* state,
+                    std::ostream& out);
+
 /// Restores parameter values in place; throws KddnError on any mismatch or
-/// truncated/corrupt stream.
+/// truncated/corrupt stream. A trailing trainer-state section, if present,
+/// is verified by the checksum but otherwise ignored — model-only consumers
+/// (serving, --load) can read trainer checkpoints.
 void LoadParameters(ParameterSet* params, std::istream& in);
 
-/// File-path convenience wrappers.
+/// LoadParameters plus trainer state: returns true and fills `*state` when
+/// the checkpoint carries a trainer-state section, false (parameters still
+/// loaded) when it is model-only.
+bool LoadCheckpoint(ParameterSet* params, TrainerState* state,
+                    std::istream& in);
+
+/// File-path convenience wrappers; the Save variants write atomically via
+/// `<path>.tmp` + rename.
 void SaveParametersToFile(const ParameterSet& params, const std::string& path);
+void SaveCheckpointToFile(const ParameterSet& params, const TrainerState* state,
+                          const std::string& path);
 void LoadParametersFromFile(ParameterSet* params, const std::string& path);
+bool LoadCheckpointFromFile(ParameterSet* params, TrainerState* state,
+                            const std::string& path);
 
 }  // namespace kddn::nn
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault_injector.h"
 #include "common/thread_pool.h"
 #include "text/tokenizer.h"
 
@@ -28,12 +29,30 @@ void TruncateIds(std::vector<int>* ids, int limit) {
 
 }  // namespace
 
+const char* ShedReasonName(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kNone:
+      return "none";
+    case ShedReason::kQueueFull:
+      return "queue-full";
+    case ShedReason::kDeadlineExceeded:
+      return "deadline-exceeded";
+  }
+  return "unknown";
+}
+
 InferenceEngine::InferenceEngine(const FrozenModel* model,
                                  const EngineOptions& options)
     : model_(model), options_(options) {
   KDDN_CHECK(model_ != nullptr);
   KDDN_CHECK_GT(options_.max_batch, 0) << "max_batch must be positive";
-  KDDN_CHECK_GE(options_.flush_deadline_ms, 0);
+  KDDN_CHECK_GE(options_.flush_deadline_ms, 0)
+      << "flush_deadline_ms must be >= 0";
+  KDDN_CHECK_GE(options_.cache_capacity, 0) << "cache_capacity must be >= 0";
+  KDDN_CHECK_GE(options_.max_queue, 0)
+      << "max_queue must be >= 0 (0 = unbounded)";
+  KDDN_CHECK_GE(options_.deadline_ms, 0)
+      << "deadline_ms must be >= 0 (0 = no deadline)";
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
@@ -75,14 +94,39 @@ std::future<float> InferenceEngine::ScoreAsync(data::Example example) {
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     KDDN_CHECK(!stopping_) << "ScoreAsync after engine shutdown";
+    if (options_.max_queue > 0 &&
+        static_cast<int>(queue_.size()) >= options_.max_queue) {
+      // Shed at the door: refusing now bounds both memory and the latency of
+      // every request already queued.
+      stats_.RecordShed();
+      throw ShedError(ShedReason::kQueueFull,
+                      "request shed: queue is at max_queue=" +
+                          std::to_string(options_.max_queue));
+    }
     queue_.push_back(std::move(request));
   }
   queue_cv_.notify_all();
   return future;
 }
 
+ScoreResult InferenceEngine::TryScore(const data::Example& example) {
+  try {
+    return ScoreResult{Score(example), ShedReason::kNone};
+  } catch (const ShedError& error) {
+    return ScoreResult{0.0f, error.reason()};
+  }
+}
+
 float InferenceEngine::ScoreNote(const std::string& raw_text) {
   return Score(EncodeNote(raw_text));
+}
+
+ScoreResult InferenceEngine::TryScoreNote(const std::string& raw_text) {
+  try {
+    return ScoreResult{ScoreNote(raw_text), ShedReason::kNone};
+  } catch (const ShedError& error) {
+    return ScoreResult{0.0f, error.reason()};
+  }
 }
 
 data::Example InferenceEngine::EncodeNote(const std::string& raw_text) {
@@ -103,13 +147,22 @@ data::Example InferenceEngine::EncodeNote(const std::string& raw_text) {
     }
   }
   stats_.RecordCacheMiss();
-  example.concept_ids = pipeline_.concept_vocab->Encode(
-      kb::ConceptExtractor::CuiSequence(pipeline_.extractor->Extract(
-          raw_text, pipeline_.options.extraction)));
-  TruncateIds(&example.concept_ids, pipeline_.options.max_concepts);
-  if (concept_cache_ != nullptr) {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    concept_cache_->Put(key, example.concept_ids);
+  try {
+    KDDN_FAULT_POINT("serve.encode.extract");
+    example.concept_ids = pipeline_.concept_vocab->Encode(
+        kb::ConceptExtractor::CuiSequence(pipeline_.extractor->Extract(
+            raw_text, pipeline_.options.extraction)));
+    TruncateIds(&example.concept_ids, pipeline_.options.max_concepts);
+    if (concept_cache_ != nullptr) {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      concept_cache_->Put(key, example.concept_ids);
+    }
+  } catch (const std::exception&) {
+    // Degrade rather than fail: the request is still served from the text
+    // branch with a <pad> concept row (never cached, so a recovered
+    // extractor serves the real concepts on the next miss).
+    stats_.RecordDegraded();
+    example.concept_ids = {text::Vocabulary::kPadId};
   }
   return example;
 }
@@ -117,6 +170,7 @@ data::Example InferenceEngine::EncodeNote(const std::string& raw_text) {
 void InferenceEngine::WorkerLoop() {
   while (true) {
     std::vector<std::unique_ptr<Request>> batch;
+    std::vector<std::unique_ptr<Request>> expired;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -132,15 +186,33 @@ void InferenceEngine::WorkerLoop() {
         return stopping_ ||
                static_cast<int>(queue_.size()) >= options_.max_batch;
       });
-      const size_t take = std::min(queue_.size(),
-                                   static_cast<size_t>(options_.max_batch));
-      batch.reserve(take);
-      for (size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
+      // Pop up to max_batch live requests; anything already past its
+      // per-request deadline is set aside to be shed (it consumes no batch
+      // slot — stale work must not crowd out fresh work).
+      const auto now = std::chrono::steady_clock::now();
+      while (!queue_.empty() &&
+             static_cast<int>(batch.size()) < options_.max_batch) {
+        std::unique_ptr<Request> request = std::move(queue_.front());
         queue_.pop_front();
+        if (options_.deadline_ms > 0 &&
+            now - request->enqueued >
+                std::chrono::milliseconds(options_.deadline_ms)) {
+          expired.push_back(std::move(request));
+        } else {
+          batch.push_back(std::move(request));
+        }
       }
     }
-    ExecuteBatch(std::move(batch));
+    for (std::unique_ptr<Request>& request : expired) {
+      stats_.RecordTimeout();
+      request->promise.set_exception(std::make_exception_ptr(ShedError(
+          ShedReason::kDeadlineExceeded,
+          "request shed: queued longer than deadline_ms=" +
+              std::to_string(options_.deadline_ms))));
+    }
+    if (!batch.empty()) {
+      ExecuteBatch(std::move(batch));
+    }
   }
 }
 

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.h"
 #include "data/dataset.h"
 #include "kb/concept_extractor.h"
 #include "serve/frozen_model.h"
@@ -22,7 +23,10 @@
 
 namespace kddn::serve {
 
-/// Micro-batching knobs.
+/// Micro-batching and admission-control knobs. All values are validated at
+/// engine construction: nonsensical settings (zero/negative max_batch,
+/// negative deadlines, negative capacities) throw KddnError immediately
+/// instead of misbehaving under load.
 struct EngineOptions {
   /// A batch flushes as soon as this many requests are queued...
   int max_batch = 16;
@@ -31,6 +35,47 @@ struct EngineOptions {
   int flush_deadline_ms = 2;
   /// Concept-extraction LRU entries (ScoreNote path); 0 disables the cache.
   int cache_capacity = 1024;
+  /// Admission control: maximum requests waiting in the queue. An arrival
+  /// beyond this bound is shed immediately (ShedReason::kQueueFull) instead
+  /// of growing the backlog without limit. 0 = unbounded (no shedding).
+  int max_queue = 0;
+  /// Per-request deadline, measured from enqueue: a request still queued
+  /// past this many milliseconds is shed (ShedReason::kDeadlineExceeded)
+  /// when the batcher reaches it, rather than burning batch capacity on an
+  /// answer the caller has stopped waiting for. 0 = no deadline.
+  int deadline_ms = 0;
+};
+
+/// Why admission control refused or abandoned a request.
+enum class ShedReason {
+  kNone = 0,
+  kQueueFull,          // Rejected at enqueue: queue was at max_queue.
+  kDeadlineExceeded,   // Abandoned in queue: older than deadline_ms.
+};
+
+const char* ShedReasonName(ShedReason reason);
+
+/// Thrown by the throwing Score APIs when a request is shed. Subclasses
+/// KddnError so existing catch sites keep working; callers that want to
+/// branch on the cause can catch ShedError and read reason().
+class ShedError : public KddnError {
+ public:
+  ShedError(ShedReason reason, const std::string& what)
+      : KddnError(what), reason_(reason) {}
+
+  ShedReason reason() const { return reason_; }
+
+ private:
+  ShedReason reason_;
+};
+
+/// expected-style outcome for the non-throwing Try* APIs: either a score or
+/// the reason the request was shed.
+struct ScoreResult {
+  float score = 0.0f;
+  ShedReason shed = ShedReason::kNone;
+
+  bool ok() const { return shed == ShedReason::kNone; }
 };
 
 /// Preprocessing assets for raw-text scoring — the same pipeline
@@ -56,6 +101,12 @@ struct NotePipeline {
 /// Scores are bitwise identical to the single-example autograd path for
 /// every batch composition and thread count — batching changes scheduling,
 /// never arithmetic (each document keeps its own ragged-shape forward).
+///
+/// Overload safety: with max_queue / deadline_ms set, the engine sheds
+/// rather than queues unboundedly — over-limit arrivals are refused at the
+/// door, stale requests are dropped unscored, and both outcomes are counted
+/// in stats() and surfaced to the caller as ShedError (throwing APIs) or a
+/// not-ok ScoreResult (Try* APIs).
 class InferenceEngine {
  public:
   /// Engine without a raw-text pipeline: Score/ScoreAsync only.
@@ -75,19 +126,34 @@ class InferenceEngine {
 
   /// Blocking score of one encoded example (positive-class probability).
   /// Safe to call from any thread; the call participates in batching.
+  /// Throws ShedError if admission control refuses (queue full) or abandons
+  /// (deadline exceeded) the request.
   float Score(const data::Example& example);
 
   /// Asynchronous variant; the future resolves when the batch containing the
-  /// request executes.
+  /// request executes. Throws ShedError immediately when the queue is at
+  /// max_queue; a deadline shed surfaces as ShedError on the future.
   std::future<float> ScoreAsync(data::Example example);
+
+  /// Non-throwing variant of Score for callers that prefer branching over
+  /// catching: a shed request comes back as a ScoreResult with ok() == false
+  /// and the reason set. Non-admission failures still throw.
+  ScoreResult TryScore(const data::Example& example);
 
   /// Raw clinical note in, mortality probability out: runs the training-time
   /// preprocessing pipeline (concept extraction served from the LRU cache),
   /// then scores through the batch queue. Notes with no in-vocabulary words
   /// or no extracted concepts are scored as a single <pad> token on the
   /// affected branch, so every input — empty, punctuation-only, stop-word
-  /// -only, or fully OOV — returns a well-defined probability.
+  /// -only, or fully OOV — returns a well-defined probability. If concept
+  /// extraction itself fails, the request degrades instead of erroring: the
+  /// text branch is scored against a <pad> concept row and the degraded
+  /// counter in stats() ticks. Throws ShedError under admission control like
+  /// Score.
   float ScoreNote(const std::string& raw_text);
+
+  /// Non-throwing variant of ScoreNote (see TryScore).
+  ScoreResult TryScoreNote(const std::string& raw_text);
 
   /// Preprocesses a raw note to a model-ready example (ScoreNote's first
   /// half). Requires a NotePipeline.

@@ -32,6 +32,21 @@ void Stats::RecordBatch(int size) {
   ++batch_histogram_[static_cast<size_t>(size)];
 }
 
+void Stats::RecordShed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++shed_;
+}
+
+void Stats::RecordTimeout() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++timeouts_;
+}
+
+void Stats::RecordDegraded() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++degraded_;
+}
+
 void Stats::RecordCacheHit() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++cache_hits_;
@@ -47,6 +62,9 @@ StatsSnapshot Stats::Snapshot() const {
   StatsSnapshot snapshot;
   snapshot.requests = requests_;
   snapshot.batches = batches_;
+  snapshot.shed = shed_;
+  snapshot.timeouts = timeouts_;
+  snapshot.degraded = degraded_;
   snapshot.cache_hits = cache_hits_;
   snapshot.cache_misses = cache_misses_;
   const int64_t lookups = cache_hits_ + cache_misses_;
@@ -82,6 +100,8 @@ double PercentileOf(std::vector<double> samples, double q) {
 std::string StatsSnapshot::ToJson() const {
   std::ostringstream out;
   out << "{\"requests\": " << requests << ", \"batches\": " << batches
+      << ", \"shed\": " << shed << ", \"timeouts\": " << timeouts
+      << ", \"degraded\": " << degraded
       << ", \"cache_hits\": " << cache_hits
       << ", \"cache_misses\": " << cache_misses
       << ", \"cache_hit_rate\": " << cache_hit_rate

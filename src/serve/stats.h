@@ -14,6 +14,15 @@ namespace kddn::serve {
 struct StatsSnapshot {
   int64_t requests = 0;
   int64_t batches = 0;
+  /// Admission control: requests refused at enqueue because the queue was at
+  /// EngineOptions::max_queue.
+  int64_t shed = 0;
+  /// Requests abandoned unscored because they aged past
+  /// EngineOptions::deadline_ms while queued.
+  int64_t timeouts = 0;
+  /// ScoreNote requests served degraded: concept extraction failed, so the
+  /// text branch was scored against a <pad> concept row.
+  int64_t degraded = 0;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   double cache_hit_rate = 0.0;  // hits / (hits + misses); 0 if no lookups.
@@ -44,6 +53,9 @@ class Stats {
 
   void RecordRequestLatencyMs(double ms);
   void RecordBatch(int size);
+  void RecordShed();
+  void RecordTimeout();
+  void RecordDegraded();
   void RecordCacheHit();
   void RecordCacheMiss();
 
@@ -53,6 +65,9 @@ class Stats {
   mutable std::mutex mutex_;
   int64_t requests_ = 0;
   int64_t batches_ = 0;
+  int64_t shed_ = 0;
+  int64_t timeouts_ = 0;
+  int64_t degraded_ = 0;
   int64_t batch_request_total_ = 0;
   int64_t cache_hits_ = 0;
   int64_t cache_misses_ = 0;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/fault_injector.h"
 
 namespace kddn::synth {
 namespace {
@@ -136,6 +137,7 @@ std::string EscapeJson(const std::string& raw) {
 
 void WriteCohortJsonl(const Cohort& cohort, std::ostream& out) {
   for (const SyntheticPatient& patient : cohort.patients()) {
+    KDDN_FAULT_POINT("corpus.write.line");
     out << "{\"id\":" << patient.id << ",\"age\":" << patient.age
         << ",\"outcome\":" << static_cast<int>(patient.outcome)
         << ",\"diseases\":[";
@@ -154,7 +156,57 @@ void WriteCohortJsonl(const Cohort& cohort, std::ostream& out) {
     }
     out << "],\"text\":\"" << EscapeJson(patient.text) << "\"}\n";
   }
+  KDDN_CHECK(out.good()) << "cohort write failed";
 }
+
+namespace {
+
+PatientRecord ParseRecordLine(const std::string& line) {
+  JsonScanner scanner(line);
+  PatientRecord record;
+  scanner.Expect('{');
+  bool first = true;
+  while (!scanner.TryConsume('}')) {
+    if (!first) {
+      scanner.Expect(',');
+    }
+    first = false;
+    const std::string key = scanner.ParseString();
+    scanner.Expect(':');
+    if (key == "id") {
+      record.id = static_cast<int>(scanner.ParseInt());
+    } else if (key == "age") {
+      record.age = static_cast<int>(scanner.ParseInt());
+    } else if (key == "outcome") {
+      const long value = scanner.ParseInt();
+      KDDN_CHECK(value >= 0 && value <= 3) << "bad outcome " << value;
+      record.outcome = static_cast<MortalityOutcome>(value);
+    } else if (key == "diseases") {
+      scanner.Expect('[');
+      if (!scanner.TryConsume(']')) {
+        do {
+          record.disease_cuis.push_back(scanner.ParseString());
+        } while (scanner.TryConsume(','));
+        scanner.Expect(']');
+      }
+    } else if (key == "worsening") {
+      scanner.Expect('[');
+      if (!scanner.TryConsume(']')) {
+        do {
+          record.disease_worsening.push_back(scanner.ParseBool());
+        } while (scanner.TryConsume(','));
+        scanner.Expect(']');
+      }
+    } else if (key == "text") {
+      record.text = scanner.ParseString();
+    } else {
+      KDDN_CHECK(false) << "unknown key " << key;
+    }
+  }
+  return record;
+}
+
+}  // namespace
 
 std::vector<PatientRecord> ReadCohortJsonl(std::istream& in) {
   std::vector<PatientRecord> records;
@@ -162,53 +214,18 @@ std::vector<PatientRecord> ReadCohortJsonl(std::istream& in) {
   int line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
+    // Abort on read failure instead of returning the parsed prefix as if it
+    // were the whole corpus.
+    KDDN_FAULT_POINT("corpus.read.line");
     if (line.empty()) {
       continue;
     }
-    JsonScanner scanner(line);
-    PatientRecord record;
-    scanner.Expect('{');
-    bool first = true;
-    while (!scanner.TryConsume('}')) {
-      if (!first) {
-        scanner.Expect(',');
-      }
-      first = false;
-      const std::string key = scanner.ParseString();
-      scanner.Expect(':');
-      if (key == "id") {
-        record.id = static_cast<int>(scanner.ParseInt());
-      } else if (key == "age") {
-        record.age = static_cast<int>(scanner.ParseInt());
-      } else if (key == "outcome") {
-        const long value = scanner.ParseInt();
-        KDDN_CHECK(value >= 0 && value <= 3)
-            << "line " << line_number << ": bad outcome " << value;
-        record.outcome = static_cast<MortalityOutcome>(value);
-      } else if (key == "diseases") {
-        scanner.Expect('[');
-        if (!scanner.TryConsume(']')) {
-          do {
-            record.disease_cuis.push_back(scanner.ParseString());
-          } while (scanner.TryConsume(','));
-          scanner.Expect(']');
-        }
-      } else if (key == "worsening") {
-        scanner.Expect('[');
-        if (!scanner.TryConsume(']')) {
-          do {
-            record.disease_worsening.push_back(scanner.ParseBool());
-          } while (scanner.TryConsume(','));
-          scanner.Expect(']');
-        }
-      } else if (key == "text") {
-        record.text = scanner.ParseString();
-      } else {
-        KDDN_CHECK(false) << "line " << line_number << ": unknown key "
-                          << key;
-      }
+    try {
+      records.push_back(ParseRecordLine(line));
+    } catch (const KddnError& error) {
+      throw KddnError("line " + std::to_string(line_number) + ": " +
+                      error.what());
     }
-    records.push_back(std::move(record));
   }
   return records;
 }
