@@ -12,6 +12,13 @@
 // wall-clock on a trained BK-DDN — one-at-a-time autograd forward vs the
 // frozen snapshot vs the batched inference engine, plus engine latency
 // percentiles and the concept-cache hit rate on a repeated-note workload.
+//
+// Run with --train_json[=path] to emit BENCH_train.json: single-thread
+// BK-DDN epoch wall-clock at a >= 20k-row word vocabulary in three modes —
+// naive GEMM + dense embedding gradients (the pre-optimisation cost
+// profile), blocked GEMM + dense, and blocked GEMM + row-sparse — and
+// asserts the three trained weight sets are bitwise identical (the same
+// invariant tests/perf_test.cc enforces).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -365,6 +372,125 @@ int RunServeBench(const std::string& out_path) {
   return bitwise ? 0 : 1;
 }
 
+/// One row of the training bench: a GEMM kernel choice plus a gradient mode.
+struct TrainMode {
+  const char* name;
+  GemmKernel kernel;
+  bool sparse;
+};
+
+/// Emits BENCH_train.json: the tentpole acceptance artifact. Trains the same
+/// BK-DDN (same seeds, same data, one thread) under three kernel/gradient
+/// modes, reports epoch wall-clock and the before/after speedup, and fails
+/// (exit 1) unless all three runs produce bitwise-identical weights. The
+/// word vocabulary is padded to >= 20k rows so the dense modes pay the
+/// pre-PR per-step cost of merging, re-zeroing, and Adagrad-stepping the
+/// whole table while a batch only touches a few hundred rows of it.
+int RunTrainBench(const std::string& out_path) {
+  auto kb = kb::KnowledgeBase::BuildDefault();
+  kb::ConceptExtractor extractor(&kb);
+  synth::CohortConfig cohort_config;
+  cohort_config.num_patients = 300;
+  cohort_config.seed = 21;
+  const synth::Cohort cohort = synth::Cohort::Generate(cohort_config, kb);
+  data::DatasetOptions data_options;
+  data_options.max_words = 32;
+  data_options.max_concepts = 16;
+  const data::MortalityDataset dataset =
+      data::MortalityDataset::Build(cohort, extractor, data_options);
+
+  // Paper-scale widths; the word table is padded to a MIMIC-scale open
+  // vocabulary (clinical corpora run to low-hundreds-of-thousands of types;
+  // the synthetic generator's is far smaller). This exercises the dense
+  // modes' real per-step cost: merging, re-zeroing, and Adagrad-stepping
+  // every row of a table a batch touches a few hundred rows of.
+  constexpr int kVocabFloor = 150000;
+  models::ModelConfig model_config;
+  model_config.word_vocab_size =
+      std::max<int>(dataset.word_vocab().size(), kVocabFloor);
+  model_config.concept_vocab_size = dataset.concept_vocab().size();
+  model_config.embedding_dim = 20;
+  model_config.num_filters = 50;
+  model_config.seed = 5;
+
+  core::TrainOptions train_options;
+  train_options.epochs = 2;  // Amortises one-time table-init costs.
+  train_options.batch_size = 16;
+  train_options.num_threads = 1;
+  train_options.seed = 7;
+
+  const TrainMode modes[] = {
+      {"naive_dense", GemmKernel::kNaive, false},  // Pre-PR cost profile.
+      {"blocked_dense", GemmKernel::kBlocked, false},
+      {"blocked_sparse", GemmKernel::kBlocked, true},
+  };
+  std::vector<double> seconds;
+  std::vector<std::vector<Tensor>> weights(3);
+  for (int i = 0; i < 3; ++i) {
+    SetGemmKernel(modes[i].kernel);
+    train_options.sparse_embedding_updates = modes[i].sparse;
+    seconds.push_back(BestSeconds(2, [&] {
+      models::BkDdn model(model_config);
+      core::Trainer trainer(train_options);
+      trainer.Train(&model, dataset.train(), dataset.validation(),
+                    synth::Horizon::kInHospital);
+      weights[i].clear();  // Reps are deterministic; keep the last copy.
+      for (const ag::NodePtr& param : model.params().all()) {
+        weights[i].push_back(param->value());
+      }
+    }));
+    std::printf("%-14s epoch=%.3fs\n", modes[i].name,
+                seconds.back() / train_options.epochs);
+  }
+  SetGemmKernel(GemmKernel::kBlocked);
+
+  bool bitwise = true;
+  for (int i = 1; i < 3; ++i) {
+    bitwise = bitwise && weights[i].size() == weights[0].size();
+    for (size_t p = 0; bitwise && p < weights[0].size(); ++p) {
+      bitwise = weights[i][p].SameShape(weights[0][p]) &&
+                std::memcmp(weights[i][p].data(), weights[0][p].data(),
+                            weights[0][p].size() * sizeof(float)) == 0;
+    }
+  }
+
+  const double speedup = seconds[0] / seconds[2];
+  std::ofstream out(out_path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"config\": {\"num_patients\": " << cohort_config.num_patients
+      << ", \"train_examples\": " << dataset.train().size()
+      << ", \"max_words\": " << data_options.max_words
+      << ", \"max_concepts\": " << data_options.max_concepts
+      << ", \"word_vocab_size\": " << model_config.word_vocab_size
+      << ", \"concept_vocab_size\": " << model_config.concept_vocab_size
+      << ", \"embedding_dim\": " << model_config.embedding_dim
+      << ", \"num_filters\": " << model_config.num_filters
+      << ", \"batch_size\": " << train_options.batch_size
+      << ", \"epochs\": " << train_options.epochs
+      << ", \"num_threads\": " << train_options.num_threads << "},\n";
+  out << "  \"epoch_seconds\": {";
+  for (int i = 0; i < 3; ++i) {
+    out << "\"" << modes[i].name << "\": "
+        << seconds[i] / train_options.epochs << (i < 2 ? ", " : "");
+  }
+  out << "},\n";
+  out << "  \"blocked_gemm_speedup\": " << seconds[0] / seconds[1] << ",\n";
+  out << "  \"sparse_update_speedup\": " << seconds[1] / seconds[2] << ",\n";
+  out << "  \"total_speedup\": " << speedup << ",\n";
+  out << "  \"weights_bitwise_identical\": " << (bitwise ? "true" : "false")
+      << "\n";
+  out << "}\n";
+  std::printf("wrote %s (total speedup %.2fx, bitwise=%s)\n",
+              out_path.c_str(), speedup, bitwise ? "yes" : "NO");
+  return bitwise ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace kddn
 
@@ -379,6 +505,11 @@ int main(int argc, char** argv) {
       const char* eq = std::strchr(argv[i], '=');
       return kddn::RunServeBench(eq != nullptr ? eq + 1
                                                : "BENCH_serve.json");
+    }
+    if (std::strncmp(argv[i], "--train_json", 12) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return kddn::RunTrainBench(eq != nullptr ? eq + 1
+                                               : "BENCH_train.json");
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -1,18 +1,57 @@
 #include "autograd/node.h"
 
+#include <atomic>
 #include <unordered_set>
 
 #include "common/check.h"
+#include "tensor/tensor_pool.h"
 
 namespace kddn::ag {
 namespace {
 
 thread_local GradSink* t_grad_sink = nullptr;
 
+std::atomic<bool> g_sparse_gradients{true};
+
 }  // namespace
+
+void SetSparseGradients(bool enabled) {
+  g_sparse_gradients.store(enabled, std::memory_order_relaxed);
+}
+
+bool SparseGradientsEnabled() {
+  return g_sparse_gradients.load(std::memory_order_relaxed);
+}
+
+void SparseRows::MarkRows(const std::vector<int>& ids, int num_rows) {
+  if (state_ == State::kDense) {
+    return;  // Dense absorbs row info.
+  }
+  state_ = State::kSparse;
+  if (static_cast<int>(member_.size()) < num_rows) {
+    member_.resize(static_cast<size_t>(num_rows), 0);
+  }
+  for (int id : ids) {
+    KDDN_CHECK(id >= 0 && id < num_rows)
+        << "SparseRows: row " << id << " out of range [0, " << num_rows << ")";
+    if (!member_[id]) {
+      member_[id] = 1;
+      rows_.push_back(id);
+    }
+  }
+}
+
+void SparseRows::Clear() {
+  for (int row : rows_) {
+    member_[row] = 0;
+  }
+  rows_.clear();
+  state_ = State::kClean;
+}
 
 GradSink::GradSink(const std::vector<NodePtr>& leaves) : leaves_(leaves) {
   buffers_.resize(leaves_.size());
+  trackers_.resize(leaves_.size());
   index_.reserve(leaves_.size());
   for (size_t i = 0; i < leaves_.size(); ++i) {
     KDDN_CHECK(leaves_[i] != nullptr) << "null leaf registered with GradSink";
@@ -24,35 +63,100 @@ bool GradSink::Redirects(const Node* leaf) const {
   return index_.count(leaf) != 0;
 }
 
-Tensor& GradSink::BufferFor(const Node* leaf) {
-  const auto it = index_.find(leaf);
-  KDDN_CHECK(it != index_.end()) << "BufferFor on unregistered leaf";
-  Tensor& buffer = buffers_[it->second];
-  if (!buffer.SameShape(leaf->value())) {
-    buffer = Tensor(leaf->value().shape());
+Tensor& GradSink::EnsureBuffer(int index) {
+  Tensor& buffer = buffers_[index];
+  if (!buffer.SameShape(leaves_[index]->value())) {
+    buffer = TensorPool::ThreadLocal().Acquire(leaves_[index]->value().shape());
   }
   return buffer;
+}
+
+Tensor& GradSink::DenseBufferFor(const Node* leaf) {
+  const auto it = index_.find(leaf);
+  KDDN_CHECK(it != index_.end()) << "DenseBufferFor on unregistered leaf";
+  trackers_[it->second].MarkDense();
+  return EnsureBuffer(it->second);
+}
+
+Tensor& GradSink::RowSparseBufferFor(const Node* leaf,
+                                     const std::vector<int>& ids) {
+  const auto it = index_.find(leaf);
+  KDDN_CHECK(it != index_.end()) << "RowSparseBufferFor on unregistered leaf";
+  trackers_[it->second].MarkRows(ids, leaf->value().dim(0));
+  return EnsureBuffer(it->second);
+}
+
+Tensor& GradSink::PeekBufferFor(const Node* leaf) {
+  const auto it = index_.find(leaf);
+  KDDN_CHECK(it != index_.end()) << "PeekBufferFor on unregistered leaf";
+  return EnsureBuffer(it->second);
 }
 
 void GradSink::MergeInto() {
   KDDN_CHECK(Current() != this)
       << "MergeInto while this sink is installed on the calling thread";
   for (size_t i = 0; i < leaves_.size(); ++i) {
-    if (buffers_[i].SameShape(leaves_[i]->value())) {
-      Tensor& grad = leaves_[i]->mutable_grad();
-      const Tensor& buffer = buffers_[i];
-      for (int64_t j = 0; j < grad.size(); ++j) {
-        grad[j] += buffer[j];
+    const SparseRows& tracker = trackers_[i];
+    const Tensor& buffer = buffers_[i];
+    switch (tracker.state()) {
+      case SparseRows::State::kClean:
+        // Never written this chunk: the buffer is all zeros (or not even
+        // allocated) and merging zeros is an exact no-op, so skip it.
+        break;
+      case SparseRows::State::kSparse: {
+        // Merge only the touched rows and hand the row set on to the leaf's
+        // own tracker, so the optimizer step stays O(touched) too.
+        Tensor& grad = leaves_[i]->RowSparseGrad(tracker.rows());
+        const int cols = buffer.dim(1);
+        const float* src = buffer.data();
+        float* dst = grad.data();
+        for (int row : tracker.rows()) {
+          const float* srow = src + static_cast<int64_t>(row) * cols;
+          float* drow = dst + static_cast<int64_t>(row) * cols;
+          for (int j = 0; j < cols; ++j) {
+            drow[j] += srow[j];
+          }
+        }
+        break;
+      }
+      case SparseRows::State::kDense: {
+        Tensor& grad = leaves_[i]->mutable_grad();
+        const float* src = buffer.data();
+        float* dst = grad.data();
+        for (int64_t j = 0; j < grad.size(); ++j) {
+          dst[j] += src[j];
+        }
+        break;
       }
     }
   }
 }
 
 void GradSink::Reset() {
-  for (Tensor& buffer : buffers_) {
-    if (!buffer.empty()) {
-      buffer.Fill(0.0f);
+  for (size_t i = 0; i < buffers_.size(); ++i) {
+    SparseRows& tracker = trackers_[i];
+    Tensor& buffer = buffers_[i];
+    switch (tracker.state()) {
+      case SparseRows::State::kClean:
+        break;
+      case SparseRows::State::kSparse: {
+        // Untouched rows were never written, so they are still zero; only
+        // the touched rows need re-zeroing.
+        const int cols = buffer.dim(1);
+        float* data = buffer.data();
+        for (int row : tracker.rows()) {
+          float* drow = data + static_cast<int64_t>(row) * cols;
+          for (int j = 0; j < cols; ++j) {
+            drow[j] = 0.0f;
+          }
+        }
+        break;
+      }
+      case SparseRows::State::kDense:
+        buffer.Fill(0.0f);
+        break;
     }
+    tracker.Clear();
   }
 }
 
@@ -86,27 +190,57 @@ NodePtr Node::Op(std::string name, Tensor value, std::vector<NodePtr> parents,
   return node;
 }
 
+Node::~Node() {
+  // Per-example graphs churn through nodes; give the storage back to the
+  // destroying thread's pool instead of the allocator.
+  TensorPool& pool = TensorPool::ThreadLocal();
+  pool.Recycle(std::move(value_));
+  pool.Recycle(std::move(grad_));
+}
+
 const Tensor& Node::grad() const {
   if (GradSink* sink = t_grad_sink; sink != nullptr && sink->Redirects(this)) {
-    return sink->BufferFor(this);
+    return sink->PeekBufferFor(this);
   }
   if (!grad_.SameShape(value_)) {
-    grad_ = Tensor(value_.shape());
+    grad_ = TensorPool::ThreadLocal().Acquire(value_.shape());
   }
   return grad_;
 }
 
 Tensor& Node::mutable_grad() {
   if (GradSink* sink = t_grad_sink; sink != nullptr && sink->Redirects(this)) {
-    return sink->BufferFor(this);
+    return sink->DenseBufferFor(this);
+  }
+  if (Tracked()) {
+    // The caller holds a mutable reference to the whole tensor, so assume
+    // the worst; sparse writers use RowSparseGrad instead.
+    grad_rows_.MarkDense();
   }
   if (!grad_.SameShape(value_)) {
-    grad_ = Tensor(value_.shape());
+    grad_ = TensorPool::ThreadLocal().Acquire(value_.shape());
   }
   return grad_;
 }
 
-void Node::ZeroGrad() { mutable_grad().Fill(0.0f); }
+Tensor& Node::RowSparseGrad(const std::vector<int>& ids) {
+  if (!Tracked() || !SparseGradientsEnabled()) {
+    return mutable_grad();
+  }
+  if (GradSink* sink = t_grad_sink; sink != nullptr && sink->Redirects(this)) {
+    return sink->RowSparseBufferFor(this, ids);
+  }
+  grad_rows_.MarkRows(ids, value_.dim(0));
+  if (!grad_.SameShape(value_)) {
+    grad_ = TensorPool::ThreadLocal().Acquire(value_.shape());
+  }
+  return grad_;
+}
+
+void Node::ZeroGrad() {
+  mutable_grad().Fill(0.0f);
+  grad_rows_.Clear();
+}
 
 void Node::RunBackward() {
   if (backward_) {
@@ -152,12 +286,13 @@ void Backward(const NodePtr& root) {
   // Interior nodes belong to this graph only, so their gradients are reset
   // here; leaf gradients are deliberately left alone so that trainable
   // parameters accumulate across the per-example graphs of a minibatch (the
-  // optimizer zeroes them after each step).
+  // optimizer zeroes them after each step). The const grad() accessor
+  // ensures allocation without marking the row tracker dense.
   for (Node* node : order) {
     if (!node->parents().empty()) {
       node->ZeroGrad();
     } else {
-      node->mutable_grad();  // Ensure allocation for accumulation.
+      node->grad();  // Ensure allocation for accumulation.
     }
   }
   root->mutable_grad().Fill(1.0f);

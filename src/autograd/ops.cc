@@ -1,9 +1,11 @@
 #include "autograd/ops.h"
 
 #include <cmath>
+#include <memory>
 
 #include "common/check.h"
 #include "tensor/tensor_ops.h"
+#include "tensor/tensor_pool.h"
 
 namespace kddn::ag {
 namespace {
@@ -101,7 +103,7 @@ NodePtr Transpose(const NodePtr& a) {
 }
 
 NodePtr Relu(const NodePtr& a) {
-  Tensor out = Val(a);
+  Tensor out = TensorPool::ThreadLocal().AcquireCopy(Val(a));
   float* op = out.data();
   for (int64_t i = 0; i < out.size(); ++i) {
     if (op[i] < 0.0f) {
@@ -125,7 +127,7 @@ NodePtr Relu(const NodePtr& a) {
 }
 
 NodePtr Tanh(const NodePtr& a) {
-  Tensor out = Val(a);
+  Tensor out = TensorPool::ThreadLocal().AcquireCopy(Val(a));
   float* op = out.data();
   for (int64_t i = 0; i < out.size(); ++i) {
     op[i] = std::tanh(op[i]);
@@ -145,7 +147,7 @@ NodePtr Tanh(const NodePtr& a) {
 }
 
 NodePtr Sigmoid(const NodePtr& a) {
-  Tensor out = Val(a);
+  Tensor out = TensorPool::ThreadLocal().AcquireCopy(Val(a));
   float* op = out.data();
   for (int64_t i = 0; i < out.size(); ++i) {
     op[i] = 1.0f / (1.0f + std::exp(-op[i]));
@@ -171,7 +173,7 @@ NodePtr SliceRows(const NodePtr& x, int begin, int end) {
       << "SliceRows range [" << begin << "," << end << ") out of "
       << v.ShapeString();
   const int cols = v.dim(1);
-  Tensor out({end - begin, cols});
+  Tensor out = TensorPool::ThreadLocal().AcquireUninit({end - begin, cols});
   for (int i = begin; i < end; ++i) {
     for (int j = 0; j < cols; ++j) {
       out.at(i - begin, j) = v.at(i, j);
@@ -232,7 +234,7 @@ NodePtr Concat(const std::vector<NodePtr>& nodes, int axis) {
     for (const NodePtr& n : nodes) {
       total += n->value().dim(0);
     }
-    out = Tensor({total});
+    out = TensorPool::ThreadLocal().AcquireUninit({total});
     int offset = 0;
     for (const NodePtr& n : nodes) {
       const Tensor& v = n->value();
@@ -248,7 +250,7 @@ NodePtr Concat(const std::vector<NodePtr>& nodes, int axis) {
       KDDN_CHECK_EQ(n->value().dim(1), cols) << "Concat(axis=0) width mismatch";
       total_rows += n->value().dim(0);
     }
-    out = Tensor({total_rows, cols});
+    out = TensorPool::ThreadLocal().AcquireUninit({total_rows, cols});
     int row = 0;
     for (const NodePtr& n : nodes) {
       const Tensor& v = n->value();
@@ -265,7 +267,7 @@ NodePtr Concat(const std::vector<NodePtr>& nodes, int axis) {
       KDDN_CHECK_EQ(n->value().dim(0), rows) << "Concat(axis=1) height mismatch";
       total_cols += n->value().dim(1);
     }
-    out = Tensor({rows, total_cols});
+    out = TensorPool::ThreadLocal().AcquireUninit({rows, total_cols});
     int col = 0;
     for (const NodePtr& n : nodes) {
       const Tensor& v = n->value();
@@ -326,13 +328,21 @@ NodePtr Concat(const std::vector<NodePtr>& nodes, int axis) {
 }
 
 NodePtr EmbeddingLookup(const NodePtr& table, const std::vector<int>& ids) {
+  // One shared copy up front; the graph (closure) then only holds a pointer.
+  return EmbeddingLookup(table, std::make_shared<const std::vector<int>>(ids));
+}
+
+NodePtr EmbeddingLookup(const NodePtr& table,
+                        std::shared_ptr<const std::vector<int>> ids) {
+  KDDN_CHECK(ids != nullptr) << "EmbeddingLookup with null id buffer";
   const Tensor& emb = Val(table);
   KDDN_CHECK_EQ(emb.rank(), 2) << "embedding table must be rank-2";
-  KDDN_CHECK(!ids.empty()) << "EmbeddingLookup with empty id list";
+  KDDN_CHECK(!ids->empty()) << "EmbeddingLookup with empty id list";
   const int vocab = emb.dim(0), d = emb.dim(1);
-  Tensor out({static_cast<int>(ids.size()), d});
-  for (size_t i = 0; i < ids.size(); ++i) {
-    const int id = ids[i];
+  Tensor out =
+      TensorPool::ThreadLocal().AcquireUninit({static_cast<int>(ids->size()), d});
+  for (size_t i = 0; i < ids->size(); ++i) {
+    const int id = (*ids)[i];
     KDDN_CHECK(id >= 0 && id < vocab)
         << "embedding id " << id << " out of range [0," << vocab << ")";
     const float* src = emb.data() + static_cast<int64_t>(id) * d;
@@ -347,11 +357,13 @@ NodePtr EmbeddingLookup(const NodePtr& table, const std::vector<int>& ids) {
                     if (!table->requires_grad()) {
                       return;
                     }
-                    Tensor& dtable = table->mutable_grad();
+                    // Row-sparse scatter: only the looked-up rows are
+                    // touched, and the tracker is told exactly which.
+                    Tensor& dtable = table->RowSparseGrad(*ids);
                     const Tensor& dy = self->grad();
-                    for (size_t i = 0; i < ids.size(); ++i) {
+                    for (size_t i = 0; i < ids->size(); ++i) {
                       float* dst =
-                          dtable.data() + static_cast<int64_t>(ids[i]) * d;
+                          dtable.data() + static_cast<int64_t>((*ids)[i]) * d;
                       const float* src =
                           dy.data() + static_cast<int64_t>(i) * d;
                       for (int j = 0; j < d; ++j) {
@@ -369,7 +381,7 @@ NodePtr Unfold(const NodePtr& x, int width) {
   KDDN_CHECK_GE(m, width) << "Unfold: " << m << " rows < width " << width
                           << " (pad first)";
   const int windows = m - width + 1;
-  Tensor out({windows, width * d});
+  Tensor out = TensorPool::ThreadLocal().AcquireUninit({windows, width * d});
   for (int j = 0; j < windows; ++j) {
     float* dst = out.data() + static_cast<int64_t>(j) * width * d;
     const float* src = v.data() + static_cast<int64_t>(j) * d;
@@ -402,7 +414,9 @@ NodePtr PadRows(const NodePtr& x, int min_rows) {
   if (m >= min_rows) {
     return x;
   }
-  Tensor out({min_rows, d});
+  // The pad rows must read as zeros, so the zero-filling Acquire is load-
+  // bearing here.
+  Tensor out = TensorPool::ThreadLocal().Acquire({min_rows, d});
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < d; ++j) {
       out.at(i, j) = v.at(i, j);
@@ -428,7 +442,7 @@ NodePtr MaxOverTime(const NodePtr& x) {
   KDDN_CHECK_EQ(v.rank(), 2) << "MaxOverTime input must be rank-2";
   const int m = v.dim(0), f = v.dim(1);
   KDDN_CHECK_GT(m, 0) << "MaxOverTime over zero rows";
-  Tensor out({f});
+  Tensor out = TensorPool::ThreadLocal().AcquireUninit({f});
   auto argmax = std::make_shared<std::vector<int>>(f, 0);
   for (int j = 0; j < f; ++j) {
     float best = v.at(0, j);
@@ -533,7 +547,7 @@ NodePtr Dropout(const NodePtr& x, float rate, bool training, Rng* rng) {
   const float keep = 1.0f - rate;
   const float inv_keep = 1.0f / keep;
   auto mask = std::make_shared<std::vector<float>>(v.size(), 0.0f);
-  Tensor out = v;
+  Tensor out = TensorPool::ThreadLocal().AcquireCopy(v);
   for (int64_t i = 0; i < out.size(); ++i) {
     if (rng->Bernoulli(keep)) {
       (*mask)[i] = inv_keep;

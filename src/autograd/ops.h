@@ -1,6 +1,7 @@
 #ifndef KDDN_AUTOGRAD_OPS_H_
 #define KDDN_AUTOGRAD_OPS_H_
 
+#include <memory>
 #include <vector>
 
 #include "autograd/node.h"
@@ -53,6 +54,13 @@ NodePtr Concat(const std::vector<NodePtr>& nodes, int axis);
 /// into the table rows, which is how embeddings are trained jointly with the
 /// model (paper §IV-A).
 NodePtr EmbeddingLookup(const NodePtr& table, const std::vector<int>& ids);
+
+/// As above, but sharing ownership of an immutable id buffer: the backward
+/// closure keeps the shared_ptr instead of copying the vector into the graph
+/// (one lookup per example per table adds up). The buffer must not change
+/// while the graph is alive.
+NodePtr EmbeddingLookup(const NodePtr& table,
+                        std::shared_ptr<const std::vector<int>> ids);
 
 /// im2col for 1-D convolution: x[m,d] -> [m-width+1, width*d], row j being
 /// the flattened window x[j..j+width). Requires m >= width.

@@ -87,6 +87,15 @@ eval::CurveRecorder Trainer::Train(models::NeuralDocumentModel* model,
   KDDN_CHECK(model != nullptr);
   KDDN_CHECK(!train.empty()) << "empty training split";
 
+  // Apply the sparse-gradient mode for the duration of this call, restoring
+  // the caller's setting on every exit path (benchmarks flip modes between
+  // back-to-back Train calls).
+  struct SparseModeGuard {
+    bool previous = ag::SparseGradientsEnabled();
+    ~SparseModeGuard() { ag::SetSparseGradients(previous); }
+  } sparse_guard;
+  ag::SetSparseGradients(options_.sparse_embedding_updates);
+
   nn::Adagrad optimizer(options_.learning_rate);
   Rng rng(options_.seed);
   model->params().ZeroGrads();

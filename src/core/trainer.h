@@ -32,6 +32,13 @@ struct TrainOptions {
   /// order depends only on this value, never on the thread count. Smaller
   /// chunks expose more parallelism; larger ones use less buffer memory.
   int grad_chunk_size = 8;
+  /// Row-sparse embedding-gradient handling (ag::SetSparseGradients): merge,
+  /// re-zero, and optimizer-step work for embedding tables is proportional
+  /// to the rows a batch actually touched instead of the vocabulary size.
+  /// The trained weights are bitwise identical either way (a zero-gradient
+  /// row is an exact no-op under Adagrad — see DESIGN.md §9); `false` exists
+  /// so benchmarks can reproduce the dense cost profile.
+  bool sparse_embedding_updates = true;
   /// Crash safety: when non-empty, the trainer atomically writes
   /// CheckpointPath(checkpoint_dir) — model weights plus trainer state
   /// (epoch, seed, Adagrad accumulators, best-validation snapshot, curve) —

@@ -17,6 +17,10 @@ void Adagrad::Step(const std::vector<ag::NodePtr>& params) {
   for (const ag::NodePtr& param : params) {
     KDDN_CHECK(!param->name().empty())
         << "Adagrad requires named parameters (register via ParameterSet)";
+    // Read the row tracker before mutable_grad(), which conservatively marks
+    // the gradient dense (the tracked row list itself stays intact).
+    const ag::SparseRows& rows = param->grad_rows();
+    const bool sparse = rows.state() == ag::SparseRows::State::kSparse;
     Tensor& value = param->mutable_value();
     Tensor& grad = param->mutable_grad();
     auto [it, inserted] =
@@ -24,12 +28,33 @@ void Adagrad::Step(const std::vector<ag::NodePtr>& params) {
     Tensor& acc = it->second;
     KDDN_CHECK(acc.SameShape(value))
         << "accumulator/parameter shape mismatch for " << param->name();
-    for (int64_t i = 0; i < value.size(); ++i) {
-      const float g = grad[i];
-      acc[i] += g * g;
-      value[i] -= learning_rate_ * g / std::sqrt(acc[i] + epsilon_);
+    if (sparse) {
+      // A zero-gradient row is an exact no-op under Adagrad: acc += 0*0
+      // leaves the accumulator's bits alone and the update subtracts
+      // lr*0/sqrt(acc+eps) = +0, which never changes a float's bits (the
+      // accumulated gradient can't be -0; it starts at +0 and += keeps it
+      // off -0). Visiting only the touched rows is therefore bitwise
+      // identical to the dense loop, at O(touched) cost.
+      const int cols = value.dim(1);
+      for (int row : rows.rows()) {
+        const int64_t base = static_cast<int64_t>(row) * cols;
+        for (int j = 0; j < cols; ++j) {
+          const float g = grad[base + j];
+          acc[base + j] += g * g;
+          value[base + j] -=
+              learning_rate_ * g / std::sqrt(acc[base + j] + epsilon_);
+          grad[base + j] = 0.0f;
+        }
+      }
+    } else {
+      for (int64_t i = 0; i < value.size(); ++i) {
+        const float g = grad[i];
+        acc[i] += g * g;
+        value[i] -= learning_rate_ * g / std::sqrt(acc[i] + epsilon_);
+      }
+      grad.Fill(0.0f);
     }
-    grad.Fill(0.0f);
+    param->ClearGradRows();
   }
 }
 
@@ -59,12 +84,29 @@ Sgd::Sgd(float learning_rate, float weight_decay)
 
 void Sgd::Step(const std::vector<ag::NodePtr>& params) {
   for (const ag::NodePtr& param : params) {
+    // The sparse shortcut is only valid without weight decay: decay moves
+    // every row, touched or not.
+    const ag::SparseRows& rows = param->grad_rows();
+    const bool sparse = rows.state() == ag::SparseRows::State::kSparse &&
+                        weight_decay_ == 0.0f;
     Tensor& value = param->mutable_value();
     Tensor& grad = param->mutable_grad();
-    for (int64_t i = 0; i < value.size(); ++i) {
-      value[i] -= learning_rate_ * (grad[i] + weight_decay_ * value[i]);
+    if (sparse) {
+      const int cols = value.dim(1);
+      for (int row : rows.rows()) {
+        const int64_t base = static_cast<int64_t>(row) * cols;
+        for (int j = 0; j < cols; ++j) {
+          value[base + j] -= learning_rate_ * grad[base + j];
+          grad[base + j] = 0.0f;
+        }
+      }
+    } else {
+      for (int64_t i = 0; i < value.size(); ++i) {
+        value[i] -= learning_rate_ * (grad[i] + weight_decay_ * value[i]);
+      }
+      grad.Fill(0.0f);
     }
-    grad.Fill(0.0f);
+    param->ClearGradRows();
   }
 }
 

@@ -161,7 +161,7 @@ void FrozenModel::ConvBank(const Tensor& input,
     // bias add and ReLU applied elementwise exactly as ag::AddRowBroadcast /
     // ag::Relu would (raw pointers — Tensor::at is checked per call and
     // would dominate this inner loop).
-    ws->feature_map = kddn::MatMulABt(ws->windows, weights[i]);
+    kddn::MatMulABtInto(&ws->feature_map, ws->windows, weights[i]);
     float* fm = ws->feature_map.data();
     const float* bias = biases[i].data();
     for (int r = 0; r < windows; ++r) {
@@ -206,12 +206,14 @@ Tensor FrozenModel::Logits(const data::Example& example, Workspace* ws) const {
     EmbedRows(concept_table_, concept_ids, &ws->concept_emb);
     // Co-attention (nn::Atti): softmax(W Cᵀ) C and softmax(C Wᵀ) W, via the
     // same kernels as the graph path.
-    ws->atti_scores = kddn::MatMulABt(ws->word_emb, ws->concept_emb);
-    ws->atti_weights = kddn::SoftmaxRows(ws->atti_scores);
-    ws->ic = kddn::MatMul(ws->atti_weights, ws->concept_emb);
-    ws->atti_scores = kddn::MatMulABt(ws->concept_emb, ws->word_emb);
-    ws->atti_weights = kddn::SoftmaxRows(ws->atti_scores);
-    ws->iw = kddn::MatMul(ws->atti_weights, ws->word_emb);
+    // The Into variants reuse the workspace tensors' storage, so a warmed-up
+    // workspace runs the whole attention stage allocation-free.
+    kddn::MatMulABtInto(&ws->atti_scores, ws->word_emb, ws->concept_emb);
+    kddn::SoftmaxRowsInto(&ws->atti_weights, ws->atti_scores);
+    kddn::MatMulInto(&ws->ic, ws->atti_weights, ws->concept_emb);
+    kddn::MatMulABtInto(&ws->atti_scores, ws->concept_emb, ws->word_emb);
+    kddn::SoftmaxRowsInto(&ws->atti_weights, ws->atti_scores);
+    kddn::MatMulInto(&ws->iw, ws->atti_weights, ws->word_emb);
     if (residual_) {
       ConcatCols(ws->word_emb, ws->ic, &ws->word_in);
       ConcatCols(ws->concept_emb, ws->iw, &ws->concept_in);
@@ -231,10 +233,10 @@ Tensor FrozenModel::Logits(const data::Example& example, Workspace* ws) const {
            /*fused_offset=*/branch_dim);
 
   // nn::Dense on a rank-1 input: [1, in] x [in, 2] + bias (same kernel).
-  Tensor out = kddn::MatMul(ws->fused, cls_weight_);
+  kddn::MatMulInto(&ws->cls_out, ws->fused, cls_weight_);
   EnsureShape(&ws->logits, {2});
-  ws->logits[0] = out.at(0, 0) + cls_bias_[0];
-  ws->logits[1] = out.at(0, 1) + cls_bias_[1];
+  ws->logits[0] = ws->cls_out.at(0, 0) + cls_bias_[0];
+  ws->logits[1] = ws->cls_out.at(0, 1) + cls_bias_[1];
   return ws->logits;
 }
 

@@ -48,6 +48,7 @@ class FrozenModel {
     Tensor windows;       // im2col windows for the current filter width.
     Tensor feature_map;   // Conv scores [windows, filters].
     Tensor fused;         // [1, out_w + out_c] pooled features.
+    Tensor cls_out;       // [1, 2] classifier product before the bias.
     Tensor logits;        // [2].
   };
 

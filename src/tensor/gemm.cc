@@ -1,0 +1,202 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace kddn::detail {
+namespace {
+
+/// Single-row saxpy over one k chunk: crow[j] += achunk[t] * B[kc+t][j],
+/// ascending t. `achunk` points at the row's first element of this chunk.
+/// Shared by the NN remainder path and the packed TN kernel.
+inline void AxpyRowChunk(const float* achunk, const float* bchunk, float* crow,
+                         int klen, int n) {
+  for (int t = 0; t < klen; ++t) {
+    const float av = achunk[t];
+    const float* brow = bchunk + static_cast<int64_t>(t) * n;
+    for (int j = 0; j < n; ++j) {
+      crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// kGemmMr-row saxpy micro-kernel over one k chunk: every streamed B element
+/// feeds four C rows, so B traffic per multiply-add drops 4x versus the
+/// row-at-a-time loop. Pointers are chunk-relative like AxpyRowChunk's.
+inline void MicroKernelRowsChunk(const float* const a_chunks[kGemmMr],
+                                 const float* bchunk,
+                                 float* const c_rows[kGemmMr], int klen,
+                                 int n) {
+  for (int t = 0; t < klen; ++t) {
+    const float a0 = a_chunks[0][t];
+    const float a1 = a_chunks[1][t];
+    const float a2 = a_chunks[2][t];
+    const float a3 = a_chunks[3][t];
+    const float* brow = bchunk + static_cast<int64_t>(t) * n;
+    for (int j = 0; j < n; ++j) {
+      const float bv = brow[j];
+      c_rows[0][j] += a0 * bv;
+      c_rows[1][j] += a1 * bv;
+      c_rows[2][j] += a2 * bv;
+      c_rows[3][j] += a3 * bv;
+    }
+  }
+}
+
+}  // namespace
+
+void GemmNN(const float* a, const float* b, float* c, int m, int k, int n,
+            int row_begin, int row_end) {
+  for (int kc = 0; kc < k; kc += kGemmKc) {
+    const int klen = std::min(k, kc + kGemmKc) - kc;
+    const float* bchunk = b + static_cast<int64_t>(kc) * n;
+    int i = row_begin;
+    for (; i + kGemmMr <= row_end; i += kGemmMr) {
+      const float* a_chunks[kGemmMr];
+      float* c_rows[kGemmMr];
+      for (int r = 0; r < kGemmMr; ++r) {
+        a_chunks[r] = a + static_cast<int64_t>(i + r) * k + kc;
+        c_rows[r] = c + static_cast<int64_t>(i + r) * n;
+      }
+      MicroKernelRowsChunk(a_chunks, bchunk, c_rows, klen, n);
+    }
+    for (; i < row_end; ++i) {
+      AxpyRowChunk(a + static_cast<int64_t>(i) * k + kc, bchunk,
+                   c + static_cast<int64_t>(i) * n, klen, n);
+    }
+  }
+}
+
+void GemmTN(const float* a, const float* b, float* c, int m, int k, int n,
+            int row_begin, int row_end) {
+  // A is [k, m] and read column-wise (stride m): pack each micro-panel of up
+  // to kGemmMr columns x kGemmKc k-entries into contiguous scratch so the
+  // inner loop matches the NN kernel exactly.
+  float panel[kGemmMr * kGemmKc];
+  for (int kc = 0; kc < k; kc += kGemmKc) {
+    const int klen = std::min(k, kc + kGemmKc) - kc;
+    const float* bchunk = b + static_cast<int64_t>(kc) * n;
+    for (int i = row_begin; i < row_end; i += kGemmMr) {
+      const int rows = std::min(kGemmMr, row_end - i);
+      for (int t = 0; t < klen; ++t) {
+        const float* asrc = a + static_cast<int64_t>(kc + t) * m + i;
+        for (int r = 0; r < rows; ++r) {
+          panel[r * klen + t] = asrc[r];
+        }
+      }
+      if (rows == kGemmMr) {
+        const float* a_chunks[kGemmMr];
+        float* c_rows[kGemmMr];
+        for (int r = 0; r < kGemmMr; ++r) {
+          a_chunks[r] = panel + r * klen;
+          c_rows[r] = c + static_cast<int64_t>(i + r) * n;
+        }
+        MicroKernelRowsChunk(a_chunks, bchunk, c_rows, klen, n);
+      } else {
+        for (int r = 0; r < rows; ++r) {
+          AxpyRowChunk(panel + r * klen,
+                       bchunk, c + static_cast<int64_t>(i + r) * n, klen, n);
+        }
+      }
+    }
+  }
+}
+
+void GemmNT(const float* a, const float* b, float* c, int m, int k, int n,
+            int row_begin, int row_end) {
+  // Dot-product form: both operand rows are contiguous in k. The micro-kernel
+  // keeps kGemmNr running sums live so each streamed A element feeds four
+  // dot products; sums are staged from/to C per k chunk, which preserves the
+  // per-element ascending-k chain (storing and reloading a partial sum does
+  // not change the addition sequence).
+  for (int kc = 0; kc < k; kc += kGemmKc) {
+    const int kend = std::min(k, kc + kGemmKc);
+    for (int i = row_begin; i < row_end; ++i) {
+      const float* arow = a + static_cast<int64_t>(i) * k;
+      float* crow = c + static_cast<int64_t>(i) * n;
+      int j = 0;
+      for (; j + kGemmNr <= n; j += kGemmNr) {
+        const float* b0 = b + static_cast<int64_t>(j + 0) * k;
+        const float* b1 = b + static_cast<int64_t>(j + 1) * k;
+        const float* b2 = b + static_cast<int64_t>(j + 2) * k;
+        const float* b3 = b + static_cast<int64_t>(j + 3) * k;
+        float acc0 = crow[j + 0];
+        float acc1 = crow[j + 1];
+        float acc2 = crow[j + 2];
+        float acc3 = crow[j + 3];
+        for (int kk = kc; kk < kend; ++kk) {
+          const float av = arow[kk];
+          acc0 += av * b0[kk];
+          acc1 += av * b1[kk];
+          acc2 += av * b2[kk];
+          acc3 += av * b3[kk];
+        }
+        crow[j + 0] = acc0;
+        crow[j + 1] = acc1;
+        crow[j + 2] = acc2;
+        crow[j + 3] = acc3;
+      }
+      for (; j < n; ++j) {
+        const float* brow = b + static_cast<int64_t>(j) * k;
+        float acc = crow[j];
+        for (int kk = kc; kk < kend; ++kk) {
+          acc += arow[kk] * brow[kk];
+        }
+        crow[j] = acc;
+      }
+    }
+  }
+}
+
+void GemmNNNaive(const float* a, const float* b, float* c, int m, int k, int n,
+                 int row_begin, int row_end) {
+  for (int i = row_begin; i < row_end; ++i) {
+    const float* arow = a + static_cast<int64_t>(i) * k;
+    float* crow = c + static_cast<int64_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) {
+        continue;  // The pre-blocking kernels' zero skip, kept verbatim.
+      }
+      const float* brow = b + static_cast<int64_t>(kk) * n;
+      for (int j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void GemmTNNaive(const float* a, const float* b, float* c, int m, int k, int n,
+                 int row_begin, int row_end) {
+  for (int i = row_begin; i < row_end; ++i) {
+    float* crow = c + static_cast<int64_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = a[static_cast<int64_t>(kk) * m + i];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* brow = b + static_cast<int64_t>(kk) * n;
+      for (int j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void GemmNTNaive(const float* a, const float* b, float* c, int m, int k, int n,
+                 int row_begin, int row_end) {
+  for (int i = row_begin; i < row_end; ++i) {
+    const float* arow = a + static_cast<int64_t>(i) * k;
+    float* crow = c + static_cast<int64_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<int64_t>(j) * k;
+      float acc = crow[j];
+      for (int kk = 0; kk < k; ++kk) {
+        acc += arow[kk] * brow[kk];
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+}  // namespace kddn::detail

@@ -1,0 +1,59 @@
+#ifndef KDDN_TENSOR_GEMM_H_
+#define KDDN_TENSOR_GEMM_H_
+
+namespace kddn::detail {
+
+/// Cache-blocked GEMM micro-kernels behind MatMul / MatMulAtB / MatMulABt.
+///
+/// Contracts shared by every kernel here (blocked and naive):
+///  - C is row-major [m, n] and must be zero-initialised; kernels accumulate.
+///  - Only rows [row_begin, row_end) of C are written, so callers can split
+///    the row range across threads with no synchronisation.
+///  - Each output element accumulates its k products in ascending-k order
+///    into a single running value. That fixes the floating-point summation
+///    chain, which is what makes (a) blocked and naive kernels bitwise
+///    identical on finite inputs, and (b) results independent of the thread
+///    count and of the tile schedule. The schedule below is compile-time
+///    constant — never derived from thread count or data — so there is
+///    exactly one accumulation order per shape.
+///
+/// The blocked kernels process k in fixed chunks of kGemmKc (the panel that
+/// must stay cache-resident), C rows in micro-blocks of kGemmMr (one loaded
+/// B element feeds kGemmMr multiply-adds), and — for the A^T form, whose
+/// operand is read column-wise — pack each A micro-panel into a contiguous
+/// scratch buffer first. There is deliberately no data-dependent branching
+/// (the old kernels skipped zero multiplicands per element, which costs a
+/// branch per inner iteration and blocks vectorisation).
+
+/// k-extent of one cache-resident panel chunk.
+inline constexpr int kGemmKc = 256;
+/// C-row micro-block (rows sharing one streamed B element).
+inline constexpr int kGemmMr = 4;
+/// C-column micro-block of the A*B^T dot kernel.
+inline constexpr int kGemmNr = 4;
+
+/// C[i,j] += sum_k A[i,k] * B[k,j].  A: [m,k], B: [k,n].
+void GemmNN(const float* a, const float* b, float* c, int m, int k, int n,
+            int row_begin, int row_end);
+
+/// C[i,j] += sum_k A[k,i] * B[k,j].  A: [k,m], B: [k,n] (A read transposed).
+void GemmTN(const float* a, const float* b, float* c, int m, int k, int n,
+            int row_begin, int row_end);
+
+/// C[i,j] += sum_k A[i,k] * B[j,k].  A: [m,k], B: [n,k] (B read transposed).
+void GemmNT(const float* a, const float* b, float* c, int m, int k, int n,
+            int row_begin, int row_end);
+
+/// Naive reference kernels: the plain loops the blocked versions must match
+/// bitwise (tests/perf_test.cc sweeps odd/prime/sub-tile shapes). Also the
+/// `--gemm naive` baseline of the training microbench.
+void GemmNNNaive(const float* a, const float* b, float* c, int m, int k, int n,
+                 int row_begin, int row_end);
+void GemmTNNaive(const float* a, const float* b, float* c, int m, int k, int n,
+                 int row_begin, int row_end);
+void GemmNTNaive(const float* a, const float* b, float* c, int m, int k, int n,
+                 int row_begin, int row_end);
+
+}  // namespace kddn::detail
+
+#endif  // KDDN_TENSOR_GEMM_H_

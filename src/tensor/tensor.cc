@@ -44,6 +44,21 @@ Tensor Tensor::FromData(std::vector<int> shape, std::vector<float> data) {
   return t;
 }
 
+Tensor Tensor::AdoptStorage(std::vector<int> shape,
+                            std::vector<float> storage) {
+  Tensor t;
+  const int64_t wanted = ShapeSize(shape);
+  storage.resize(static_cast<size_t>(wanted));
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(storage);
+  return t;
+}
+
+std::vector<float> Tensor::TakeStorage() && {
+  shape_.clear();
+  return std::move(data_);
+}
+
 Tensor Tensor::Eye(int n) {
   KDDN_CHECK_GT(n, 0);
   Tensor t({n, n});

@@ -33,6 +33,18 @@ class Tensor {
   /// prod(shape) elements.
   static Tensor FromData(std::vector<int> shape, std::vector<float> data);
 
+  /// Factory for storage reuse (see TensorPool): resizes `storage` to
+  /// prod(shape) — reusing its capacity — and adopts it *without* clearing
+  /// the retained elements. Callers must treat the contents as unspecified
+  /// and overwrite (or zero) every element themselves.
+  static Tensor AdoptStorage(std::vector<int> shape,
+                             std::vector<float> storage);
+
+  /// Storage-reuse escape hatch: moves the flat storage out, leaving this
+  /// tensor empty (rank 0). The returned vector keeps its capacity, which is
+  /// what TensorPool recycles.
+  std::vector<float> TakeStorage() &&;
+
   /// Factory: identity matrix of size n x n.
   static Tensor Eye(int n);
 

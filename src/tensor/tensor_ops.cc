@@ -1,10 +1,13 @@
 #include "tensor/tensor_ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor_pool.h"
 
 namespace kddn {
 namespace {
@@ -19,142 +22,191 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
                              << " vs " << b.ShapeString();
 }
 
+std::atomic<GemmKernel> g_gemm_kernel{GemmKernel::kBlocked};
+
 /// Minimum multiply-accumulate count before a matmul fans out across the
 /// global pool; below this the fork/join overhead outweighs the work.
 constexpr int64_t kParallelMatMulFlops = int64_t{1} << 17;
 
 /// True if a matmul with this many MACs should use the row-blocked parallel
-/// path. The parallel kernels split the *output rows* across workers and
-/// keep the per-element accumulation order of the serial loops, so serial
-/// and parallel results are bitwise identical.
+/// path. The kernels only write output rows [row_begin, row_end) and keep one
+/// fixed per-element accumulation order, so splitting the row range across
+/// workers leaves results bitwise identical to the serial call.
 bool UseParallelMatMul(int64_t flops) {
   return flops >= kParallelMatMulFlops && GlobalThreadPool().num_threads() > 1;
 }
 
-}  // namespace
+using GemmFn = void (*)(const float*, const float*, float*, int, int, int, int,
+                        int);
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
-  CheckRank2(a, "MatMul lhs");
-  CheckRank2(b, "MatMul rhs");
-  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  KDDN_CHECK_EQ(k, b.dim(0)) << "MatMul inner-dimension mismatch "
-                             << a.ShapeString() << " * " << b.ShapeString();
-  Tensor out({m, n});
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* op = out.data();
-  auto rows = [&](int begin, int end) {
-    for (int i = begin; i < end; ++i) {
-      const float* arow = ap + static_cast<int64_t>(i) * k;
-      float* orow = op + static_cast<int64_t>(i) * n;
-      for (int kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = bp + static_cast<int64_t>(kk) * n;
-        for (int j = 0; j < n; ++j) {
-          orow[j] += av * brow[j];
-        }
-      }
-    }
-  };
+/// Runs `fn` over all m output rows, serial or row-blocked parallel.
+/// C must already be zero-filled (the kernels accumulate).
+void DispatchGemm(GemmFn fn, const float* a, const float* b, float* c, int m,
+                  int k, int n) {
   if (UseParallelMatMul(int64_t{m} * k * n)) {
     GlobalThreadPool().ParallelForBlocked(
         m, /*min_block=*/1, [&](int64_t begin, int64_t end) {
-          rows(static_cast<int>(begin), static_cast<int>(end));
+          fn(a, b, c, m, k, n, static_cast<int>(begin),
+             static_cast<int>(end));
         });
   } else {
-    rows(0, m);
+    fn(a, b, c, m, k, n, 0, m);
   }
+}
+
+GemmFn PickNN() {
+  return g_gemm_kernel.load(std::memory_order_relaxed) == GemmKernel::kBlocked
+             ? detail::GemmNN
+             : detail::GemmNNNaive;
+}
+
+GemmFn PickTN() {
+  return g_gemm_kernel.load(std::memory_order_relaxed) == GemmKernel::kBlocked
+             ? detail::GemmTN
+             : detail::GemmTNNaive;
+}
+
+GemmFn PickNT() {
+  return g_gemm_kernel.load(std::memory_order_relaxed) == GemmKernel::kBlocked
+             ? detail::GemmNT
+             : detail::GemmNTNaive;
+}
+
+/// Reshapes `*out` to `shape` reusing its storage (no data preserved), then
+/// zero-fills it ready for an accumulating GEMM kernel.
+void PrepareOut(Tensor* out, std::vector<int> shape) {
+  KDDN_CHECK(out != nullptr);
+  *out = Tensor::AdoptStorage(std::move(shape), std::move(*out).TakeStorage());
+  out->Fill(0.0f);
+}
+
+struct MatMulDims {
+  int m, k, n;
+};
+
+MatMulDims CheckMatMul(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMul lhs");
+  CheckRank2(b, "MatMul rhs");
+  KDDN_CHECK_EQ(a.dim(1), b.dim(0))
+      << "MatMul inner-dimension mismatch " << a.ShapeString() << " * "
+      << b.ShapeString();
+  return {a.dim(0), a.dim(1), b.dim(1)};
+}
+
+MatMulDims CheckMatMulAtB(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMulAtB lhs");
+  CheckRank2(b, "MatMulAtB rhs");
+  KDDN_CHECK_EQ(a.dim(0), b.dim(0))
+      << "MatMulAtB shared-dimension mismatch " << a.ShapeString() << " vs "
+      << b.ShapeString();
+  return {a.dim(1), a.dim(0), b.dim(1)};
+}
+
+MatMulDims CheckMatMulABt(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMulABt lhs");
+  CheckRank2(b, "MatMulABt rhs");
+  KDDN_CHECK_EQ(a.dim(1), b.dim(1))
+      << "MatMulABt shared-dimension mismatch " << a.ShapeString() << " vs "
+      << b.ShapeString();
+  return {a.dim(0), a.dim(1), b.dim(0)};
+}
+
+void SoftmaxRowsImpl(const Tensor& a, Tensor* out) {
+  const int m = a.dim(0), n = a.dim(1);
+  const float* ap = a.data();
+  float* op = out->data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = ap + static_cast<int64_t>(i) * n;
+    float* orow = op + static_cast<int64_t>(i) * n;
+    float row_max = arow[0];
+    for (int j = 1; j < n; ++j) {
+      row_max = std::max(row_max, arow[j]);
+    }
+    double total = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const float e = std::exp(arow[j] - row_max);
+      orow[j] = e;
+      total += e;
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (int j = 0; j < n; ++j) {
+      orow[j] *= inv;
+    }
+  }
+}
+
+}  // namespace
+
+void SetGemmKernel(GemmKernel kernel) {
+  g_gemm_kernel.store(kernel, std::memory_order_relaxed);
+}
+
+GemmKernel GetGemmKernel() {
+  return g_gemm_kernel.load(std::memory_order_relaxed);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  const MatMulDims d = CheckMatMul(a, b);
+  Tensor out = TensorPool::ThreadLocal().Acquire({d.m, d.n});
+  DispatchGemm(PickNN(), a.data(), b.data(), out.data(), d.m, d.k, d.n);
   return out;
 }
 
 Tensor MatMulAtB(const Tensor& a, const Tensor& b) {
-  CheckRank2(a, "MatMulAtB lhs");
-  CheckRank2(b, "MatMulAtB rhs");
-  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  KDDN_CHECK_EQ(k, b.dim(0)) << "MatMulAtB shared-dimension mismatch "
-                             << a.ShapeString() << " vs " << b.ShapeString();
-  Tensor out({m, n});
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* op = out.data();
-  if (UseParallelMatMul(int64_t{m} * k * n)) {
-    // Row-blocked: each worker owns output rows [begin, end). Every element
-    // still accumulates over kk in ascending order, exactly like the serial
-    // kk-outer loop below, so the two paths agree bitwise.
-    GlobalThreadPool().ParallelForBlocked(
-        m, /*min_block=*/1, [&](int64_t begin, int64_t end) {
-          for (int64_t i = begin; i < end; ++i) {
-            float* orow = op + i * n;
-            for (int kk = 0; kk < k; ++kk) {
-              const float av = ap[static_cast<int64_t>(kk) * m + i];
-              if (av == 0.0f) continue;
-              const float* brow = bp + static_cast<int64_t>(kk) * n;
-              for (int j = 0; j < n; ++j) {
-                orow[j] += av * brow[j];
-              }
-            }
-          }
-        });
-    return out;
-  }
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = ap + static_cast<int64_t>(kk) * m;
-    const float* brow = bp + static_cast<int64_t>(kk) * n;
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = op + static_cast<int64_t>(i) * n;
-      for (int j = 0; j < n; ++j) {
-        orow[j] += av * brow[j];
-      }
-    }
-  }
+  const MatMulDims d = CheckMatMulAtB(a, b);
+  Tensor out = TensorPool::ThreadLocal().Acquire({d.m, d.n});
+  DispatchGemm(PickTN(), a.data(), b.data(), out.data(), d.m, d.k, d.n);
   return out;
 }
 
 Tensor MatMulABt(const Tensor& a, const Tensor& b) {
-  CheckRank2(a, "MatMulABt lhs");
-  CheckRank2(b, "MatMulABt rhs");
-  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  KDDN_CHECK_EQ(k, b.dim(1)) << "MatMulABt shared-dimension mismatch "
-                             << a.ShapeString() << " vs " << b.ShapeString();
-  Tensor out({m, n});
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* op = out.data();
-  auto rows = [&](int begin, int end) {
-    for (int i = begin; i < end; ++i) {
-      const float* arow = ap + static_cast<int64_t>(i) * k;
-      float* orow = op + static_cast<int64_t>(i) * n;
-      for (int j = 0; j < n; ++j) {
-        const float* brow = bp + static_cast<int64_t>(j) * k;
-        float acc = 0.0f;
-        for (int kk = 0; kk < k; ++kk) {
-          acc += arow[kk] * brow[kk];
-        }
-        orow[j] = acc;
-      }
-    }
-  };
-  if (UseParallelMatMul(int64_t{m} * k * n)) {
-    GlobalThreadPool().ParallelForBlocked(
-        m, /*min_block=*/1, [&](int64_t begin, int64_t end) {
-          rows(static_cast<int>(begin), static_cast<int>(end));
-        });
-  } else {
-    rows(0, m);
-  }
+  const MatMulDims d = CheckMatMulABt(a, b);
+  Tensor out = TensorPool::ThreadLocal().Acquire({d.m, d.n});
+  DispatchGemm(PickNT(), a.data(), b.data(), out.data(), d.m, d.k, d.n);
   return out;
+}
+
+void MatMulInto(Tensor* out, const Tensor& a, const Tensor& b) {
+  const MatMulDims d = CheckMatMul(a, b);
+  KDDN_CHECK(out != &a && out != &b) << "MatMulInto: out aliases an input";
+  PrepareOut(out, {d.m, d.n});
+  DispatchGemm(PickNN(), a.data(), b.data(), out->data(), d.m, d.k, d.n);
+}
+
+void MatMulAtBInto(Tensor* out, const Tensor& a, const Tensor& b) {
+  const MatMulDims d = CheckMatMulAtB(a, b);
+  KDDN_CHECK(out != &a && out != &b) << "MatMulAtBInto: out aliases an input";
+  PrepareOut(out, {d.m, d.n});
+  DispatchGemm(PickTN(), a.data(), b.data(), out->data(), d.m, d.k, d.n);
+}
+
+void MatMulABtInto(Tensor* out, const Tensor& a, const Tensor& b) {
+  const MatMulDims d = CheckMatMulABt(a, b);
+  KDDN_CHECK(out != &a && out != &b) << "MatMulABtInto: out aliases an input";
+  PrepareOut(out, {d.m, d.n});
+  DispatchGemm(PickNT(), a.data(), b.data(), out->data(), d.m, d.k, d.n);
 }
 
 Tensor Transpose(const Tensor& a) {
   CheckRank2(a, "Transpose");
   const int m = a.dim(0), n = a.dim(1);
-  Tensor out({n, m});
-  for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < n; ++j) {
-      out.at(j, i) = a.at(i, j);
+  // Every element is written below, so uninitialised storage is safe.
+  Tensor out = TensorPool::ThreadLocal().AcquireUninit({n, m});
+  const float* ap = a.data();
+  float* op = out.data();
+  // Square tiling keeps one side of the scattered accesses cache-resident;
+  // 32x32 float tiles are 4 KiB from each matrix.
+  constexpr int kTile = 32;
+  for (int ib = 0; ib < m; ib += kTile) {
+    const int iend = std::min(m, ib + kTile);
+    for (int jb = 0; jb < n; jb += kTile) {
+      const int jend = std::min(n, jb + kTile);
+      for (int i = ib; i < iend; ++i) {
+        const float* arow = ap + static_cast<int64_t>(i) * n;
+        for (int j = jb; j < jend; ++j) {
+          op[static_cast<int64_t>(j) * m + i] = arow[j];
+        }
+      }
     }
   }
   return out;
@@ -162,14 +214,14 @@ Tensor Transpose(const Tensor& a) {
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Add");
-  Tensor out = a;
+  Tensor out = TensorPool::ThreadLocal().AcquireCopy(a);
   AddInPlace(&out, b);
   return out;
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Sub");
-  Tensor out = a;
+  Tensor out = TensorPool::ThreadLocal().AcquireCopy(a);
   float* op = out.data();
   const float* bp = b.data();
   for (int64_t i = 0; i < out.size(); ++i) {
@@ -180,7 +232,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Mul");
-  Tensor out = a;
+  Tensor out = TensorPool::ThreadLocal().AcquireCopy(a);
   float* op = out.data();
   const float* bp = b.data();
   for (int64_t i = 0; i < out.size(); ++i) {
@@ -190,7 +242,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Scale(const Tensor& a, float s) {
-  Tensor out = a;
+  Tensor out = TensorPool::ThreadLocal().AcquireCopy(a);
   float* op = out.data();
   for (int64_t i = 0; i < out.size(); ++i) {
     op[i] *= s;
@@ -221,7 +273,7 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
   KDDN_CHECK_EQ(row.rank(), 1) << "AddRowBroadcast row must be rank-1";
   const int m = a.dim(0), n = a.dim(1);
   KDDN_CHECK_EQ(n, row.dim(0)) << "AddRowBroadcast width mismatch";
-  Tensor out = a;
+  Tensor out = TensorPool::ThreadLocal().AcquireCopy(a);
   float* op = out.data();
   const float* rp = row.data();
   for (int i = 0; i < m; ++i) {
@@ -256,24 +308,19 @@ Tensor SoftmaxRows(const Tensor& a) {
   CheckRank2(a, "SoftmaxRows");
   const int m = a.dim(0), n = a.dim(1);
   KDDN_CHECK_GT(n, 0) << "SoftmaxRows over zero-width rows";
-  Tensor out({m, n});
-  for (int i = 0; i < m; ++i) {
-    float row_max = a.at(i, 0);
-    for (int j = 1; j < n; ++j) {
-      row_max = std::max(row_max, a.at(i, j));
-    }
-    double total = 0.0;
-    for (int j = 0; j < n; ++j) {
-      const float e = std::exp(a.at(i, j) - row_max);
-      out.at(i, j) = e;
-      total += e;
-    }
-    const float inv = static_cast<float>(1.0 / total);
-    for (int j = 0; j < n; ++j) {
-      out.at(i, j) *= inv;
-    }
-  }
+  Tensor out = TensorPool::ThreadLocal().AcquireUninit({m, n});
+  SoftmaxRowsImpl(a, &out);
   return out;
+}
+
+void SoftmaxRowsInto(Tensor* out, const Tensor& a) {
+  CheckRank2(a, "SoftmaxRows");
+  const int m = a.dim(0), n = a.dim(1);
+  KDDN_CHECK_GT(n, 0) << "SoftmaxRows over zero-width rows";
+  KDDN_CHECK(out != nullptr && out != &a)
+      << "SoftmaxRowsInto: out aliases the input";
+  *out = Tensor::AdoptStorage({m, n}, std::move(*out).TakeStorage());
+  SoftmaxRowsImpl(a, out);
 }
 
 float SquaredNorm(const Tensor& a) {

@@ -6,6 +6,19 @@
 
 namespace kddn {
 
+/// Which GEMM implementation the three MatMul entry points dispatch to.
+/// kBlocked is the production cache-blocked path; kNaive retains the original
+/// element-at-a-time loops (with their data-dependent zero skip) as a
+/// reference for bitwise-equivalence tests and as the "before" baseline of
+/// the training microbench. Both give bitwise-identical results on finite
+/// inputs; see src/tensor/gemm.h for the argument.
+enum class GemmKernel { kBlocked, kNaive };
+
+/// Sets the process-wide GEMM dispatch mode (atomic; default kBlocked).
+/// Intended for tests and benchmarks, not concurrent flipping mid-training.
+void SetGemmKernel(GemmKernel kernel);
+GemmKernel GetGemmKernel();
+
 /// Matrix product A[m,k] * B[k,n] -> [m,n].
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
@@ -14,6 +27,17 @@ Tensor MatMulAtB(const Tensor& a, const Tensor& b);
 
 /// A * B^T for A[m,k], B[n,k] -> [m,n] (without materialising B^T).
 Tensor MatMulABt(const Tensor& a, const Tensor& b);
+
+/// Destination-reusing variants: write the product into `*out`, reusing its
+/// storage when the capacity fits (the shape is overwritten). Serving keeps
+/// workspace tensors alive across requests and calls these so the hot path
+/// never allocates. Results are bitwise identical to the allocating forms.
+void MatMulInto(Tensor* out, const Tensor& a, const Tensor& b);
+void MatMulAtBInto(Tensor* out, const Tensor& a, const Tensor& b);
+void MatMulABtInto(Tensor* out, const Tensor& a, const Tensor& b);
+
+/// Row-wise softmax into `*out` (storage reused like MatMulInto).
+void SoftmaxRowsInto(Tensor* out, const Tensor& a);
 
 /// Matrix transpose of a rank-2 tensor.
 Tensor Transpose(const Tensor& a);

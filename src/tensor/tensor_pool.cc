@@ -1,0 +1,93 @@
+#include "tensor/tensor_pool.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace kddn {
+namespace {
+
+size_t ShapeElements(const std::vector<int>& shape) {
+  if (shape.empty()) {
+    return 0;
+  }
+  size_t total = 1;
+  for (int extent : shape) {
+    total *= static_cast<size_t>(extent);
+  }
+  return total;
+}
+
+}  // namespace
+
+TensorPool& TensorPool::ThreadLocal() {
+  thread_local TensorPool pool;
+  return pool;
+}
+
+std::vector<float> TensorPool::Pop(size_t size) {
+  // Best fit over a bounded freelist: at most kMaxEntries capacity
+  // comparisons, orders of magnitude cheaper than the malloc it replaces.
+  size_t best = free_.size();
+  for (size_t i = 0; i < free_.size(); ++i) {
+    const size_t cap = free_[i].capacity();
+    if (cap >= size && (best == free_.size() || cap < free_[best].capacity())) {
+      best = i;
+    }
+  }
+  if (best == free_.size()) {
+    ++allocations_;
+    return {};
+  }
+  ++reuses_;
+  std::vector<float> storage = std::move(free_[best]);
+  free_[best] = std::move(free_.back());
+  free_.pop_back();
+  cached_floats_ -= storage.capacity();
+  return storage;
+}
+
+void TensorPool::Push(std::vector<float> storage) {
+  const size_t cap = storage.capacity();
+  if (cap == 0 || free_.size() >= kMaxEntries ||
+      cached_floats_ + cap > kMaxCachedFloats) {
+    return;  // Dropped on the floor; the vector destructor frees it.
+  }
+  cached_floats_ += cap;
+  free_.push_back(std::move(storage));
+}
+
+Tensor TensorPool::Acquire(std::vector<int> shape) {
+  const size_t n = ShapeElements(shape);
+  std::vector<float> storage = Pop(n);
+  storage.assign(n, 0.0f);
+  return Tensor::AdoptStorage(std::move(shape), std::move(storage));
+}
+
+Tensor TensorPool::AcquireUninit(std::vector<int> shape) {
+  const size_t n = ShapeElements(shape);
+  std::vector<float> storage = Pop(n);
+  storage.resize(n);
+  return Tensor::AdoptStorage(std::move(shape), std::move(storage));
+}
+
+Tensor TensorPool::AcquireCopy(const Tensor& src) {
+  const size_t n = static_cast<size_t>(src.size());
+  std::vector<float> storage = Pop(n);
+  storage.assign(src.data(), src.data() + n);
+  return Tensor::AdoptStorage(src.shape(), std::move(storage));
+}
+
+void TensorPool::Recycle(Tensor&& t) {
+  if (t.empty()) {
+    return;
+  }
+  Push(std::move(t).TakeStorage());
+}
+
+void TensorPool::Trim() {
+  free_.clear();
+  cached_floats_ = 0;
+}
+
+}  // namespace kddn

@@ -1,0 +1,76 @@
+#ifndef KDDN_TENSOR_TENSOR_POOL_H_
+#define KDDN_TENSOR_TENSOR_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace kddn {
+
+/// Per-thread recycler of Tensor storage. The training loop builds and tears
+/// down one autograd graph per example — dozens of short-lived tensors per
+/// forward/backward — and without a pool every one of them is a malloc plus a
+/// free. The pool keeps the flat float buffers of dead tensors and hands them
+/// back to the next Acquire of a fitting size, so the steady-state epoch loop
+/// (and the frozen serving forward) stops touching the allocator.
+///
+/// Thread safety: each thread owns its own pool (ThreadLocal()), so there is
+/// no locking and no cross-thread reuse; a tensor acquired on one thread and
+/// recycled on another simply migrates to the second thread's pool. Values
+/// are always defined on Acquire (zero-filled or fully copied), so pooling is
+/// invisible to the bitwise-determinism contracts.
+class TensorPool {
+ public:
+  TensorPool() = default;
+  TensorPool(const TensorPool&) = delete;
+  TensorPool& operator=(const TensorPool&) = delete;
+
+  /// The calling thread's pool.
+  static TensorPool& ThreadLocal();
+
+  /// Zero-filled tensor of `shape`, reusing cached storage when a buffer of
+  /// sufficient capacity is available.
+  Tensor Acquire(std::vector<int> shape);
+
+  /// Tensor of `shape` with *unspecified* contents (recycled bytes are not
+  /// cleared). Only for callers that overwrite every element — anything else
+  /// would leak nondeterminism into the kernels.
+  Tensor AcquireUninit(std::vector<int> shape);
+
+  /// Tensor with the same shape and bytes as `src` (pooled replacement for
+  /// `Tensor out = src;`).
+  Tensor AcquireCopy(const Tensor& src);
+
+  /// Returns a tensor's storage to the pool. Empty tensors are ignored; when
+  /// the pool is at capacity the storage is simply freed.
+  void Recycle(Tensor&& t);
+
+  /// Lifetime counters, for the microbench and tests: how many Acquires were
+  /// served from cache vs. fresh allocations.
+  int64_t reuses() const { return reuses_; }
+  int64_t allocations() const { return allocations_; }
+
+  /// Frees all cached storage (tests use this to measure from a cold pool).
+  void Trim();
+
+ private:
+  /// Pops a cached buffer with capacity >= `size` (best fit), or an empty
+  /// vector when none qualifies.
+  std::vector<float> Pop(size_t size);
+  void Push(std::vector<float> storage);
+
+  // Bounds chosen so a worker thread's cache stays a few MB even with
+  // embedding-table-sized gradients in flight.
+  static constexpr size_t kMaxEntries = 64;
+  static constexpr size_t kMaxCachedFloats = size_t{1} << 24;  // 64 MiB.
+
+  std::vector<std::vector<float>> free_;
+  size_t cached_floats_ = 0;
+  int64_t reuses_ = 0;
+  int64_t allocations_ = 0;
+};
+
+}  // namespace kddn
+
+#endif  // KDDN_TENSOR_TENSOR_POOL_H_

@@ -189,7 +189,7 @@ TEST(EmbeddingLookupTest, OutOfRangeThrows) {
   NodePtr table = Node::Leaf(Tensor({4, 2}), true, "emb");
   EXPECT_THROW(EmbeddingLookup(table, {4}), KddnError);
   EXPECT_THROW(EmbeddingLookup(table, {-1}), KddnError);
-  EXPECT_THROW(EmbeddingLookup(table, {}), KddnError);
+  EXPECT_THROW(EmbeddingLookup(table, std::vector<int>{}), KddnError);
 }
 
 TEST(GradCheck, UnfoldAndPadRows) {

@@ -1,0 +1,281 @@
+// Performance-architecture tests (DESIGN.md §9): the cache-blocked GEMM
+// kernels must match the retained naive reference bitwise at awkward shapes,
+// the TensorPool must recycle storage without leaking stale bytes into
+// results, the row tracker must obey its marking rules, and — the end-to-end
+// guarantee — row-sparse embedding updates must train to bitwise-identical
+// weights as the dense path at any thread count.
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "autograd/node.h"
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+#include "kb/concept_extractor.h"
+#include "kb/knowledge_base.h"
+#include "models/bk_ddn.h"
+#include "nn/optimizer.h"
+#include "synth/cohort.h"
+#include "tensor/tensor_ops.h"
+#include "tensor/tensor_pool.h"
+
+namespace kddn {
+namespace {
+
+/// Restores the process-wide GEMM kernel mode on scope exit.
+struct GemmKernelGuard {
+  GemmKernel previous = GetGemmKernel();
+  ~GemmKernelGuard() { SetGemmKernel(previous); }
+};
+
+/// Restores the process-wide sparse-gradient mode on scope exit.
+struct SparseModeGuard {
+  bool previous = ag::SparseGradientsEnabled();
+  ~SparseModeGuard() { ag::SetSparseGradients(previous); }
+};
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b,
+                        const std::string& what) {
+  ASSERT_TRUE(a.SameShape(b)) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+      << what;
+}
+
+/// Sweeps sub-tile, prime, and just-past-tile extents through all three
+/// matmul forms, comparing the blocked kernels to the naive reference
+/// bitwise. 256 and 301 in the k sweep cross the kGemmKc chunk boundary.
+TEST(GemmKernelTest, BlockedMatchesNaiveBitwiseAcrossShapes) {
+  GemmKernelGuard guard;
+  Rng rng(123);
+  const std::vector<int> extents = {1, 2, 3, 7, 17, 64, 65};
+  std::vector<int> k_extents = extents;
+  k_extents.push_back(256);
+  k_extents.push_back(301);
+  for (int m : extents) {
+    for (int k : k_extents) {
+      for (int n : extents) {
+        const Tensor a = RandomNormal({m, k}, 0, 1, &rng);
+        const Tensor b = RandomNormal({k, n}, 0, 1, &rng);
+        const Tensor bt = RandomNormal({n, k}, 0, 1, &rng);
+        const Tensor at = RandomNormal({k, m}, 0, 1, &rng);
+        SetGemmKernel(GemmKernel::kNaive);
+        const Tensor naive_nn = MatMul(a, b);
+        const Tensor naive_nt = MatMulABt(a, bt);
+        const Tensor naive_tn = MatMulAtB(at, b);
+        SetGemmKernel(GemmKernel::kBlocked);
+        const std::string shape = " at m=" + std::to_string(m) +
+                                  " k=" + std::to_string(k) +
+                                  " n=" + std::to_string(n);
+        ExpectBitwiseEqual(MatMul(a, b), naive_nn, "MatMul" + shape);
+        ExpectBitwiseEqual(MatMulABt(a, bt), naive_nt, "MatMulABt" + shape);
+        ExpectBitwiseEqual(MatMulAtB(at, b), naive_tn, "MatMulAtB" + shape);
+      }
+    }
+  }
+}
+
+/// Zeros scattered through the operands exercise the one arithmetic
+/// difference between the kernels: the naive loops skip zero multiplicands,
+/// the blocked ones multiply through. Adding a*0 must not change any bit.
+TEST(GemmKernelTest, ZeroRichOperandsStillMatchBitwise) {
+  GemmKernelGuard guard;
+  Rng rng(321);
+  Tensor a = RandomNormal({17, 65}, 0, 1, &rng);
+  Tensor b = RandomNormal({65, 7}, 0, 1, &rng);
+  for (int64_t i = 0; i < a.size(); i += 3) {
+    a.data()[i] = 0.0f;
+  }
+  for (int64_t i = 0; i < b.size(); i += 2) {
+    b.data()[i] = -0.0f;
+  }
+  SetGemmKernel(GemmKernel::kNaive);
+  const Tensor naive = MatMul(a, b);
+  SetGemmKernel(GemmKernel::kBlocked);
+  ExpectBitwiseEqual(MatMul(a, b), naive, "zero-rich MatMul");
+}
+
+TEST(GemmKernelTest, IntoVariantsMatchAllocatingForms) {
+  Rng rng(55);
+  const Tensor a = RandomNormal({9, 33}, 0, 1, &rng);
+  const Tensor b = RandomNormal({33, 5}, 0, 1, &rng);
+  const Tensor bt = RandomNormal({5, 33}, 0, 1, &rng);
+  const Tensor at = RandomNormal({33, 9}, 0, 1, &rng);
+  Tensor out;
+  MatMulInto(&out, a, b);
+  ExpectBitwiseEqual(out, MatMul(a, b), "MatMulInto");
+  MatMulABtInto(&out, a, bt);  // Reuses the same storage across shapes.
+  ExpectBitwiseEqual(out, MatMulABt(a, bt), "MatMulABtInto");
+  MatMulAtBInto(&out, at, b);
+  ExpectBitwiseEqual(out, MatMulAtB(at, b), "MatMulAtBInto");
+  SoftmaxRowsInto(&out, a);
+  ExpectBitwiseEqual(out, SoftmaxRows(a), "SoftmaxRowsInto");
+}
+
+TEST(TensorPoolTest, RecycledStorageIsReusedAndRezeroed) {
+  TensorPool& pool = TensorPool::ThreadLocal();
+  pool.Trim();
+  Tensor t = pool.Acquire({4, 5});
+  t.Fill(3.5f);  // Dirty the buffer before recycling.
+  const int64_t reuses_before = pool.reuses();
+  pool.Recycle(std::move(t));
+  Tensor again = pool.Acquire({5, 4});  // Same element count, new shape.
+  EXPECT_EQ(pool.reuses(), reuses_before + 1);
+  for (int64_t i = 0; i < again.size(); ++i) {
+    EXPECT_EQ(again.data()[i], 0.0f) << "stale bytes leaked at " << i;
+  }
+}
+
+TEST(TensorPoolTest, AcquireCopyMatchesSource) {
+  TensorPool& pool = TensorPool::ThreadLocal();
+  Rng rng(9);
+  const Tensor src = RandomNormal({3, 7}, 0, 1, &rng);
+  const Tensor copy = pool.AcquireCopy(src);
+  ExpectBitwiseEqual(copy, src, "AcquireCopy");
+}
+
+TEST(TensorPoolTest, BestFitPrefersSmallestSufficientBuffer) {
+  TensorPool& pool = TensorPool::ThreadLocal();
+  pool.Trim();
+  const int64_t allocations_before = pool.allocations();
+  pool.Recycle(pool.AcquireUninit({100}));
+  pool.Recycle(pool.AcquireUninit({10}));
+  // Wants 8 floats: both cached buffers fit, the 10-float one is the best
+  // fit and must be chosen — leaving the 100-float buffer to serve the
+  // 90-float ask below. A worst-fit pool would have to allocate here.
+  Tensor small = pool.Acquire({8});
+  Tensor big = pool.AcquireUninit({90});
+  EXPECT_EQ(pool.allocations(), allocations_before + 2);  // Seeds only.
+}
+
+TEST(SparseRowsTest, TracksDeduplicatedRowsAndDenseAbsorbs) {
+  ag::SparseRows tracker;
+  EXPECT_EQ(tracker.state(), ag::SparseRows::State::kClean);
+  tracker.MarkRows({3, 1, 3, 1, 5}, 8);
+  EXPECT_EQ(tracker.state(), ag::SparseRows::State::kSparse);
+  EXPECT_EQ(tracker.rows(), (std::vector<int>{3, 1, 5}));
+  tracker.MarkDense();
+  EXPECT_EQ(tracker.state(), ag::SparseRows::State::kDense);
+  // Dense absorbs later row marks...
+  tracker.MarkRows({0}, 8);
+  EXPECT_EQ(tracker.state(), ag::SparseRows::State::kDense);
+  // ...but keeps the earlier row list readable for in-flight captures.
+  EXPECT_EQ(tracker.rows(), (std::vector<int>{3, 1, 5}));
+  tracker.Clear();
+  EXPECT_EQ(tracker.state(), ag::SparseRows::State::kClean);
+  tracker.MarkRows({2}, 8);  // Membership bits must have been reset.
+  EXPECT_EQ(tracker.rows(), (std::vector<int>{2}));
+}
+
+/// One embedding backward + Adagrad step, sparse vs dense mode, on identical
+/// tables: values and gradients must end bitwise identical, and repeated ids
+/// must accumulate exactly once per occurrence.
+TEST(SparseAdagradTest, StepBitwiseEqualToDense) {
+  SparseModeGuard guard;
+  Rng rng(4242);
+  const Tensor init = RandomNormal({12, 4}, 0, 0.5f, &rng);
+  const std::vector<int> ids = {0, 7, 7, 3, 0};
+
+  auto run = [&](bool sparse) {
+    ag::SetSparseGradients(sparse);
+    ag::NodePtr table = ag::Node::Leaf(init, true, "emb.table");
+    nn::Adagrad opt(0.1f);
+    for (int step = 0; step < 3; ++step) {
+      ag::NodePtr e = ag::EmbeddingLookup(table, ids);
+      ag::Backward(ag::MeanAll(ag::Mul(e, e)));
+      if (sparse) {
+        EXPECT_EQ(table->grad_rows().state(), ag::SparseRows::State::kSparse)
+            << "step " << step;
+        EXPECT_EQ(table->grad_rows().rows(), (std::vector<int>{0, 7, 3}));
+      }
+      opt.Step({table});
+      EXPECT_EQ(table->grad_rows().state(), ag::SparseRows::State::kClean);
+    }
+    return std::make_pair(table->value(), opt.ExportState());
+  };
+
+  const auto [dense_value, dense_state] = run(false);
+  const auto [sparse_value, sparse_state] = run(true);
+  ExpectBitwiseEqual(sparse_value, dense_value, "table value");
+  ASSERT_EQ(sparse_state.size(), dense_state.size());
+  for (size_t i = 0; i < dense_state.size(); ++i) {
+    EXPECT_EQ(sparse_state[i].first, dense_state[i].first);
+    ExpectBitwiseEqual(sparse_state[i].second, dense_state[i].second,
+                       "accumulator " + dense_state[i].first);
+  }
+}
+
+/// End-to-end golden: BK-DDN trained with sparse embedding updates must
+/// reach bitwise-identical weights as the dense path, at 1 and 4 threads
+/// (the GradSink merge/reset paths differ per thread count).
+class SparseTrainingEquivalenceTest : public ::testing::Test {
+ protected:
+  SparseTrainingEquivalenceTest()
+      : kb_(kb::KnowledgeBase::BuildDefault()), extractor_(&kb_) {
+    synth::CohortConfig config;
+    config.num_patients = 120;
+    config.seed = 91;
+    cohort_ = synth::Cohort::Generate(config, kb_);
+    data::DatasetOptions options;
+    options.max_words = 48;
+    options.max_concepts = 24;
+    dataset_ = data::MortalityDataset::Build(cohort_, extractor_, options);
+  }
+
+  std::vector<Tensor> TrainOnce(bool sparse, int num_threads) {
+    models::ModelConfig config;
+    config.word_vocab_size = dataset_.word_vocab().size();
+    config.concept_vocab_size = dataset_.concept_vocab().size();
+    config.embedding_dim = 6;
+    config.num_filters = 4;
+    config.seed = 17;
+    models::BkDdn model(config);
+    core::TrainOptions options;
+    options.epochs = 2;
+    options.batch_size = 16;
+    options.seed = 13;
+    options.num_threads = num_threads;
+    options.sparse_embedding_updates = sparse;
+    core::Trainer trainer(options);
+    trainer.Train(&model, dataset_.train(), dataset_.validation(),
+                  synth::Horizon::kInHospital);
+    std::vector<Tensor> params;
+    for (const ag::NodePtr& param : model.params().all()) {
+      params.push_back(param->value());
+    }
+    return params;
+  }
+
+  kb::KnowledgeBase kb_;
+  kb::ConceptExtractor extractor_;
+  synth::Cohort cohort_;
+  data::MortalityDataset dataset_;
+};
+
+TEST_F(SparseTrainingEquivalenceTest, SparseMatchesDenseBitwise) {
+  const std::vector<Tensor> golden = TrainOnce(/*sparse=*/false,
+                                               /*num_threads=*/1);
+  ASSERT_FALSE(golden.empty());
+  for (const bool sparse : {false, true}) {
+    for (const int threads : {1, 4}) {
+      if (!sparse && threads == 1) {
+        continue;  // That is the golden run itself.
+      }
+      const std::vector<Tensor> params = TrainOnce(sparse, threads);
+      ASSERT_EQ(params.size(), golden.size());
+      for (size_t i = 0; i < params.size(); ++i) {
+        ASSERT_TRUE(params[i].SameShape(golden[i]));
+        EXPECT_EQ(std::memcmp(params[i].data(), golden[i].data(),
+                              params[i].size() * sizeof(float)),
+                  0)
+            << "param " << i << " differs (sparse=" << sparse
+            << ", threads=" << threads << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kddn
