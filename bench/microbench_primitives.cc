@@ -19,6 +19,11 @@
 // profile), blocked GEMM + dense, and blocked GEMM + row-sparse — and
 // asserts the three trained weight sets are bitwise identical (the same
 // invariant tests/perf_test.cc enforces).
+//
+// Run with --pipeline_json[=path] to emit BENCH_pipeline.json: build + train
+// + per-epoch eval wall-clock of a validation-heavy workload under the PR-4
+// baseline vs the overlapped input pipeline and fused gradient-free eval
+// (DESIGN.md §10), asserting bitwise-identical weights and curves.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -155,6 +160,18 @@ double BestSeconds(int reps, const Fn& fn) {
   return best;
 }
 
+/// True on degenerate hosts where thread-scaling numbers are meaningless:
+/// recorded into every bench artifact so readers (and scripts/check_bench.py)
+/// can tell a regression from a hardware limitation.
+bool SingleCoreHost() { return std::thread::hardware_concurrency() <= 1; }
+
+void WriteHostFields(std::ofstream& out) {
+  out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  out << "  \"single_core_host\": " << (SingleCoreHost() ? "true" : "false")
+      << ",\n";
+}
+
 void WriteJsonSection(std::ofstream& out, const char* name,
                       const std::vector<int>& threads,
                       const std::vector<double>& seconds, bool last = false) {
@@ -230,8 +247,7 @@ int RunParallelBench(const std::string& out_path) {
     return 1;
   }
   out << "{\n";
-  out << "  \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n";
+  WriteHostFields(out);
   out << "  \"thread_counts\": [1, 2, 4],\n";
   WriteJsonSection(out, "matmul_256", thread_counts, matmul_s);
   WriteJsonSection(out, "conv_bank_512x20", thread_counts, conv_s);
@@ -345,8 +361,7 @@ int RunServeBench(const std::string& out_path) {
     return 1;
   }
   out << "{\n";
-  out << "  \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n";
+  WriteHostFields(out);
   out << "  \"test_examples\": " << n << ",\n";
   out << "  \"snapshot_fingerprint\": \"" << std::hex << frozen.fingerprint()
       << std::dec << "\",\n";
@@ -461,8 +476,7 @@ int RunTrainBench(const std::string& out_path) {
     return 1;
   }
   out << "{\n";
-  out << "  \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n";
+  WriteHostFields(out);
   out << "  \"config\": {\"num_patients\": " << cohort_config.num_patients
       << ", \"train_examples\": " << dataset.train().size()
       << ", \"max_words\": " << data_options.max_words
@@ -491,6 +505,233 @@ int RunTrainBench(const std::string& out_path) {
   return bitwise ? 0 : 1;
 }
 
+/// Emits BENCH_pipeline.json: the input-pipeline / evaluation-path
+/// acceptance artifact (DESIGN.md §10). One validation-heavy workload is
+/// built and trained three ways — the PR-4 baseline (inline batch assembly,
+/// MeanLoss + EvaluateAuc double pass), prefetch only, and the full pipeline
+/// (prefetched batches + fused gradient-free eval) — plus a serial-vs-
+/// parallel dataset build and an isolated eval-pass comparison. Fails
+/// (exit 1) unless the three trained weight sets are bitwise identical, the
+/// baseline and pipelined validation curves are bitwise equal, and the
+/// parallel build reproduces the serial build's bytes.
+int RunPipelineBench(const std::string& out_path) {
+  auto kb = kb::KnowledgeBase::BuildDefault();
+  kb::ConceptExtractor extractor(&kb);
+  synth::CohortConfig cohort_config;
+  cohort_config.num_patients = 300;
+  cohort_config.seed = 21;
+  const synth::Cohort cohort = synth::Cohort::Generate(cohort_config, kb);
+
+  // Validation-heavy on purpose: the paper's per-epoch curve costs one
+  // validation sweep per epoch, and this workload makes that sweep a large
+  // share of the epoch so the eval-path change is visible in end-to-end
+  // wall-clock even on a single-core host (where the overlap layers can
+  // only break even).
+  data::DatasetOptions data_options;
+  data_options.max_words = 64;
+  data_options.max_concepts = 32;
+  data_options.test_fraction = 0.2;
+  data_options.validation_fraction = 0.5;
+
+  data_options.parallel_build = false;
+  data::MortalityDataset serial_dataset =
+      data::MortalityDataset::Build(cohort, extractor, data_options);
+  const double serial_build_s = BestSeconds(3, [&] {
+    serial_dataset = data::MortalityDataset::Build(cohort, extractor,
+                                                   data_options);
+  });
+  data_options.parallel_build = true;
+  data::MortalityDataset dataset =
+      data::MortalityDataset::Build(cohort, extractor, data_options);
+  const double parallel_build_s = BestSeconds(3, [&] {
+    dataset = data::MortalityDataset::Build(cohort, extractor, data_options);
+  });
+
+  auto same_split = [](const std::vector<data::Example>& a,
+                       const std::vector<data::Example>& b) {
+    if (a.size() != b.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].patient_id != b[i].patient_id ||
+          a[i].word_ids != b[i].word_ids ||
+          a[i].concept_ids != b[i].concept_ids || a[i].labels != b[i].labels) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const bool build_identical =
+      same_split(dataset.train(), serial_dataset.train()) &&
+      same_split(dataset.validation(), serial_dataset.validation()) &&
+      same_split(dataset.test(), serial_dataset.test()) &&
+      dataset.excluded_zero_concept() == serial_dataset.excluded_zero_concept();
+  std::printf("build serial=%.3fs parallel=%.3fs identical=%s\n",
+              serial_build_s, parallel_build_s, build_identical ? "yes" : "NO");
+
+  models::ModelConfig model_config;
+  model_config.word_vocab_size = dataset.word_vocab().size();
+  model_config.concept_vocab_size = dataset.concept_vocab().size();
+  model_config.embedding_dim = 20;
+  model_config.num_filters = 50;
+  model_config.seed = 5;
+
+  core::TrainOptions base_options;
+  base_options.epochs = 3;
+  base_options.batch_size = 16;
+  base_options.num_threads = 1;
+  base_options.seed = 7;
+
+  struct PipelineMode {
+    const char* name;
+    bool prefetch;
+    bool fused_eval;
+  };
+  const PipelineMode modes[] = {
+      {"baseline_two_pass", false, false},  // PR-4 epoch cost profile.
+      {"prefetch_only", true, false},
+      {"pipelined_fused", true, true},
+  };
+  const synth::Horizon horizon = synth::Horizon::kInHospital;
+  std::vector<double> train_s;
+  std::vector<std::vector<Tensor>> weights(3);
+  std::vector<std::vector<eval::CurvePoint>> curves(3);
+  for (int i = 0; i < 3; ++i) {
+    core::TrainOptions options = base_options;
+    options.prefetch = modes[i].prefetch;
+    options.fused_eval = modes[i].fused_eval;
+    train_s.push_back(BestSeconds(2, [&] {
+      models::BkDdn model(model_config);
+      core::Trainer trainer(options);
+      const eval::CurveRecorder recorder = trainer.Train(
+          &model, dataset.train(), dataset.validation(), horizon);
+      weights[i].clear();  // Reps are deterministic; keep the last copy.
+      for (const ag::NodePtr& param : model.params().all()) {
+        weights[i].push_back(param->value());
+      }
+      curves[i] = recorder.points();
+    }));
+    std::printf("%-18s %d epochs = %.3fs\n", modes[i].name,
+                base_options.epochs, train_s.back());
+  }
+
+  bool weights_identical = true;
+  for (int i = 1; i < 3; ++i) {
+    weights_identical =
+        weights_identical && weights[i].size() == weights[0].size();
+    for (size_t p = 0; weights_identical && p < weights[0].size(); ++p) {
+      weights_identical =
+          weights[i][p].SameShape(weights[0][p]) &&
+          std::memcmp(weights[i][p].data(), weights[0][p].data(),
+                      weights[0][p].size() * sizeof(float)) == 0;
+    }
+  }
+  bool curves_equal = true;
+  for (int i = 1; i < 3; ++i) {
+    curves_equal = curves_equal && curves[i].size() == curves[0].size();
+    for (size_t p = 0; curves_equal && p < curves[0].size(); ++p) {
+      curves_equal = curves[i][p].epoch == curves[0][p].epoch &&
+                     curves[i][p].train_loss == curves[0][p].train_loss &&
+                     curves[i][p].validation_loss ==
+                         curves[0][p].validation_loss &&
+                     curves[i][p].validation_auc == curves[0][p].validation_auc;
+    }
+  }
+
+  // Isolated eval pass on a trained model: the historical double pass (two
+  // tape-building graph sweeps — MeanLoss then score+AUC) against one fused
+  // gradient-free sweep.
+  models::BkDdn eval_model(model_config);
+  core::Trainer(base_options)
+      .Train(&eval_model, dataset.train(), dataset.validation(), horizon);
+  const std::vector<data::Example>& validation = dataset.validation();
+  const std::vector<int> validation_labels =
+      core::Trainer::Labels(validation, horizon);
+  double two_pass_loss = 0.0, two_pass_auc = 0.0;
+  const double two_pass_s = BestSeconds(3, [&] {
+    double total = 0.0;
+    nn::ForwardContext ctx;
+    ctx.training = false;
+    for (size_t i = 0; i < validation.size(); ++i) {
+      total += ag::ScalarValue(ag::SoftmaxCrossEntropy(
+          eval_model.Logits(validation[i], ctx), validation_labels[i]));
+    }
+    two_pass_loss = total / static_cast<double>(validation.size());
+    std::vector<float> scores(validation.size());
+    for (size_t i = 0; i < validation.size(); ++i) {
+      scores[i] = eval_model.PredictPositiveProbability(validation[i]);
+    }
+    two_pass_auc = eval::RocAuc(scores, validation_labels);
+  });
+  core::Trainer::EvalMetrics fused_metrics;
+  const double fused_s = BestSeconds(3, [&] {
+    fused_metrics = core::Trainer::EvaluateSplit(&eval_model, validation,
+                                                 horizon);
+  });
+  const bool eval_identical = fused_metrics.mean_loss == two_pass_loss &&
+                              fused_metrics.auc == two_pass_auc;
+  std::printf("eval two_pass=%.4fs fused=%.4fs (%.2fx) identical=%s\n",
+              two_pass_s, fused_s, two_pass_s / fused_s,
+              eval_identical ? "yes" : "NO");
+
+  // Build + train + per-epoch eval, before vs after this PR's three layers.
+  const double baseline_total = serial_build_s + train_s[0];
+  const double pipelined_total = parallel_build_s + train_s[2];
+  const double end_to_end = baseline_total / pipelined_total;
+  const bool all_identical =
+      build_identical && weights_identical && curves_equal && eval_identical;
+
+  std::ofstream out(out_path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n";
+  WriteHostFields(out);
+  out << "  \"config\": {\"num_patients\": " << cohort_config.num_patients
+      << ", \"train_examples\": " << dataset.train().size()
+      << ", \"validation_examples\": " << dataset.validation().size()
+      << ", \"max_words\": " << data_options.max_words
+      << ", \"max_concepts\": " << data_options.max_concepts
+      << ", \"validation_fraction\": " << data_options.validation_fraction
+      << ", \"embedding_dim\": " << model_config.embedding_dim
+      << ", \"num_filters\": " << model_config.num_filters
+      << ", \"batch_size\": " << base_options.batch_size
+      << ", \"epochs\": " << base_options.epochs
+      << ", \"num_threads\": " << base_options.num_threads << "},\n";
+  out << "  \"dataset_build_seconds\": {\"serial\": " << serial_build_s
+      << ", \"parallel\": " << parallel_build_s << "},\n";
+  out << "  \"dataset_build_speedup\": " << serial_build_s / parallel_build_s
+      << ",\n";
+  out << "  \"dataset_bytes_identical\": "
+      << (build_identical ? "true" : "false") << ",\n";
+  out << "  \"train_seconds\": {";
+  for (int i = 0; i < 3; ++i) {
+    out << "\"" << modes[i].name << "\": " << train_s[i]
+        << (i < 2 ? ", " : "");
+  }
+  out << "},\n";
+  out << "  \"prefetch_gain\": " << train_s[0] / train_s[1] << ",\n";
+  out << "  \"fused_eval_gain\": " << train_s[1] / train_s[2] << ",\n";
+  out << "  \"eval_pass_seconds\": {\"two_pass_graph\": " << two_pass_s
+      << ", \"fused_nograd\": " << fused_s << "},\n";
+  out << "  \"eval_pass_speedup\": " << two_pass_s / fused_s << ",\n";
+  out << "  \"eval_metrics_identical\": "
+      << (eval_identical ? "true" : "false") << ",\n";
+  out << "  \"end_to_end_seconds\": {\"baseline\": " << baseline_total
+      << ", \"pipelined\": " << pipelined_total << "},\n";
+  out << "  \"end_to_end_speedup\": " << end_to_end << ",\n";
+  out << "  \"weights_bitwise_identical\": "
+      << (weights_identical ? "true" : "false") << ",\n";
+  out << "  \"curves_bitwise_equal\": " << (curves_equal ? "true" : "false")
+      << "\n";
+  out << "}\n";
+  std::printf("wrote %s (end-to-end %.2fx, weights bitwise=%s, curves=%s)\n",
+              out_path.c_str(), end_to_end, weights_identical ? "yes" : "NO",
+              curves_equal ? "yes" : "NO");
+  return all_identical ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace kddn
 
@@ -510,6 +751,11 @@ int main(int argc, char** argv) {
       const char* eq = std::strchr(argv[i], '=');
       return kddn::RunTrainBench(eq != nullptr ? eq + 1
                                                : "BENCH_train.json");
+    }
+    if (std::strncmp(argv[i], "--pipeline_json", 15) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return kddn::RunPipelineBench(eq != nullptr ? eq + 1
+                                                  : "BENCH_pipeline.json");
     }
   }
   benchmark::Initialize(&argc, argv);

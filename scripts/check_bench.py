@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Perf-regression guard over the committed BENCH_*.json artifacts.
+
+Re-recording a bench on a slower host changes every absolute wall-clock
+number, so this guard checks only the properties every host must uphold:
+
+* correctness flags that the deterministic kernels promise unconditionally
+  (bitwise-identical weights, bitwise-equal curves, byte-identical builds,
+  bitwise serving scores) must be true;
+* headline speedups that compare a before/after on the *same* host
+  (BENCH_train.json total_speedup, BENCH_pipeline.json end_to_end_speedup)
+  must not drop below 1.0 — the optimised path must never lose to the
+  baseline it replaced.
+
+Component ratios (prefetch overlap, dataset-build scaling, thread scaling)
+are deliberately not gated: on a single-core host (single_core_host: true)
+they legitimately hover at 1.0x or below.
+
+Run directly (`python3 scripts/check_bench.py --repo-root .`) or via ctest,
+where it is registered under the `perf` label.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def fail(errors, artifact, message):
+    errors.append(f"{artifact}: {message}")
+
+
+def require_flag(errors, artifact, data, key):
+    if key not in data:
+        fail(errors, artifact, f"missing required flag {key!r}")
+    elif data[key] is not True:
+        fail(errors, artifact, f"{key} is {data[key]!r}, expected true")
+
+
+def require_speedup(errors, artifact, data, key, floor=1.0):
+    if key not in data:
+        fail(errors, artifact, f"missing required field {key!r}")
+        return
+    value = data[key]
+    if not isinstance(value, (int, float)) or value < floor:
+        fail(errors, artifact, f"{key} = {value!r}, expected >= {floor}")
+
+
+def check_artifact(errors, path, checker):
+    if not path.exists():
+        fail(errors, path.name, "artifact missing")
+        return
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        fail(errors, path.name, f"unparseable JSON: {error}")
+        return
+    checker(errors, path.name, data)
+
+
+def check_train(errors, name, data):
+    require_flag(errors, name, data, "weights_bitwise_identical")
+    require_speedup(errors, name, data, "total_speedup")
+
+
+def check_pipeline(errors, name, data):
+    require_flag(errors, name, data, "weights_bitwise_identical")
+    require_flag(errors, name, data, "curves_bitwise_equal")
+    require_flag(errors, name, data, "dataset_bytes_identical")
+    require_flag(errors, name, data, "eval_metrics_identical")
+    require_speedup(errors, name, data, "end_to_end_speedup")
+    require_speedup(errors, name, data, "eval_pass_speedup")
+
+
+def check_serve(errors, name, data):
+    require_flag(errors, name, data, "bitwise_match")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repo-root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        help="directory holding the BENCH_*.json artifacts",
+    )
+    args = parser.parse_args()
+
+    errors = []
+    check_artifact(errors, args.repo_root / "BENCH_train.json", check_train)
+    check_artifact(errors, args.repo_root / "BENCH_pipeline.json",
+                   check_pipeline)
+    check_artifact(errors, args.repo_root / "BENCH_serve.json", check_serve)
+
+    if errors:
+        for error in errors:
+            print(f"check_bench: FAIL {error}", file=sys.stderr)
+        return 1
+    print("check_bench: all bench artifacts pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

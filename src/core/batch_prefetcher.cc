@@ -1,0 +1,130 @@
+#include "core/batch_prefetcher.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace kddn::core {
+
+uint64_t MixDropoutSeed(uint64_t seed, uint64_t epoch, uint64_t position) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (epoch + 1) + position;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+BatchPrefetcher::BatchPrefetcher(const std::vector<data::Example>* examples,
+                                 const Options& options)
+    : examples_(examples), options_(options) {
+  KDDN_CHECK(examples != nullptr);
+  KDDN_CHECK_GT(options_.batch_size, 0u);
+  KDDN_CHECK_GT(options_.chunk_size, 0u);
+  if (options_.background) {
+    worker_ = std::thread([this] { WorkerLoop(); });
+  }
+}
+
+BatchPrefetcher::~BatchPrefetcher() {
+  if (worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    worker_wake_.notify_one();
+    worker_.join();
+  }
+}
+
+void BatchPrefetcher::BeginEpoch(const std::vector<int>* order, int epoch) {
+  KDDN_CHECK(order != nullptr);
+  KDDN_CHECK(!order->empty()) << "empty epoch order";
+  KDDN_CHECK_EQ(consumed_, num_batches_)
+      << "BeginEpoch before the previous epoch was fully consumed";
+  const size_t num_batches =
+      (order->size() + options_.batch_size - 1) / options_.batch_size;
+  if (!options_.background) {
+    order_ = order;
+    epoch_ = epoch;
+    num_batches_ = num_batches;
+    produced_ = consumed_ = released_ = 0;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // The worker is idle here: it only assembles while produced < num_batches
+    // and the previous epoch is fully produced once fully consumed.
+    order_ = order;
+    epoch_ = epoch;
+    num_batches_ = num_batches;
+    produced_ = consumed_ = released_ = 0;
+  }
+  worker_wake_.notify_one();
+}
+
+const PreparedBatch* BatchPrefetcher::Next() {
+  KDDN_CHECK(order_ != nullptr) << "Next() before BeginEpoch()";
+  KDDN_CHECK_LT(consumed_, num_batches_) << "epoch exhausted";
+  if (!options_.background) {
+    PreparedBatch* slot = &slots_[0];
+    AssembleInto(slot, order_, epoch_, consumed_);
+    ++consumed_;
+    return slot;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  // The previously returned batch is done with; its slot may be refilled.
+  released_ = consumed_;
+  worker_wake_.notify_one();
+  consumer_wake_.wait(lock, [this] { return produced_ > consumed_; });
+  PreparedBatch* slot = &slots_[consumed_ % 2];
+  ++consumed_;
+  return slot;
+}
+
+void BatchPrefetcher::AssembleInto(PreparedBatch* batch,
+                                   const std::vector<int>* order, int epoch,
+                                   size_t index) const {
+  const size_t begin = index * options_.batch_size;
+  const size_t end = std::min(order->size(), begin + options_.batch_size);
+  batch->epoch = epoch;
+  batch->begin = begin;
+  batch->size = end - begin;
+  batch->num_chunks =
+      (batch->size + options_.chunk_size - 1) / options_.chunk_size;
+  batch->inv_batch = 1.0f / static_cast<float>(batch->size);
+  batch->examples.clear();
+  batch->dropout_seeds.clear();
+  batch->labels.clear();
+  batch->examples.reserve(batch->size);
+  batch->dropout_seeds.reserve(batch->size);
+  batch->labels.reserve(batch->size);
+  for (size_t pos = begin; pos < end; ++pos) {
+    const data::Example& example = (*examples_)[(*order)[pos]];
+    batch->examples.push_back(&example);
+    batch->dropout_seeds.push_back(MixDropoutSeed(options_.seed, epoch, pos));
+    batch->labels.push_back(example.Label(options_.horizon) ? 1 : 0);
+  }
+}
+
+void BatchPrefetcher::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    worker_wake_.wait(lock, [this] {
+      return stopping_ || (order_ != nullptr && produced_ < num_batches_ &&
+                           produced_ - released_ < 2);
+    });
+    if (stopping_) {
+      return;
+    }
+    const size_t index = produced_;
+    PreparedBatch* slot = &slots_[index % 2];
+    const std::vector<int>* order = order_;
+    const int epoch = epoch_;
+    lock.unlock();
+    AssembleInto(slot, order, epoch, index);
+    lock.lock();
+    ++produced_;
+    consumer_wake_.notify_one();
+  }
+}
+
+}  // namespace kddn::core

@@ -1,0 +1,127 @@
+#ifndef KDDN_CORE_BATCH_PREFETCHER_H_
+#define KDDN_CORE_BATCH_PREFETCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "synth/cohort.h"
+
+namespace kddn::core {
+
+/// SplitMix64-style mixer deriving a per-example dropout seed from the
+/// training seed, the epoch, and the example's position in the shuffled
+/// order. Scheduling-independent by construction: the value depends on
+/// *where* the example sits in the epoch, never on which thread runs it or
+/// when its batch was assembled.
+uint64_t MixDropoutSeed(uint64_t seed, uint64_t epoch, uint64_t position);
+
+/// One assembled mini-batch, ready for the forward/backward workers: the
+/// shuffle-order slice of examples, their per-position dropout seeds, their
+/// 0/1 labels at the training horizon, and the chunk layout the gradient
+/// reduction uses. Everything here is a pure function of (train split,
+/// epoch order, seed, batch index), which is why assembling it on a
+/// background thread cannot change a single trained bit.
+struct PreparedBatch {
+  int epoch = 0;
+  size_t begin = 0;       // Offset of this batch in the epoch's order.
+  size_t size = 0;        // Examples in this batch.
+  size_t num_chunks = 0;  // ceil(size / grad_chunk_size).
+  float inv_batch = 0.0f; // 1 / size (the mean-reduction factor).
+  std::vector<const data::Example*> examples;  // Shuffle-order slice.
+  std::vector<uint64_t> dropout_seeds;  // MixDropoutSeed(seed, epoch, pos).
+  std::vector<int> labels;              // Label at the horizon, 0/1.
+};
+
+/// Double-buffered mini-batch assembly for core::Trainer (DESIGN.md §10).
+///
+/// In background mode one worker thread materialises batch k+1 into a free
+/// slot while the trainer runs forward/backward/step on batch k. Two slots
+/// and three counters implement the buffering rule:
+///
+///   produced  - batches fully assembled,
+///   consumed  - batches handed to the trainer,
+///   released  - batches the trainer has finished with (Next() releases the
+///               previously returned batch before blocking on the next one),
+///
+/// and the worker only assembles while `produced - released < 2`, so the
+/// slot the trainer is reading (`consumed - 1`, at most one batch) is never
+/// overwritten. Handoffs go through one mutex: every slot write
+/// happens-before the consumer's read of the bumped `produced` counter.
+///
+/// Determinism: batches are consumed strictly in shuffle order — Next()
+/// returns batch 0, 1, 2, ... of the epoch's order vector, with contents
+/// identical to inline assembly (the synchronous mode below runs the same
+/// AssembleInto code on the calling thread). The trained weights are
+/// therefore bitwise identical with prefetching on or off, at any thread
+/// count; tests/pipeline_test.cc enforces this, including across
+/// checkpoint/resume.
+class BatchPrefetcher {
+ public:
+  struct Options {
+    size_t batch_size = 0;
+    size_t chunk_size = 0;   // TrainOptions::grad_chunk_size.
+    uint64_t seed = 0;       // TrainOptions::seed (dropout-seed mixing).
+    synth::Horizon horizon = synth::Horizon::kInHospital;
+    /// false runs AssembleInto synchronously inside Next() — the reference
+    /// path (TrainOptions::prefetch = false) and the degenerate-host
+    /// fallback; no worker thread is created.
+    bool background = true;
+  };
+
+  /// `examples` must outlive the prefetcher; `options.batch_size` and
+  /// `options.chunk_size` must be > 0.
+  BatchPrefetcher(const std::vector<data::Example>* examples,
+                  const Options& options);
+
+  /// Joins the worker (any unconsumed prefetched batches are discarded).
+  ~BatchPrefetcher();
+
+  BatchPrefetcher(const BatchPrefetcher&) = delete;
+  BatchPrefetcher& operator=(const BatchPrefetcher&) = delete;
+
+  /// Starts an epoch over `order` (a shuffled index vector into the example
+  /// split; must outlive the epoch and not change during it). Requires the
+  /// previous epoch, if any, to be fully consumed. The worker starts
+  /// assembling batch 0 immediately.
+  void BeginEpoch(const std::vector<int>* order, int epoch);
+
+  /// The next batch of the current epoch, in order. Blocks until assembled.
+  /// The returned pointer stays valid until the following Next() or
+  /// BeginEpoch() call. Requires batches_remaining() > 0.
+  const PreparedBatch* Next();
+
+  /// Batches in the current epoch.
+  size_t batches_per_epoch() const { return num_batches_; }
+
+  /// Batches of the current epoch not yet handed out.
+  size_t batches_remaining() const { return num_batches_ - consumed_; }
+
+ private:
+  void AssembleInto(PreparedBatch* batch, const std::vector<int>* order,
+                    int epoch, size_t index) const;
+  void WorkerLoop();
+
+  const std::vector<data::Example>* examples_;
+  Options options_;
+
+  std::mutex mutex_;
+  std::condition_variable worker_wake_;
+  std::condition_variable consumer_wake_;
+  const std::vector<int>* order_ = nullptr;  // Guarded by mutex_.
+  int epoch_ = 0;                            // Guarded by mutex_.
+  size_t num_batches_ = 0;
+  size_t produced_ = 0;
+  size_t consumed_ = 0;
+  size_t released_ = 0;
+  bool stopping_ = false;
+  PreparedBatch slots_[2];
+  std::thread worker_;  // Joinable only in background mode.
+};
+
+}  // namespace kddn::core
+
+#endif  // KDDN_CORE_BATCH_PREFETCHER_H_

@@ -302,8 +302,12 @@ std::vector<MethodResult> RunEvaluation(const MortalityDataset& dataset,
         Trainer trainer(train_options);
         trainer.Train(model.get(), dataset.train(), dataset.validation(),
                       static_cast<synth::Horizon>(h));
-        result.auc[h] = Trainer::EvaluateAuc(
+        // One fused gradient-free pass yields the table's AUC and the test
+        // loss together (DESIGN.md §10).
+        const Trainer::EvalMetrics test_metrics = Trainer::EvaluateSplit(
             model.get(), dataset.test(), static_cast<synth::Horizon>(h));
+        result.auc[h] = test_metrics.auc;
+        result.test_loss[h] = test_metrics.mean_loss;
       }
     }
     results.push_back(std::move(result));

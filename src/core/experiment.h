@@ -18,6 +18,9 @@ namespace kddn::core {
 struct MethodResult {
   std::string name;
   std::array<double, 3> auc = {0.0, 0.0, 0.0};  // Indexed by Horizon.
+  /// Mean test cross-entropy per horizon, a free by-product of the fused
+  /// evaluation pass (deep models only; SVM baselines report 0.0).
+  std::array<double, 3> test_loss = {0.0, 0.0, 0.0};
 };
 
 /// Evaluation harness knobs.

@@ -1,5 +1,7 @@
 #include "core/trainer.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
@@ -10,8 +12,10 @@
 #include "common/fault_injector.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "core/batch_prefetcher.h"
 #include "nn/optimizer.h"
 #include "nn/serialization.h"
+#include "serve/frozen_model.h"
 
 namespace kddn::core {
 namespace {
@@ -25,19 +29,11 @@ bool HasBothClasses(const std::vector<int>& labels) {
   return positive && negative;
 }
 
-/// SplitMix64-style mixer deriving a per-example dropout seed from the
-/// training seed, the epoch, and the example's position in the shuffled
-/// order. Scheduling-independent by construction.
-uint64_t MixSeed(uint64_t seed, uint64_t epoch, uint64_t position) {
-  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (epoch + 1) + position;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
 /// Mean inference-mode cross-entropy over a split. Per-example losses are
 /// computed in parallel but summed in example order, so the result does not
-/// depend on the thread count.
+/// depend on the thread count. Each worker block hoists its forward state:
+/// one ForwardContext and one ag::InferenceModeScope (value-only nodes, no
+/// tape) serve every example in the block.
 double MeanLoss(models::NeuralDocumentModel* model,
                 const std::vector<data::Example>& split,
                 synth::Horizon horizon, ThreadPool* pool) {
@@ -48,6 +44,7 @@ double MeanLoss(models::NeuralDocumentModel* model,
   pool->ParallelForBlocked(
       static_cast<int64_t>(split.size()), /*min_block=*/4,
       [&](int64_t begin, int64_t end) {
+        ag::InferenceModeScope inference;
         nn::ForwardContext ctx;
         ctx.training = false;
         for (int64_t i = begin; i < end; ++i) {
@@ -207,17 +204,28 @@ eval::CurveRecorder Trainer::Train(models::NeuralDocumentModel* model,
   }
   // ------------------------------------------------------------------------
 
+  // Mini-batch assembly runs through the prefetcher: one background worker
+  // (TrainOptions::prefetch) materialises batch k+1 while batch k trains, or
+  // the same assembly code runs inline on this thread. Either way batches
+  // arrive strictly in shuffle order with scheduling-independent contents,
+  // so this changes wall-clock only, never a trained bit.
+  BatchPrefetcher::Options prefetch_options;
+  prefetch_options.batch_size = static_cast<size_t>(options_.batch_size);
+  prefetch_options.chunk_size = chunk_size;
+  prefetch_options.seed = options_.seed;
+  prefetch_options.horizon = horizon;
+  prefetch_options.background = options_.prefetch;
+  BatchPrefetcher prefetcher(&train, prefetch_options);
+
   for (int epoch = start_epoch; epoch <= options_.epochs; ++epoch) {
     KDDN_FAULT_POINT("core.train.epoch");
     rng.Shuffle(&order);
+    prefetcher.BeginEpoch(&order, epoch);
     double epoch_loss = 0.0;
     int seen = 0;
-    for (size_t begin = 0; begin < order.size();
-         begin += options_.batch_size) {
-      const size_t end =
-          std::min(order.size(), begin + options_.batch_size);
-      const float inv_batch = 1.0f / static_cast<float>(end - begin);
-      const size_t num_chunks = (end - begin + chunk_size - 1) / chunk_size;
+    while (prefetcher.batches_remaining() > 0) {
+      const PreparedBatch* batch = prefetcher.Next();
+      const size_t num_chunks = batch->num_chunks;
 
       pool->ParallelFor(
           static_cast<int64_t>(num_chunks), [&](int64_t chunk) {
@@ -225,22 +233,21 @@ eval::CurveRecorder Trainer::Train(models::NeuralDocumentModel* model,
             sink->Reset();
             ag::GradSink::Scope scope(sink);
             double loss_sum = 0.0;
-            const size_t chunk_begin = begin + chunk * chunk_size;
+            const size_t chunk_begin = chunk * chunk_size;
             const size_t chunk_end =
-                std::min(end, chunk_begin + chunk_size);
+                std::min(batch->size, chunk_begin + chunk_size);
             for (size_t b = chunk_begin; b < chunk_end; ++b) {
-              const data::Example& example = train[order[b]];
-              Rng example_rng(MixSeed(options_.seed, epoch, b));
+              const data::Example& example = *batch->examples[b];
+              Rng example_rng(batch->dropout_seeds[b]);
               nn::ForwardContext ctx;
               ctx.training = true;
               ctx.rng = &example_rng;
               ag::NodePtr loss = ag::SoftmaxCrossEntropy(
-                  model->Logits(example, ctx),
-                  example.Label(horizon) ? 1 : 0);
+                  model->Logits(example, ctx), batch->labels[b]);
               loss_sum += ag::ScalarValue(loss);
               // Mean-reduce over the batch so the step size is
               // batch-invariant.
-              ag::Backward(ag::Scale(loss, inv_batch));
+              ag::Backward(ag::Scale(loss, batch->inv_batch));
             }
             chunk_losses[chunk] = loss_sum;
           });
@@ -252,15 +259,22 @@ eval::CurveRecorder Trainer::Train(models::NeuralDocumentModel* model,
         sinks[chunk]->MergeInto();
         epoch_loss += chunk_losses[chunk];
       }
-      seen += static_cast<int>(end - begin);
+      seen += static_cast<int>(batch->size);
       optimizer.Step(model->params().all());
     }
 
     eval::CurvePoint point;
     point.epoch = epoch;
     point.train_loss = seen > 0 ? epoch_loss / seen : 0.0;
-    point.validation_loss = MeanLoss(model, validation, horizon, pool);
-    point.validation_auc = EvaluateAuc(model, validation, horizon, pool);
+    if (options_.fused_eval) {
+      const EvalMetrics metrics =
+          EvaluateSplit(model, validation, horizon, pool);
+      point.validation_loss = metrics.mean_loss;
+      point.validation_auc = metrics.auc;
+    } else {
+      point.validation_loss = MeanLoss(model, validation, horizon, pool);
+      point.validation_auc = EvaluateAuc(model, validation, horizon, pool);
+    }
     recorder.Add(point);
     if (point.validation_auc > best_auc) {
       best_auc = point.validation_auc;
@@ -295,13 +309,21 @@ std::vector<float> Trainer::Scores(models::NeuralDocumentModel* model,
                                    const std::vector<data::Example>& split,
                                    ThreadPool* pool) {
   // Inference is embarrassingly parallel: every worker writes a disjoint
-  // index, so the score vector is identical for any thread count.
+  // index, so the score vector is identical for any thread count. The
+  // forward state is hoisted per block — one ForwardContext and one
+  // ag::InferenceModeScope (value-only nodes, no tape) serve every example
+  // in the block — which computes bitwise what PredictPositiveProbability
+  // computes per example.
   std::vector<float> scores(split.size());
   pool->ParallelForBlocked(
       static_cast<int64_t>(split.size()), /*min_block=*/4,
       [&](int64_t begin, int64_t end) {
+        ag::InferenceModeScope inference;
+        nn::ForwardContext ctx;
+        ctx.training = false;
         for (int64_t i = begin; i < end; ++i) {
-          scores[i] = model->PredictPositiveProbability(split[i]);
+          scores[i] =
+              ag::SoftmaxProbs(model->Logits(split[i], ctx)->value())[1];
         }
       });
   return scores;
@@ -334,6 +356,73 @@ double Trainer::EvaluateAuc(models::NeuralDocumentModel* model,
     return 0.5;
   }
   return eval::RocAuc(Scores(model, split, pool), labels);
+}
+
+Trainer::EvalMetrics Trainer::EvaluateSplit(
+    models::NeuralDocumentModel* model, const std::vector<data::Example>& split,
+    synth::Horizon horizon) {
+  return EvaluateSplit(model, split, horizon, &GlobalThreadPool());
+}
+
+Trainer::EvalMetrics Trainer::EvaluateSplit(
+    models::NeuralDocumentModel* model, const std::vector<data::Example>& split,
+    synth::Horizon horizon, ThreadPool* pool) {
+  EvalMetrics metrics;  // {0.0, 0.5}: what the two-pass route reports when
+                        // the split is empty.
+  if (split.empty()) {
+    return metrics;
+  }
+  const std::vector<int> labels = Labels(split, horizon);
+  std::vector<float> scores(split.size());
+  std::vector<double> losses(split.size(), 0.0);
+
+  const std::string name = model->name();
+  if (name == "BK-DDN" || name == "AK-DDN") {
+    // Servable models evaluate through a refreshed frozen snapshot: no graph
+    // nodes at all, per-block Workspace scratch reused across examples. The
+    // snapshot's bitwise contract (serve/frozen_model.h) makes every loss
+    // and score bit-equal to the graph path's.
+    const serve::FrozenModel frozen = serve::FrozenModel::Freeze(*model);
+    pool->ParallelForBlocked(
+        static_cast<int64_t>(split.size()), /*min_block=*/4,
+        [&](int64_t begin, int64_t end) {
+          serve::FrozenModel::Workspace ws;
+          for (int64_t i = begin; i < end; ++i) {
+            const serve::FrozenModel::EvalResult result =
+                frozen.EvalExample(split[i], labels[i], &ws);
+            losses[i] = result.loss;
+            scores[i] = result.score;
+          }
+        });
+  } else {
+    // Generic route: graph forward under inference mode (values only, no
+    // tape), softmax probabilities computed once per example and reduced to
+    // both metrics with the exact arithmetic of ag::SoftmaxCrossEntropy's
+    // forward value and PredictPositiveProbability.
+    pool->ParallelForBlocked(
+        static_cast<int64_t>(split.size()), /*min_block=*/4,
+        [&](int64_t begin, int64_t end) {
+          ag::InferenceModeScope inference;
+          nn::ForwardContext ctx;
+          ctx.training = false;
+          for (int64_t i = begin; i < end; ++i) {
+            const std::vector<float> probs =
+                ag::SoftmaxProbs(model->Logits(split[i], ctx)->value());
+            losses[i] = -std::log(std::max(probs[labels[i]], 1e-12f));
+            scores[i] = probs[1];
+          }
+        });
+  }
+
+  // Losses are summed in example order — the same floating-point order as
+  // the two-pass MeanLoss — so the mean is thread-count-independent.
+  double total = 0.0;
+  for (double loss : losses) {
+    total += loss;
+  }
+  metrics.mean_loss = total / static_cast<double>(split.size());
+  metrics.auc = HasBothClasses(labels) ? eval::RocAuc(scores, labels) : 0.5;
+  return metrics;
 }
 
 }  // namespace kddn::core

@@ -54,6 +54,25 @@ struct TrainOptions {
   /// this at 1 and 4 threads). Requires the same TrainOptions::seed and an
   /// epoch horizon >= the checkpoint's completed epochs.
   bool resume = false;
+  /// Overlap batch assembly with optimization (DESIGN.md §10): a
+  /// core::BatchPrefetcher worker materialises mini-batch k+1 (shuffle-order
+  /// example slice, per-position dropout seeds, labels) while batch k runs
+  /// forward/backward/step. Batches are consumed strictly in shuffle order
+  /// and their contents are a pure function of (split, order, seed, batch
+  /// index), so the trained weights are bitwise identical with this on or
+  /// off, at any thread count — `false` assembles each batch inline on the
+  /// training thread (the reference path, also used by the equality tests).
+  bool prefetch = true;
+  /// Fuse the per-epoch validation pass (DESIGN.md §10): one gradient-free
+  /// forward per example yields both the validation loss and the AUC score,
+  /// replacing the historical MeanLoss + EvaluateAuc double pass. BK-DDN and
+  /// AK-DDN additionally run through a refreshed serve::FrozenModel snapshot
+  /// (no graph allocation at all); other models run their graph forward
+  /// under ag::InferenceModeScope. Both routes reduce the same logits
+  /// through ag::SoftmaxProbs, so the recorded curves are bitwise equal to
+  /// the two-pass path — `false` keeps the double pass for the equality
+  /// tests and benchmarks.
+  bool fused_eval = true;
 };
 
 /// The checkpoint file a Trainer reads and writes inside `checkpoint_dir`.
@@ -110,6 +129,27 @@ class Trainer {
   static double EvaluateAuc(models::NeuralDocumentModel* model,
                             const std::vector<data::Example>& split,
                             synth::Horizon horizon, ThreadPool* pool);
+
+  /// Both split-level validation metrics from one fused pass.
+  struct EvalMetrics {
+    double mean_loss = 0.0;  // Mean cross-entropy (0.0 on an empty split).
+    double auc = 0.5;        // ROC AUC (0.5 when empty or one-class).
+  };
+
+  /// Fused gradient-free evaluation (DESIGN.md §10): one forward per example
+  /// produces the softmax probabilities once, yielding the cross-entropy
+  /// loss and the ranking score together. Bitwise-equal to the two-pass
+  /// MeanLoss + EvaluateAuc route at any thread count (enforced by
+  /// tests/pipeline_test.cc); see TrainOptions::fused_eval for the frozen
+  /// vs. inference-mode dispatch.
+  static EvalMetrics EvaluateSplit(models::NeuralDocumentModel* model,
+                                   const std::vector<data::Example>& split,
+                                   synth::Horizon horizon);
+
+  /// EvaluateSplit on an explicit pool (used internally during training).
+  static EvalMetrics EvaluateSplit(models::NeuralDocumentModel* model,
+                                   const std::vector<data::Example>& split,
+                                   synth::Horizon horizon, ThreadPool* pool);
 
  private:
   TrainOptions options_;

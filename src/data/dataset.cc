@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "text/lemmatizer.h"
 #include "text/stopwords.h"
 #include "text/tokenizer.h"
@@ -70,20 +71,47 @@ MortalityDataset MortalityDataset::Build(const synth::Cohort& cohort,
     std::vector<std::string> cuis;
     std::array<bool, 3> labels;
   };
-  std::vector<Prepared> prepared;
-  for (const synth::SyntheticPatient& patient : cohort.patients()) {
-    Prepared p;
+
+  // Per-patient preprocessing is a pure function of the patient's text (the
+  // lemmatizer, stopword list, and extractor are immutable once built), so it
+  // fans out over the pool into disjoint slots; the ordered merge below then
+  // replays the serial loop's observable sequence exactly, which is what
+  // keeps the built dataset byte-identical at every thread count.
+  const std::vector<synth::SyntheticPatient>& patients = cohort.patients();
+  std::vector<Prepared> slots(patients.size());
+  auto prepare_one = [&](int64_t i) {
+    const synth::SyntheticPatient& patient = patients[i];
+    Prepared& p = slots[i];
     p.patient_id = patient.id;
     p.words = PreprocessWords(patient.text, lemmatizer, stopwords);
-    p.cuis = kb::ConceptExtractor::CuiSequence(
-        extractor.Extract(patient.text, options.extraction));
-    if (p.cuis.empty()) {
-      ++dataset.excluded_zero_concept_;
-      continue;  // Paper §VII-B2: drop zero-concept patients.
-    }
+    p.cuis = extractor.ExtractCuiSequence(patient.text, options.extraction);
     for (synth::Horizon horizon : synth::kAllHorizons) {
       p.labels[static_cast<int>(horizon)] =
           synth::IsPositive(patient.outcome, horizon);
+    }
+  };
+  if (options.parallel_build) {
+    GlobalThreadPool().ParallelForBlocked(
+        static_cast<int64_t>(patients.size()), /*min_block=*/1,
+        [&](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) {
+            prepare_one(i);
+          }
+        });
+  } else {
+    for (int64_t i = 0; i < static_cast<int64_t>(patients.size()); ++i) {
+      prepare_one(i);
+    }
+  }
+
+  // Ordered merge, in original patient order: exclusions, the raw count
+  // vectors, and the retained list grow in exactly the serial sequence.
+  std::vector<Prepared> prepared;
+  prepared.reserve(slots.size());
+  for (Prepared& p : slots) {
+    if (p.cuis.empty()) {
+      ++dataset.excluded_zero_concept_;
+      continue;  // Paper §VII-B2: drop zero-concept patients.
     }
     dataset.raw_word_counts_.push_back(static_cast<int>(p.words.size()));
     dataset.raw_concept_counts_.push_back(static_cast<int>(p.cuis.size()));

@@ -205,4 +205,15 @@ std::vector<std::string> ConceptExtractor::CuiSequence(
   return cuis;
 }
 
+std::vector<std::string> ConceptExtractor::ExtractCuiSequence(
+    std::string_view raw_text, const ExtractionOptions& options) const {
+  std::vector<Mention> mentions = Extract(raw_text, options);
+  std::vector<std::string> cuis;
+  cuis.reserve(mentions.size());
+  for (Mention& mention : mentions) {
+    cuis.push_back(std::move(mention.cui));
+  }
+  return cuis;
+}
+
 }  // namespace kddn::kb

@@ -53,6 +53,11 @@ uint64_t NoteFingerprint(std::string_view raw_text);
 /// aliases may contain stop words, §VII-B2), matching the longest
 /// lemma-normalised alias at each position so "cardiac tamponade" is tagged
 /// as one concept rather than two words (the paper's §I motivating example).
+///
+/// Thread safety: after construction the extractor is immutable, so Extract /
+/// ExtractCuiSequence may be called concurrently from any number of threads
+/// on the same instance — the parallel dataset build (data::MortalityDataset,
+/// DESIGN.md §10) and the serving path both rely on this.
 class ConceptExtractor {
  public:
   /// `kb` must outlive the extractor.
@@ -68,6 +73,12 @@ class ConceptExtractor {
   /// model input (Fig. 6's final sorted 2-tuples, projected to CUIs).
   static std::vector<std::string> CuiSequence(
       const std::vector<Mention>& mentions);
+
+  /// Extract + CuiSequence in one call, moving the CUI strings out of the
+  /// intermediate mention list instead of copying them. The per-patient hot
+  /// path of the dataset build.
+  std::vector<std::string> ExtractCuiSequence(
+      std::string_view raw_text, const ExtractionOptions& options = {}) const;
 
   const KnowledgeBase& kb() const { return *kb_; }
 

@@ -1,5 +1,7 @@
 #include "serve/frozen_model.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <string>
 
@@ -243,6 +245,18 @@ Tensor FrozenModel::Logits(const data::Example& example, Workspace* ws) const {
 float FrozenModel::ScorePositive(const data::Example& example,
                                  Workspace* ws) const {
   return ag::SoftmaxProbs(Logits(example, ws))[1];
+}
+
+FrozenModel::EvalResult FrozenModel::EvalExample(const data::Example& example,
+                                                 int label,
+                                                 Workspace* ws) const {
+  KDDN_CHECK(label == 0 || label == 1) << "binary label expected";
+  const std::vector<float> probs = ag::SoftmaxProbs(Logits(example, ws));
+  EvalResult result;
+  // Same clamp as ag::SoftmaxCrossEntropy's forward value.
+  result.loss = -std::log(std::max(probs[label], 1e-12f));
+  result.score = probs[1];
+  return result;
 }
 
 float FrozenModel::ScorePositive(const data::Example& example) const {

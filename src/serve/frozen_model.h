@@ -65,6 +65,20 @@ class FrozenModel {
   /// Probability of the positive (death) class.
   float ScorePositive(const data::Example& example, Workspace* ws) const;
 
+  /// One forward, both per-epoch validation metrics (DESIGN.md §10): the
+  /// softmax probabilities are computed once and yield the cross-entropy
+  /// loss against `label` and the positive-class score together. `loss` is
+  /// bitwise what ag::ScalarValue(ag::SoftmaxCrossEntropy(logits, label))
+  /// reports and `score` bitwise what ScorePositive reports, because all
+  /// three reduce the same logits through ag::SoftmaxProbs and the same
+  /// -log(max(p, 1e-12)) clamp.
+  struct EvalResult {
+    float loss = 0.0f;
+    float score = 0.0f;
+  };
+  EvalResult EvalExample(const data::Example& example, int label,
+                         Workspace* ws) const;
+
   /// Convenience overload using a thread-local Workspace (the per-thread
   /// scratch reuse path the engine relies on).
   float ScorePositive(const data::Example& example) const;

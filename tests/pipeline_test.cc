@@ -1,0 +1,397 @@
+// Input-pipeline and evaluation-path suite (DESIGN.md §10): the parallel
+// dataset build must be byte-identical to the serial reference at every pool
+// size, the batch prefetcher must hand the trainer exactly the batches inline
+// assembly would (golden weights bitwise, including across checkpoint/
+// resume), inference-mode graphs must carry bitwise-identical values with no
+// tape, and the fused gradient-free evaluation must record curves bitwise
+// equal to the historical MeanLoss + EvaluateAuc double pass. Labelled
+// `pipeline` and `sanitize` — the whole suite runs under TSan.
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/node.h"
+#include "autograd/ops.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/batch_prefetcher.h"
+#include "core/experiment.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "gtest/gtest.h"
+#include "kb/concept_extractor.h"
+#include "kb/knowledge_base.h"
+#include "models/bk_ddn.h"
+#include "synth/cohort.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace kddn {
+namespace {
+
+/// Restores the process-wide pool size on scope exit.
+struct PoolSizeGuard {
+  int previous = GlobalThreadPoolSize();
+  ~PoolSizeGuard() { SetGlobalThreadPoolSize(previous); }
+};
+
+std::string ScratchDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "kddn_pipeline_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void ExpectSameExamples(const std::vector<data::Example>& actual,
+                        const std::vector<data::Example>& expected,
+                        const std::string& split) {
+  ASSERT_EQ(actual.size(), expected.size()) << split;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].patient_id, expected[i].patient_id)
+        << split << " example " << i;
+    EXPECT_EQ(actual[i].word_ids, expected[i].word_ids)
+        << split << " example " << i;
+    EXPECT_EQ(actual[i].concept_ids, expected[i].concept_ids)
+        << split << " example " << i;
+    EXPECT_EQ(actual[i].labels, expected[i].labels)
+        << split << " example " << i;
+  }
+}
+
+void ExpectSameVocab(const text::Vocabulary& actual,
+                     const text::Vocabulary& expected,
+                     const std::string& what) {
+  ASSERT_EQ(actual.size(), expected.size()) << what;
+  for (int id = 0; id < expected.size(); ++id) {
+    EXPECT_EQ(actual.TokenOf(id), expected.TokenOf(id)) << what << " id " << id;
+    EXPECT_EQ(actual.Frequency(id), expected.Frequency(id))
+        << what << " id " << id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel dataset build: byte-identical to the serial reference.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelDatasetBuildTest, MatchesSerialByteForByteAtEveryPoolSize) {
+  PoolSizeGuard guard;
+  const kb::KnowledgeBase kb = kb::KnowledgeBase::BuildDefault();
+  const kb::ConceptExtractor extractor(&kb);
+  synth::CohortConfig cohort_config;
+  cohort_config.num_patients = 90;
+  cohort_config.seed = 37;
+  const synth::Cohort cohort = synth::Cohort::Generate(cohort_config, kb);
+
+  data::DatasetOptions options;
+  options.max_words = 48;
+  options.max_concepts = 24;
+  options.parallel_build = false;
+  const data::MortalityDataset serial =
+      data::MortalityDataset::Build(cohort, extractor, options);
+
+  options.parallel_build = true;
+  for (const int pool_size : {1, 2, 4}) {
+    SetGlobalThreadPoolSize(pool_size);
+    const data::MortalityDataset parallel =
+        data::MortalityDataset::Build(cohort, extractor, options);
+    const std::string tag = "pool=" + std::to_string(pool_size);
+    EXPECT_EQ(parallel.excluded_zero_concept(), serial.excluded_zero_concept())
+        << tag;
+    EXPECT_EQ(parallel.num_patients(), serial.num_patients()) << tag;
+    ExpectSameVocab(parallel.word_vocab(), serial.word_vocab(),
+                    tag + " word vocab");
+    ExpectSameVocab(parallel.concept_vocab(), serial.concept_vocab(),
+                    tag + " concept vocab");
+    ExpectSameExamples(parallel.train(), serial.train(), tag + " train");
+    ExpectSameExamples(parallel.validation(), serial.validation(),
+                       tag + " validation");
+    ExpectSameExamples(parallel.test(), serial.test(), tag + " test");
+    // The raw count vectors behind the moments must merge in patient order.
+    EXPECT_EQ(parallel.WordStats().mean, serial.WordStats().mean) << tag;
+    EXPECT_EQ(parallel.WordStats().stddev, serial.WordStats().stddev) << tag;
+    EXPECT_EQ(parallel.ConceptStats().mean, serial.ConceptStats().mean) << tag;
+    EXPECT_EQ(parallel.ConceptStats().stddev, serial.ConceptStats().stddev)
+        << tag;
+    for (synth::Horizon horizon : synth::kAllHorizons) {
+      EXPECT_EQ(parallel.CountPositive(horizon), serial.CountPositive(horizon))
+          << tag;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BatchPrefetcher: exactly the batches direct slicing would produce.
+// ---------------------------------------------------------------------------
+
+std::vector<data::Example> TinyExamples(int count) {
+  std::vector<data::Example> examples;
+  for (int i = 0; i < count; ++i) {
+    data::Example example;
+    example.patient_id = 100 + i;
+    example.word_ids = {1 + i % 3, 2, 5};
+    example.concept_ids = {1, 2 + i % 2};
+    example.labels = {i % 2 == 0, i % 3 == 0, true};
+    examples.push_back(std::move(example));
+  }
+  return examples;
+}
+
+TEST(BatchPrefetcherTest, BatchesMatchDirectSlicingInBothModes) {
+  const std::vector<data::Example> examples = TinyExamples(10);
+  core::BatchPrefetcher::Options options;
+  options.batch_size = 4;
+  options.chunk_size = 2;
+  options.seed = 77;
+  options.horizon = synth::Horizon::kWithin30Days;
+
+  // Two epochs with different orders; the second is consumed right after
+  // BeginEpoch to exercise the epoch handoff.
+  std::vector<int> forward(10), reversed(10);
+  for (int i = 0; i < 10; ++i) {
+    forward[i] = i;
+    reversed[i] = 9 - i;
+  }
+  const std::vector<const std::vector<int>*> orders = {&forward, &reversed};
+
+  for (const bool background : {false, true}) {
+    options.background = background;
+    core::BatchPrefetcher prefetcher(&examples, options);
+    for (int epoch = 1; epoch <= 2; ++epoch) {
+      const std::vector<int>& order = *orders[epoch - 1];
+      prefetcher.BeginEpoch(&order, epoch);
+      ASSERT_EQ(prefetcher.batches_per_epoch(), 3u);
+      for (size_t index = 0; index < 3; ++index) {
+        ASSERT_EQ(prefetcher.batches_remaining(), 3 - index);
+        const core::PreparedBatch* batch = prefetcher.Next();
+        ASSERT_NE(batch, nullptr);
+        const size_t begin = index * options.batch_size;
+        const size_t end = std::min<size_t>(10, begin + options.batch_size);
+        const std::string tag = "background=" + std::to_string(background) +
+                                " epoch=" + std::to_string(epoch) +
+                                " batch=" + std::to_string(index);
+        EXPECT_EQ(batch->epoch, epoch) << tag;
+        EXPECT_EQ(batch->begin, begin) << tag;
+        ASSERT_EQ(batch->size, end - begin) << tag;
+        EXPECT_EQ(batch->num_chunks, (batch->size + 1) / 2) << tag;
+        EXPECT_EQ(batch->inv_batch, 1.0f / static_cast<float>(batch->size))
+            << tag;
+        ASSERT_EQ(batch->examples.size(), batch->size) << tag;
+        ASSERT_EQ(batch->dropout_seeds.size(), batch->size) << tag;
+        ASSERT_EQ(batch->labels.size(), batch->size) << tag;
+        for (size_t j = 0; j < batch->size; ++j) {
+          const data::Example& expected = examples[order[begin + j]];
+          EXPECT_EQ(batch->examples[j], &expected) << tag << " slot " << j;
+          EXPECT_EQ(batch->dropout_seeds[j],
+                    core::MixDropoutSeed(options.seed, epoch, begin + j))
+              << tag << " slot " << j;
+          EXPECT_EQ(batch->labels[j],
+                    expected.Label(options.horizon) ? 1 : 0)
+              << tag << " slot " << j;
+        }
+      }
+      EXPECT_EQ(prefetcher.batches_remaining(), 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Inference mode: bitwise values, no tape.
+// ---------------------------------------------------------------------------
+
+TEST(InferenceModeTest, ValuesBitwiseEqualWithNoTapeAndBackwardRefused) {
+  Rng rng(99);
+  const Tensor init = RandomNormal({6, 4}, 0, 0.5f, &rng);
+  const std::vector<int> ids = {0, 3, 3, 5};
+
+  ag::NodePtr graph_table = ag::Node::Leaf(init, true, "emb.table");
+  const ag::NodePtr graph_loss =
+      ag::MeanAll(ag::Mul(ag::EmbeddingLookup(graph_table, ids),
+                          ag::EmbeddingLookup(graph_table, ids)));
+  EXPECT_FALSE(graph_loss->parents().empty());
+
+  ag::NodePtr inference_loss;
+  {
+    ag::InferenceModeScope inference;
+    EXPECT_TRUE(ag::InferenceModeEnabled());
+    ag::NodePtr table = ag::Node::Leaf(init, true, "emb.table");
+    inference_loss = ag::MeanAll(ag::Mul(ag::EmbeddingLookup(table, ids),
+                                         ag::EmbeddingLookup(table, ids)));
+  }
+  EXPECT_FALSE(ag::InferenceModeEnabled());
+
+  // Same arithmetic, same bits — only tape retention differs.
+  EXPECT_EQ(ag::ScalarValue(inference_loss), ag::ScalarValue(graph_loss));
+  EXPECT_TRUE(inference_loss->parents().empty());
+  EXPECT_FALSE(inference_loss->requires_grad());
+  EXPECT_THROW(ag::Backward(inference_loss), KddnError);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end training golden: prefetch and fused eval change wall-clock only.
+// ---------------------------------------------------------------------------
+
+class TrainingPipelineTest : public ::testing::Test {
+ protected:
+  TrainingPipelineTest()
+      : kb_(kb::KnowledgeBase::BuildDefault()), extractor_(&kb_) {
+    synth::CohortConfig config;
+    config.num_patients = 120;
+    config.seed = 91;
+    cohort_ = synth::Cohort::Generate(config, kb_);
+    data::DatasetOptions options;
+    options.max_words = 48;
+    options.max_concepts = 24;
+    dataset_ = data::MortalityDataset::Build(cohort_, extractor_, options);
+  }
+
+  models::ModelConfig ModelConfigForDataset() const {
+    models::ModelConfig config;
+    config.word_vocab_size = dataset_.word_vocab().size();
+    config.concept_vocab_size = dataset_.concept_vocab().size();
+    config.embedding_dim = 6;
+    config.num_filters = 4;
+    config.seed = 17;
+    return config;
+  }
+
+  struct RunResult {
+    std::vector<Tensor> params;
+    std::vector<eval::CurvePoint> curve;
+  };
+
+  RunResult TrainOnce(const std::string& model_name,
+                      const core::TrainOptions& options) {
+    std::unique_ptr<models::NeuralDocumentModel> model =
+        core::MakeDeepModel(model_name, ModelConfigForDataset());
+    core::Trainer trainer(options);
+    const eval::CurveRecorder recorder =
+        trainer.Train(model.get(), dataset_.train(), dataset_.validation(),
+                      synth::Horizon::kInHospital);
+    RunResult result;
+    for (const ag::NodePtr& param : model->params().all()) {
+      result.params.push_back(param->value());
+    }
+    result.curve = recorder.points();
+    return result;
+  }
+
+  static core::TrainOptions BaseOptions() {
+    core::TrainOptions options;
+    options.epochs = 3;
+    options.batch_size = 16;
+    options.seed = 13;
+    options.num_threads = 1;
+    return options;
+  }
+
+  static void ExpectSameRun(const RunResult& actual, const RunResult& expected,
+                            const std::string& tag) {
+    ASSERT_EQ(actual.params.size(), expected.params.size()) << tag;
+    for (size_t i = 0; i < actual.params.size(); ++i) {
+      ASSERT_TRUE(actual.params[i].SameShape(expected.params[i])) << tag;
+      EXPECT_EQ(std::memcmp(actual.params[i].data(), expected.params[i].data(),
+                            actual.params[i].size() * sizeof(float)),
+                0)
+          << tag << " param " << i;
+    }
+    ASSERT_EQ(actual.curve.size(), expected.curve.size()) << tag;
+    for (size_t i = 0; i < actual.curve.size(); ++i) {
+      EXPECT_EQ(actual.curve[i].epoch, expected.curve[i].epoch) << tag;
+      EXPECT_EQ(actual.curve[i].train_loss, expected.curve[i].train_loss)
+          << tag << " epoch " << i + 1;
+      EXPECT_EQ(actual.curve[i].validation_loss,
+                expected.curve[i].validation_loss)
+          << tag << " epoch " << i + 1;
+      EXPECT_EQ(actual.curve[i].validation_auc,
+                expected.curve[i].validation_auc)
+          << tag << " epoch " << i + 1;
+    }
+  }
+
+  kb::KnowledgeBase kb_;
+  kb::ConceptExtractor extractor_;
+  synth::Cohort cohort_;
+  data::MortalityDataset dataset_;
+};
+
+TEST_F(TrainingPipelineTest, PrefetchedWeightsMatchInlineGolden) {
+  core::TrainOptions golden_options = BaseOptions();
+  golden_options.prefetch = false;
+  const RunResult golden = TrainOnce("BK-DDN", golden_options);
+  ASSERT_FALSE(golden.params.empty());
+  for (const int threads : {1, 4}) {
+    core::TrainOptions options = BaseOptions();
+    options.prefetch = true;
+    options.num_threads = threads;
+    ExpectSameRun(TrainOnce("BK-DDN", options), golden,
+                  "prefetch threads=" + std::to_string(threads));
+  }
+}
+
+TEST_F(TrainingPipelineTest, FusedEvalCurvesMatchTwoPassBitwise) {
+  // BK-DDN exercises the frozen-snapshot route, Text CNN the generic
+  // inference-mode graph route — both must reproduce the double pass's
+  // curve (and, through best-epoch selection, its final weights) exactly.
+  for (const std::string model_name : {"BK-DDN", "Text CNN"}) {
+    core::TrainOptions two_pass = BaseOptions();
+    two_pass.fused_eval = false;
+    core::TrainOptions fused = BaseOptions();
+    fused.fused_eval = true;
+    ExpectSameRun(TrainOnce(model_name, fused), TrainOnce(model_name, two_pass),
+                  "fused eval " + model_name);
+  }
+}
+
+TEST_F(TrainingPipelineTest, ResumeMidRunWithPrefetchIsBitwiseExact) {
+  core::TrainOptions straight = BaseOptions();
+  straight.prefetch = true;
+  straight.num_threads = 4;
+  const RunResult golden = TrainOnce("BK-DDN", straight);
+
+  // Interrupted twin: stop after epoch 2, then resume to the full horizon.
+  core::TrainOptions interrupted = straight;
+  interrupted.checkpoint_dir = ScratchDir("resume_prefetch");
+  interrupted.epochs = 2;
+  TrainOnce("BK-DDN", interrupted);
+  interrupted.epochs = straight.epochs;
+  interrupted.resume = true;
+  ExpectSameRun(TrainOnce("BK-DDN", interrupted), golden, "resume");
+  std::filesystem::remove_all(interrupted.checkpoint_dir);
+}
+
+TEST_F(TrainingPipelineTest, EvaluateSplitMatchesTwoPassStatics) {
+  core::TrainOptions options = BaseOptions();
+  options.epochs = 1;
+  std::unique_ptr<models::NeuralDocumentModel> model =
+      core::MakeDeepModel("BK-DDN", ModelConfigForDataset());
+  core::Trainer(options).Train(model.get(), dataset_.train(),
+                               dataset_.validation(),
+                               synth::Horizon::kInHospital);
+  const core::Trainer::EvalMetrics metrics = core::Trainer::EvaluateSplit(
+      model.get(), dataset_.test(), synth::Horizon::kInHospital);
+  EXPECT_EQ(metrics.auc,
+            core::Trainer::EvaluateAuc(model.get(), dataset_.test(),
+                                       synth::Horizon::kInHospital));
+  EXPECT_GT(metrics.mean_loss, 0.0);
+
+  // Degenerate splits report what the two-pass route reports.
+  const core::Trainer::EvalMetrics empty = core::Trainer::EvaluateSplit(
+      model.get(), {}, synth::Horizon::kInHospital);
+  EXPECT_EQ(empty.mean_loss, 0.0);
+  EXPECT_EQ(empty.auc, 0.5);
+  std::vector<data::Example> one_class(3, dataset_.test().front());
+  for (data::Example& example : one_class) {
+    example.labels = {true, true, true};
+  }
+  const core::Trainer::EvalMetrics degenerate = core::Trainer::EvaluateSplit(
+      model.get(), one_class, synth::Horizon::kInHospital);
+  EXPECT_EQ(degenerate.auc, 0.5);
+  EXPECT_GT(degenerate.mean_loss, 0.0);
+}
+
+}  // namespace
+}  // namespace kddn
