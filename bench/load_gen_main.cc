@@ -1,0 +1,211 @@
+// kddn_loadgen — closed/open-loop load harness for the HTTP serving
+// front-end (DESIGN.md §11).
+//
+// Two modes:
+//
+//  * Self-hosted bench (default): trains a BK-DDN at the BENCH_serve scale,
+//    freezes it behind a pipeline-equipped InferenceEngine with admission
+//    control, starts the HTTP server on an ephemeral port, then (1) checks
+//    every pool note scores bitwise-identically over HTTP and in-process,
+//    (2) runs a closed-loop pass for the latency/throughput headline, and
+//    (3) sweeps open-loop QPS steps to locate the saturation knee. Emits
+//    BENCH_http.json (gated by scripts/check_bench.py under the perf label).
+//
+//      ./build/bench/kddn_loadgen --json
+//
+//  * External target: load-test an already-running server (e.g. one started
+//    with run_experiment --http_port) and print the report.
+//
+//      ./build/bench/kddn_loadgen --port=8080 --requests=2000 \
+//          --concurrency=8 --qps=200
+//
+// Flags: --port, --requests, --concurrency, --qps (0 = closed loop),
+// --seed, --note_pool, --json[=path] (default BENCH_http.json).
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/net_util.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "kb/concept_extractor.h"
+#include "models/bk_ddn.h"
+#include "serve/frozen_model.h"
+#include "serve/http_server.h"
+#include "serve/inference_engine.h"
+#include "serve/load_gen.h"
+#include "synth/cohort.h"
+
+namespace kddn {
+namespace {
+
+/// Scores every pool note both in-process (engine.ScoreNote) and over the
+/// wire; true only if every pair is bitwise equal.
+bool CheckBitwiseScores(serve::InferenceEngine* engine, int port,
+                        const std::vector<std::string>& pool) {
+  net::ScopedFd fd(net::ConnectTcp("127.0.0.1", port));
+  bool all_equal = true;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const float reference = engine->ScoreNote(pool[i]);
+    serve::RequestOutcome outcome;
+    if (!serve::ScoreOverHttp(fd.get(), pool[i], &outcome) ||
+        outcome.status != 200) {
+      std::fprintf(stderr, "bitwise check: note %zu failed (status %d)\n", i,
+                   outcome.status);
+      return false;
+    }
+    if (outcome.score != reference) {
+      std::fprintf(stderr,
+                   "bitwise check: note %zu served %.9g != in-process %.9g\n",
+                   i, outcome.score, reference);
+      all_equal = false;
+    }
+  }
+  return all_equal;
+}
+
+int RunSelfHostedBench(const Flags& flags) {
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 21));
+
+  // Model + dataset at the BENCH_serve scale (paper-sized embedding and
+  // filter widths, trimmed patient count).
+  auto kb = kb::KnowledgeBase::BuildDefault();
+  kb::ConceptExtractor extractor(&kb);
+  synth::CohortConfig cohort_config;
+  cohort_config.num_patients = 400;
+  cohort_config.seed = seed;
+  const synth::Cohort cohort = synth::Cohort::Generate(cohort_config, kb);
+  data::DatasetOptions data_options;
+  data_options.max_words = 96;
+  data_options.max_concepts = 48;
+  const data::MortalityDataset dataset =
+      data::MortalityDataset::Build(cohort, extractor, data_options);
+
+  models::ModelConfig model_config;
+  model_config.word_vocab_size = dataset.word_vocab().size();
+  model_config.concept_vocab_size = dataset.concept_vocab().size();
+  model_config.embedding_dim = 20;
+  model_config.num_filters = 50;
+  model_config.seed = 5;
+  models::BkDdn model(model_config);
+  core::TrainOptions train_options;
+  train_options.epochs = 1;
+  train_options.batch_size = 32;
+  core::Trainer trainer(train_options);
+  std::printf("training BK-DDN for the HTTP bench...\n");
+  trainer.Train(&model, dataset.train(), dataset.validation(),
+                synth::Horizon::kInHospital);
+
+  const serve::FrozenModel frozen = serve::FrozenModel::Freeze(model);
+  serve::NotePipeline pipeline;
+  pipeline.word_vocab = &dataset.word_vocab();
+  pipeline.concept_vocab = &dataset.concept_vocab();
+  pipeline.extractor = &extractor;
+  pipeline.options = data_options;
+  serve::EngineOptions engine_options;
+  engine_options.max_batch = 16;
+  engine_options.flush_deadline_ms = 2;
+  engine_options.max_queue = 128;
+  engine_options.deadline_ms = 250;
+  serve::InferenceEngine engine(&frozen, pipeline, engine_options);
+
+  serve::HttpServer server(&engine);
+  server.Start();
+  std::printf("serving snapshot %016llx on 127.0.0.1:%d\n",
+              static_cast<unsigned long long>(frozen.fingerprint()),
+              server.port());
+
+  serve::LoadGenOptions load_options;
+  load_options.port = server.port();
+  load_options.requests = flags.GetInt("requests", 400);
+  load_options.concurrency = flags.GetInt("concurrency", 4);
+  load_options.seed = seed;
+  load_options.note_pool_size = flags.GetInt("note_pool", 64);
+
+  // (1) The acceptance invariant: HTTP == in-process, bitwise.
+  const std::vector<std::string> pool =
+      serve::BuildNotePool(load_options.seed, load_options.note_pool_size);
+  const bool bitwise = CheckBitwiseScores(&engine, server.port(), pool);
+  std::printf("scores_bitwise_equal: %s\n", bitwise ? "true" : "false");
+
+  // (2) Closed-loop headline numbers.
+  const serve::LoadGenReport closed = serve::RunLoadGen(load_options);
+  std::printf("closed loop: %s\n", closed.ToJson().c_str());
+
+  // (3) Open-loop knee sweep around the measured closed-loop capacity.
+  const double capacity = closed.achieved_rps;
+  const std::vector<double> steps = {0.25 * capacity, 0.5 * capacity,
+                                     0.75 * capacity, capacity,
+                                     1.5 * capacity, 2.0 * capacity};
+  const serve::KneeSweep sweep = serve::FindSaturationKnee(load_options, steps);
+  std::printf("knee sweep: %s\n", sweep.ToJson().c_str());
+
+  const std::string out_path =
+      flags.GetString("json", "BENCH_http.json") == "true"
+          ? "BENCH_http.json"
+          : flags.GetString("json", "BENCH_http.json");
+  std::ofstream out(out_path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"single_core_host\": "
+      << (std::thread::hardware_concurrency() <= 1 ? "true" : "false")
+      << ",\n"
+      << "  \"model\": \"" << frozen.name() << "\",\n"
+      << "  \"scores_bitwise_equal\": " << (bitwise ? "true" : "false")
+      << ",\n"
+      << "  \"closed_loop\": " << closed.ToJson() << ",\n"
+      << "  \"p50_ms\": " << closed.p50_ms << ",\n"
+      << "  \"p99_ms\": " << closed.p99_ms << ",\n"
+      << "  \"p999_ms\": " << closed.p999_ms << ",\n"
+      << "  \"throughput_rps\": " << closed.achieved_rps << ",\n"
+      << "  \"shed_rate\": " << closed.shed_rate << ",\n"
+      << "  \"knee_qps\": " << sweep.knee_qps << ",\n"
+      << "  \"knee_sweep\": " << sweep.ToJson() << ",\n"
+      << "  \"engine_stats\": " << engine.stats().ToJson() << ",\n"
+      << "  \"server_stats\": " << server.stats().ToJson() << "\n"
+      << "}\n";
+  std::printf("wrote %s (p50 %.2fms p99 %.2fms p999 %.2fms, %.0f rps, "
+              "knee %.0f qps)\n",
+              out_path.c_str(), closed.p50_ms, closed.p99_ms, closed.p999_ms,
+              closed.achieved_rps, sweep.knee_qps);
+  server.Stop();
+  return bitwise ? 0 : 1;
+}
+
+int RunExternalTarget(const Flags& flags) {
+  serve::LoadGenOptions options;
+  options.host = flags.GetString("host", "127.0.0.1");
+  options.port = flags.GetInt("port", 0);
+  options.requests = flags.GetInt("requests", 400);
+  options.concurrency = flags.GetInt("concurrency", 4);
+  options.qps = flags.GetDouble("qps", 0.0);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 21));
+  options.note_pool_size = flags.GetInt("note_pool", 64);
+  const serve::LoadGenReport report = serve::RunLoadGen(options);
+  std::printf("%s\n", report.ToJson().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace kddn
+
+int main(int argc, char** argv) {
+  const kddn::Flags flags = kddn::Flags::Parse(argc, argv);
+  try {
+    if (flags.Has("port")) {
+      return kddn::RunExternalTarget(flags);
+    }
+    return kddn::RunSelfHostedBench(flags);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "kddn_loadgen: %s\n", error.what());
+    return 1;
+  }
+}

@@ -13,6 +13,17 @@
 // frozen snapshot + batched engine and check it against the graph path),
 // --serve_batch (engine max_batch, default 16).
 //
+// HTTP serving: --http_port <p> (0 = ephemeral) freezes the trained-or-
+// loaded snapshot behind the raw-note pipeline and serves POST /v1/score,
+// GET /v1/stats and GET /healthz until stdin closes. Admission control via
+// --http_max_queue (default 128) and --http_deadline_ms (default 250);
+// overload answers 429/503 with Retry-After. With --http_requests <n> the
+// in-process load generator measures the server instead (train, serve, and
+// load-test in one process) and exits:
+//
+//   ./build/examples/run_experiment --model=BK-DDN --epochs=2 \
+//       --http_port=0 --http_requests=200 --http_concurrency=4
+//
 // Crash safety: --checkpoint_dir <dir> checkpoints the trainer atomically
 // every --checkpoint_every epochs (default 1); re-running the same command
 // with --resume after an interruption restarts from the last checkpoint and
@@ -24,6 +35,7 @@
 //       --checkpoint_dir=ckpt --resume   # ...finishes the same run
 #include <cstdio>
 #include <future>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -34,7 +46,9 @@
 #include "kb/concept_extractor.h"
 #include "nn/serialization.h"
 #include "serve/frozen_model.h"
+#include "serve/http_server.h"
 #include "serve/inference_engine.h"
+#include "serve/load_gen.h"
 
 int main(int argc, char** argv) {
   using namespace kddn;
@@ -159,6 +173,51 @@ int main(int argc, char** argv) {
     std::printf("serve stats: %s\n", engine.stats().ToJson().c_str());
     KDDN_CHECK_EQ(served_auc, auc)
         << "frozen snapshot diverged from the training graph";
+  }
+
+  if (flags.Has("http_port")) {
+    KDDN_CHECK(model_name == "BK-DDN" || model_name == "AK-DDN")
+        << "--http_port requires a dual-network model";
+    const serve::FrozenModel frozen = serve::FrozenModel::Freeze(*model);
+    serve::NotePipeline pipeline;
+    pipeline.word_vocab = &dataset.word_vocab();
+    pipeline.concept_vocab = &dataset.concept_vocab();
+    pipeline.extractor = &extractor;
+    pipeline.options = dataset_options;
+    serve::EngineOptions engine_options;
+    engine_options.max_batch = flags.GetInt("serve_batch", 16);
+    engine_options.max_queue = flags.GetInt("http_max_queue", 128);
+    engine_options.deadline_ms = flags.GetInt("http_deadline_ms", 250);
+    serve::InferenceEngine engine(&frozen, pipeline, engine_options);
+    serve::HttpServerOptions server_options;
+    server_options.port = flags.GetInt("http_port", 0);
+    serve::HttpServer server(&engine, server_options);
+    server.Start();
+    std::printf("serving %s snapshot %016llx on http://127.0.0.1:%d "
+                "(POST /v1/score, GET /v1/stats, GET /healthz)\n",
+                model_name.c_str(),
+                static_cast<unsigned long long>(frozen.fingerprint()),
+                server.port());
+
+    const int http_requests = flags.GetInt("http_requests", 0);
+    if (http_requests > 0) {
+      // Served, loaded, and measured in one process.
+      serve::LoadGenOptions load_options;
+      load_options.port = server.port();
+      load_options.requests = http_requests;
+      load_options.concurrency = flags.GetInt("http_concurrency", 4);
+      load_options.qps = flags.GetDouble("http_qps", 0.0);
+      load_options.seed = cohort_config.seed;
+      const serve::LoadGenReport report = serve::RunLoadGen(load_options);
+      std::printf("loadgen: %s\n", report.ToJson().c_str());
+      std::printf("engine stats: %s\n", engine.stats().ToJson().c_str());
+      std::printf("server stats: %s\n", server.stats().ToJson().c_str());
+    } else {
+      std::printf("press Ctrl-D to stop\n");
+      for (std::string line; std::getline(std::cin, line);) {
+      }
+    }
+    server.Stop();
   }
   return 0;
 }

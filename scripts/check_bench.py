@@ -76,6 +76,29 @@ def check_serve(errors, name, data):
     require_flag(errors, name, data, "bitwise_match")
 
 
+def check_http(errors, name, data):
+    # The transport must never change a bit of the score.
+    require_flag(errors, name, data, "scores_bitwise_equal")
+    # The invariant block every host must uphold regardless of speed:
+    # ordered latency percentiles, a bounded shed rate, and positive
+    # throughput. Absolute numbers are host-dependent and not gated.
+    for field in ("p50_ms", "p99_ms", "p999_ms", "throughput_rps",
+                  "shed_rate", "knee_qps", "single_core_host"):
+        if field not in data:
+            fail(errors, name, f"missing required field {field!r}")
+    if all(k in data for k in ("p50_ms", "p99_ms", "p999_ms")):
+        if not data["p50_ms"] <= data["p99_ms"] <= data["p999_ms"]:
+            fail(errors, name,
+                 f"latency percentiles out of order: p50={data['p50_ms']} "
+                 f"p99={data['p99_ms']} p999={data['p999_ms']}")
+    if "shed_rate" in data and not 0.0 <= data["shed_rate"] <= 1.0:
+        fail(errors, name, f"shed_rate = {data['shed_rate']!r}, "
+             "expected within [0, 1]")
+    if "throughput_rps" in data and not data["throughput_rps"] > 0:
+        fail(errors, name,
+             f"throughput_rps = {data['throughput_rps']!r}, expected > 0")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -91,6 +114,7 @@ def main():
     check_artifact(errors, args.repo_root / "BENCH_pipeline.json",
                    check_pipeline)
     check_artifact(errors, args.repo_root / "BENCH_serve.json", check_serve)
+    check_artifact(errors, args.repo_root / "BENCH_http.json", check_http)
 
     if errors:
         for error in errors:

@@ -1,0 +1,178 @@
+#include "common/net_util.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/check.h"
+#include "common/fault_injector.h"
+
+namespace kddn::net {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const char* op) {
+  throw KddnError(std::string(op) + " failed: " + std::strerror(errno));
+}
+
+}  // namespace
+
+int ListenTcp(int port, int backlog) {
+  KDDN_CHECK(port >= 0 && port <= 65535) << "port out of range: " << port;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    ThrowErrno("socket");
+  }
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    CloseFd(fd);
+    ThrowErrno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    CloseFd(fd);
+    ThrowErrno("bind");
+  }
+  if (::listen(fd, backlog) != 0) {
+    CloseFd(fd);
+    ThrowErrno("listen");
+  }
+  return fd;
+}
+
+int BoundPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ThrowErrno("getsockname");
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    ThrowErrno("fcntl(O_NONBLOCK)");
+  }
+}
+
+void SetTcpNoDelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+int AcceptConnection(int listen_fd) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return -1;
+    }
+    ThrowErrno("accept");
+  }
+  try {
+    KDDN_FAULT_POINT("http.accept");
+  } catch (...) {
+    // The injected crash models the peer vanishing between accept and
+    // service; the fd must not leak into the poll set.
+    CloseFd(fd);
+    throw;
+  }
+  return fd;
+}
+
+IoStatus ReadSome(int fd, char* buffer, size_t capacity, size_t* n_read) {
+  *n_read = 0;
+  try {
+    KDDN_FAULT_POINT("http.read");
+  } catch (...) {
+    return IoStatus::kError;
+  }
+  const ssize_t n = ::read(fd, buffer, capacity);
+  if (n > 0) {
+    *n_read = static_cast<size_t>(n);
+    return IoStatus::kOk;
+  }
+  if (n == 0) {
+    return IoStatus::kEof;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return IoStatus::kWouldBlock;
+  }
+  return IoStatus::kError;
+}
+
+IoStatus WriteSome(int fd, const char* data, size_t size, size_t* n_written) {
+  *n_written = 0;
+  try {
+    KDDN_FAULT_POINT("http.write");
+  } catch (...) {
+    return IoStatus::kError;
+  }
+  // MSG_NOSIGNAL: a peer that closed mid-response must surface as EPIPE on
+  // this call, not kill the process with SIGPIPE.
+  const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+  if (n >= 0) {
+    *n_written = static_cast<size_t>(n);
+    return IoStatus::kOk;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return IoStatus::kWouldBlock;
+  }
+  return IoStatus::kError;
+}
+
+int ConnectTcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    ThrowErrno("socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(fd);
+    throw KddnError("ConnectTcp: not an IPv4 literal: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    CloseFd(fd);
+    ThrowErrno("connect");
+  }
+  // Request/response traffic: coalescing tiny writes behind Nagle only adds
+  // latency to the very measurements the load harness exists to take.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void WriteAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ThrowErrno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) {
+    ::close(fd);
+  }
+}
+
+}  // namespace kddn::net

@@ -1,0 +1,107 @@
+#ifndef KDDN_COMMON_NET_UTIL_H_
+#define KDDN_COMMON_NET_UTIL_H_
+
+#include <cstddef>
+#include <string>
+
+namespace kddn::net {
+
+/// Thin, throwing wrappers over the POSIX socket calls the HTTP layer uses.
+/// Every fallible operation maps errno onto KddnError with the operation name
+/// in the message, and the I/O paths carry KDDN_FAULT_POINT sites
+/// ("http.accept", "http.read", "http.write") so robustness tests can crash
+/// any connection at any byte boundary deterministically (DESIGN.md §8).
+///
+/// All sockets are IPv4 loopback by default: the serving front-end is an
+/// internal tier fronted by a real load balancer in any deployment this
+/// reproduction models, and binding 127.0.0.1 keeps tests hermetic.
+
+/// Outcome of one non-blocking read/write attempt.
+enum class IoStatus {
+  kOk,          // >= 1 byte transferred (see the size_t out-param).
+  kWouldBlock,  // EAGAIN/EWOULDBLOCK: retry after the next poll readiness.
+  kEof,         // Read only: orderly peer shutdown.
+  kError,       // Connection-level failure (ECONNRESET, EPIPE, ...): close it.
+};
+
+/// Creates a TCP listen socket bound to 127.0.0.1:`port` (0 = kernel-assigned
+/// ephemeral port) with SO_REUSEADDR, listening with `backlog`. Returns the
+/// fd; throws KddnError on failure.
+int ListenTcp(int port, int backlog = 128);
+
+/// The port a listen socket is actually bound to (resolves port 0).
+int BoundPort(int fd);
+
+/// Marks `fd` non-blocking (O_NONBLOCK). Throws on failure.
+void SetNonBlocking(int fd);
+
+/// Disables Nagle coalescing (TCP_NODELAY); best-effort, never throws.
+void SetTcpNoDelay(int fd);
+
+/// Accepts one pending connection on a non-blocking listen socket. Returns
+/// the connection fd, or -1 when no connection is pending (EAGAIN). Throws
+/// KddnError on listener-level failure or an armed "http.accept" fault; the
+/// injected-fault path closes the just-accepted fd first, so a dropped
+/// connection never leaks.
+int AcceptConnection(int listen_fd);
+
+/// One read(2) attempt on a non-blocking fd. On kOk, `*n_read` holds the byte
+/// count. An armed "http.read" fault surfaces as kError (the connection is
+/// treated as lost mid-request).
+IoStatus ReadSome(int fd, char* buffer, size_t capacity, size_t* n_read);
+
+/// One write(2) attempt on a non-blocking fd. On kOk, `*n_written` holds the
+/// byte count (possibly a short write). An armed "http.write" fault surfaces
+/// as kError (the connection is treated as lost mid-response).
+IoStatus WriteSome(int fd, const char* data, size_t size, size_t* n_written);
+
+/// Blocking client-side connect to host:port (host must be a dotted-quad
+/// IPv4 literal, e.g. "127.0.0.1"). Returns the fd; throws on failure. Used
+/// by the load generator and the socket tests.
+int ConnectTcp(const std::string& host, int port);
+
+/// Blocking write of the whole buffer (client side). Throws on failure.
+void WriteAll(int fd, const char* data, size_t size);
+
+/// close(2), ignoring errors (used from destructors and error paths).
+void CloseFd(int fd);
+
+/// RAII fd owner for the client-side helpers and tests.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { reset(); }
+
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1) {
+    if (fd_ >= 0) {
+      CloseFd(fd_);
+    }
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace kddn::net
+
+#endif  // KDDN_COMMON_NET_UTIL_H_

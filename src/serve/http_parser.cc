@@ -1,0 +1,319 @@
+#include "serve/http_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace kddn::serve {
+
+namespace {
+
+bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) {
+    ++begin;
+  }
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t')) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(const std::string& name) const {
+  const std::string* found = nullptr;
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) {
+      found = &value;
+    }
+  }
+  return found;
+}
+
+bool HttpRequest::KeepAlive() const {
+  if (const std::string* connection = FindHeader("Connection")) {
+    if (EqualsIgnoreCase(Trim(*connection), "close")) {
+      return false;
+    }
+    if (EqualsIgnoreCase(Trim(*connection), "keep-alive")) {
+      return true;
+    }
+  }
+  return version == "HTTP/1.1";
+}
+
+HttpParser::HttpParser(const HttpParserOptions& options) : options_(options) {}
+
+HttpParser::Status HttpParser::Consume(const char* data, size_t size) {
+  if (state_ == State::kError) {
+    return Status::kError;
+  }
+  buffer_.append(data, size);
+  if (state_ == State::kComplete) {
+    // The pipelined tail waits for Advance(); the finished request must be
+    // acted on before its successor overwrites it.
+    return Status::kComplete;
+  }
+  return Run();
+}
+
+HttpParser::Status HttpParser::Advance() {
+  if (state_ != State::kComplete) {
+    return state_ == State::kError ? Status::kError : Status::kNeedMore;
+  }
+  buffer_.erase(0, pos_);
+  pos_ = 0;
+  header_bytes_ = 0;
+  body_remaining_ = 0;
+  chunk_remaining_ = 0;
+  request_ = HttpRequest();
+  state_ = State::kRequestLine;
+  return Run();
+}
+
+bool HttpParser::ChargeHeaderBytes(size_t n) {
+  header_bytes_ += n;
+  return header_bytes_ <= options_.max_header_bytes;
+}
+
+HttpParser::Status HttpParser::SetError(int status,
+                                        const std::string& reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = reason;
+  return Status::kError;
+}
+
+bool HttpParser::TakeLine(std::string* line) {
+  const size_t newline = buffer_.find('\n', pos_);
+  if (newline == std::string::npos) {
+    // An attacker streaming an endless headerless prefix must hit the budget
+    // while the line is still incomplete, not grow the buffer forever.
+    if (buffer_.size() - pos_ > options_.max_header_bytes) {
+      SetError(431, "header line exceeds max_header_bytes");
+    }
+    return false;
+  }
+  size_t end = newline;
+  if (end > pos_ && buffer_[end - 1] == '\r') {
+    --end;
+  }
+  line->assign(buffer_, pos_, end - pos_);
+  pos_ = newline + 1;
+  return true;
+}
+
+HttpParser::Status HttpParser::FinishHeaders() {
+  const std::string* transfer_encoding =
+      request_.FindHeader("Transfer-Encoding");
+  const std::string* content_length = request_.FindHeader("Content-Length");
+  if (transfer_encoding != nullptr && content_length != nullptr) {
+    return SetError(400, "both Content-Length and Transfer-Encoding");
+  }
+  if (transfer_encoding != nullptr) {
+    if (!EqualsIgnoreCase(Trim(*transfer_encoding), "chunked")) {
+      return SetError(501, "unsupported Transfer-Encoding");
+    }
+    state_ = State::kChunkSize;
+    return Status::kNeedMore;
+  }
+  if (content_length != nullptr) {
+    const std::string value = Trim(*content_length);
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+      return SetError(400, "malformed Content-Length");
+    }
+    // Digits-only but astronomically long still means "bigger than any body
+    // we accept" — refuse before stoull can overflow.
+    if (value.size() > 15) {
+      return SetError(413, "Content-Length exceeds max_body_bytes");
+    }
+    const unsigned long long length = std::stoull(value);
+    if (length > options_.max_body_bytes) {
+      return SetError(413, "Content-Length exceeds max_body_bytes");
+    }
+    body_remaining_ = static_cast<size_t>(length);
+    state_ = body_remaining_ == 0 ? State::kComplete : State::kBody;
+    return body_remaining_ == 0 ? Status::kComplete : Status::kNeedMore;
+  }
+  state_ = State::kComplete;
+  return Status::kComplete;
+}
+
+HttpParser::Status HttpParser::Run() {
+  while (true) {
+    switch (state_) {
+      case State::kRequestLine: {
+        std::string line;
+        if (!TakeLine(&line)) {
+          return state_ == State::kError ? Status::kError : Status::kNeedMore;
+        }
+        if (line.empty()) {
+          continue;  // RFC 7230 §3.5: ignore CRLFs before the request line.
+        }
+        if (!ChargeHeaderBytes(line.size() + 2)) {
+          return SetError(431, "request line exceeds max_header_bytes");
+        }
+        const size_t first_space = line.find(' ');
+        const size_t second_space =
+            first_space == std::string::npos
+                ? std::string::npos
+                : line.find(' ', first_space + 1);
+        if (first_space == std::string::npos ||
+            second_space == std::string::npos ||
+            line.find(' ', second_space + 1) != std::string::npos) {
+          return SetError(400, "malformed request line");
+        }
+        request_.method = line.substr(0, first_space);
+        request_.target =
+            line.substr(first_space + 1, second_space - first_space - 1);
+        request_.version = line.substr(second_space + 1);
+        if (request_.method.empty() || request_.target.empty()) {
+          return SetError(400, "malformed request line");
+        }
+        if (request_.version != "HTTP/1.1" &&
+            request_.version != "HTTP/1.0") {
+          return SetError(505, "unsupported HTTP version");
+        }
+        state_ = State::kHeaders;
+        continue;
+      }
+
+      case State::kHeaders: {
+        std::string line;
+        if (!TakeLine(&line)) {
+          return state_ == State::kError ? Status::kError : Status::kNeedMore;
+        }
+        if (!ChargeHeaderBytes(line.size() + 2)) {
+          return SetError(431, "headers exceed max_header_bytes");
+        }
+        if (line.empty()) {
+          const Status status = FinishHeaders();
+          if (status == Status::kError || status == Status::kComplete) {
+            return status;
+          }
+          continue;
+        }
+        const size_t colon = line.find(':');
+        if (colon == std::string::npos || colon == 0) {
+          return SetError(400, "malformed header line");
+        }
+        std::string name = Trim(line.substr(0, colon));
+        if (name.empty() || name != line.substr(0, colon)) {
+          // RFC 7230 §3.2.4: whitespace between field name and ':' is a
+          // smuggling vector and must be rejected.
+          return SetError(400, "whitespace before header colon");
+        }
+        request_.headers.emplace_back(std::move(name),
+                                      Trim(line.substr(colon + 1)));
+        continue;
+      }
+
+      case State::kBody: {
+        const size_t available = buffer_.size() - pos_;
+        const size_t take = std::min(available, body_remaining_);
+        request_.body.append(buffer_, pos_, take);
+        pos_ += take;
+        body_remaining_ -= take;
+        if (body_remaining_ > 0) {
+          return Status::kNeedMore;
+        }
+        state_ = State::kComplete;
+        return Status::kComplete;
+      }
+
+      case State::kChunkSize: {
+        std::string line;
+        if (!TakeLine(&line)) {
+          return state_ == State::kError ? Status::kError : Status::kNeedMore;
+        }
+        // Chunk extensions (";ext=...") are legal; ignore them.
+        const std::string size_token =
+            Trim(line.substr(0, line.find(';')));
+        if (size_token.empty() ||
+            size_token.find_first_not_of("0123456789abcdefABCDEF") !=
+                std::string::npos) {
+          return SetError(400, "malformed chunk size");
+        }
+        if (size_token.size() > 12) {
+          return SetError(413, "chunked body exceeds max_body_bytes");
+        }
+        chunk_remaining_ = static_cast<size_t>(std::stoull(size_token, nullptr, 16));
+        if (request_.body.size() + chunk_remaining_ >
+            options_.max_body_bytes) {
+          return SetError(413, "chunked body exceeds max_body_bytes");
+        }
+        state_ = chunk_remaining_ == 0 ? State::kTrailers : State::kChunkData;
+        continue;
+      }
+
+      case State::kChunkData: {
+        const size_t available = buffer_.size() - pos_;
+        const size_t take = std::min(available, chunk_remaining_);
+        request_.body.append(buffer_, pos_, take);
+        pos_ += take;
+        chunk_remaining_ -= take;
+        if (chunk_remaining_ > 0) {
+          return Status::kNeedMore;
+        }
+        state_ = State::kChunkDataEnd;
+        continue;
+      }
+
+      case State::kChunkDataEnd: {
+        // Exactly CRLF must follow chunk data. Validate byte-by-byte so a
+        // malformed terminator is refused on arrival instead of buffering
+        // until a newline happens to show up.
+        const size_t available = buffer_.size() - pos_;
+        if (available >= 1 && buffer_[pos_] != '\r') {
+          return SetError(400, "missing CRLF after chunk data");
+        }
+        if (available >= 2 && buffer_[pos_ + 1] != '\n') {
+          return SetError(400, "missing CRLF after chunk data");
+        }
+        if (available < 2) {
+          return Status::kNeedMore;
+        }
+        pos_ += 2;
+        state_ = State::kChunkSize;
+        continue;
+      }
+
+      case State::kTrailers: {
+        std::string line;
+        if (!TakeLine(&line)) {
+          return state_ == State::kError ? Status::kError : Status::kNeedMore;
+        }
+        if (!ChargeHeaderBytes(line.size() + 2)) {
+          return SetError(431, "trailers exceed max_header_bytes");
+        }
+        if (!line.empty()) {
+          continue;  // Trailer fields are parsed for framing, then dropped.
+        }
+        state_ = State::kComplete;
+        return Status::kComplete;
+      }
+
+      case State::kComplete:
+        return Status::kComplete;
+      case State::kError:
+        return Status::kError;
+    }
+  }
+}
+
+}  // namespace kddn::serve

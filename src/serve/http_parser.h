@@ -1,0 +1,110 @@
+#ifndef KDDN_SERVE_HTTP_PARSER_H_
+#define KDDN_SERVE_HTTP_PARSER_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kddn::serve {
+
+/// One parsed HTTP/1.x request.
+struct HttpRequest {
+  std::string method;   // Uppercase token as sent ("GET", "POST", ...).
+  std::string target;   // Request target, e.g. "/v1/score".
+  std::string version;  // "HTTP/1.0" or "HTTP/1.1".
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent. Returns the last
+  /// occurrence, matching the duplicate-key rule of the JSON codec.
+  const std::string* FindHeader(const std::string& name) const;
+
+  /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+  /// Connection header overrides either way.
+  bool KeepAlive() const;
+};
+
+struct HttpParserOptions {
+  /// Budget for the request line + headers (+ chunked trailers) of one
+  /// request. Exceeding it is a 431.
+  size_t max_header_bytes = 16 * 1024;
+  /// Budget for the decoded body of one request. A Content-Length above it,
+  /// or chunked data accumulating past it, is a 413.
+  size_t max_body_bytes = 1 << 20;
+};
+
+/// Incremental HTTP/1.1 request parser: feed it bytes as they arrive off the
+/// socket — in any fragmentation, including mid-token and mid-header splits —
+/// and it either asks for more, yields a complete request, or fails with the
+/// HTTP status the server should answer before closing. Supports
+/// Content-Length and chunked bodies, and pipelining: bytes beyond the
+/// current request stay buffered, and Advance() begins the next request from
+/// them without another socket read.
+///
+/// Error handling is one-way: after kError the parser stays in kError (the
+/// connection's framing is unrecoverable) and error_status()/error_reason()
+/// describe the 4xx/5xx to send before closing. Never throws on input bytes;
+/// tests/http_test.cc drives it with adversarial streams.
+class HttpParser {
+ public:
+  enum class Status { kNeedMore, kComplete, kError };
+
+  explicit HttpParser(const HttpParserOptions& options = {});
+
+  /// Appends bytes and advances the state machine as far as they allow.
+  /// While a completed request is waiting for Advance(), new bytes buffer
+  /// without being parsed (they belong to the next pipelined request).
+  Status Consume(const char* data, size_t size);
+
+  /// Drops the completed request and starts parsing the next one from any
+  /// buffered pipelined bytes. Only valid in kComplete.
+  Status Advance();
+
+  /// The parsed request; valid only in kComplete.
+  const HttpRequest& request() const { return request_; }
+
+  /// Suggested response status in kError (400, 413, 431, 501 or 505).
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// Unconsumed bytes currently buffered (pipelined tail included).
+  size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  enum class State {
+    kRequestLine,
+    kHeaders,
+    kBody,
+    kChunkSize,
+    kChunkData,
+    kChunkDataEnd,
+    kTrailers,
+    kComplete,
+    kError,
+  };
+
+  Status Run();
+  /// Pops one line (through '\n', "\r\n" stripped) into *line. Returns false
+  /// when no full line is buffered; sets a 431 error instead when the
+  /// unterminated prefix alone already busts the header budget.
+  bool TakeLine(std::string* line);
+  bool ChargeHeaderBytes(size_t n);
+  Status SetError(int status, const std::string& reason);
+  Status FinishHeaders();
+
+  HttpParserOptions options_;
+  State state_ = State::kRequestLine;
+  HttpRequest request_;
+  std::string buffer_;
+  size_t pos_ = 0;            // Consumed prefix of buffer_.
+  size_t header_bytes_ = 0;   // Spent header budget for the current request.
+  size_t body_remaining_ = 0; // Content-Length bytes still owed.
+  size_t chunk_remaining_ = 0;
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+}  // namespace kddn::serve
+
+#endif  // KDDN_SERVE_HTTP_PARSER_H_

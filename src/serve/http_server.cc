@@ -1,0 +1,447 @@
+#include "serve/http_server.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/net_util.h"
+#include "serve/json_util.h"
+
+namespace kddn::serve {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+  }
+  return "Unknown";
+}
+
+std::string ErrorBody(const std::string& error, const std::string& reason) {
+  return "{\"error\": \"" + JsonEscape(error) + "\", \"reason\": \"" +
+         JsonEscape(reason) + "\"}";
+}
+
+std::string ShedBody(const char* reason, int retry_after_ms) {
+  return std::string("{\"error\": \"shed\", \"reason\": \"") + reason +
+         "\", \"retry_after_ms\": " + std::to_string(retry_after_ms) + "}";
+}
+
+std::string FingerprintHex(uint64_t fingerprint) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, fingerprint);
+  return buf;
+}
+
+}  // namespace
+
+std::string HttpServerStatsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"accepted\": " << accepted << ", \"requests\": " << requests
+      << ", \"responses_2xx\": " << responses_2xx
+      << ", \"responses_4xx\": " << responses_4xx
+      << ", \"responses_429\": " << responses_429
+      << ", \"responses_503\": " << responses_503
+      << ", \"responses_5xx\": " << responses_5xx
+      << ", \"dropped_connections\": " << dropped_connections << "}";
+  return out.str();
+}
+
+HttpServer::HttpServer(InferenceEngine* engine,
+                       const HttpServerOptions& options)
+    : engine_(engine), options_(options) {
+  KDDN_CHECK(engine_ != nullptr);
+  KDDN_CHECK_GT(options_.max_connections, 0)
+      << "max_connections must be positive";
+  KDDN_CHECK_GE(options_.retry_after_ms, 0) << "retry_after_ms must be >= 0";
+  parser_options_.max_header_bytes = options_.max_header_bytes;
+  parser_options_.max_body_bytes = options_.max_body_bytes;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Start() {
+  KDDN_CHECK(!running_.load()) << "HttpServer::Start on a running server";
+  listen_fd_ = net::ListenTcp(options_.port);
+  net::SetNonBlocking(listen_fd_);
+  port_ = net::BoundPort(listen_fd_);
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    net::CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    throw KddnError("HttpServer: pipe() failed");
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  net::SetNonBlocking(wake_read_fd_);
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread([this] { LoopThread(); });
+}
+
+void HttpServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  stop_requested_.store(true, std::memory_order_release);
+  const char wake = 'w';
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &wake, 1);
+  if (loop_.joinable()) {
+    loop_.join();
+  }
+  net::CloseFd(listen_fd_);
+  net::CloseFd(wake_read_fd_);
+  net::CloseFd(wake_write_fd_);
+  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+HttpServerStatsSnapshot HttpServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void HttpServer::LoopThread() {
+  std::vector<pollfd> poll_fds;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    poll_fds.clear();
+    poll_fds.push_back({wake_read_fd_, POLLIN, 0});
+    const bool can_accept =
+        static_cast<int>(connections_.size()) < options_.max_connections;
+    poll_fds.push_back(
+        {can_accept ? listen_fd_ : -1, POLLIN, 0});  // fd -1: ignored.
+    bool any_awaiting = false;
+    for (const auto& conn : connections_) {
+      short events = POLLIN;  // Always read: EOF detection + pipelined bytes.
+      if (conn->HasPendingOutput()) {
+        events |= POLLOUT;
+      }
+      any_awaiting = any_awaiting || conn->awaiting_score;
+      poll_fds.push_back({conn->fd, events, 0});
+    }
+    // A parked score future has no fd to poll; tick fast while one is in
+    // flight so its response goes out within ~1ms of the batcher resolving
+    // it, and slow otherwise (the wake pipe covers Stop()).
+    const int timeout_ms = any_awaiting ? 1 : 200;
+    ::poll(poll_fds.data(), poll_fds.size(), timeout_ms);
+
+    if ((poll_fds[0].revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+    }
+    // Only the connections that were in this poll set have valid revents;
+    // AcceptPending() below may append new ones, which get their first
+    // poll next iteration (they have no readable bytes yet anyway).
+    const size_t polled = poll_fds.size() - 2;
+    if (can_accept && (poll_fds[1].revents & POLLIN) != 0) {
+      AcceptPending();
+    }
+    for (size_t i = 0; i < polled; ++i) {
+      Connection* conn = connections_[i].get();
+      const short revents = poll_fds[i + 2].revents;
+      if (conn->dead) {
+        continue;
+      }
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        ReadAndParse(conn);
+      }
+      Pump(conn);
+    }
+    connections_.erase(
+        std::remove_if(connections_.begin(), connections_.end(),
+                       [](const std::unique_ptr<Connection>& conn) {
+                         return conn->dead;
+                       }),
+        connections_.end());
+  }
+  for (auto& conn : connections_) {
+    if (!conn->dead) {
+      CloseConnection(conn.get(), /*dropped=*/false);
+    }
+  }
+  connections_.clear();
+}
+
+void HttpServer::AcceptPending() {
+  while (static_cast<int>(connections_.size()) < options_.max_connections) {
+    int fd = -1;
+    try {
+      fd = net::AcceptConnection(listen_fd_);
+    } catch (const KddnError&) {
+      // An injected http.accept fault (or a listener-level error) drops the
+      // one pending connection; the loop and every live connection go on.
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.dropped_connections;
+      break;
+    }
+    if (fd < 0) {
+      break;
+    }
+    net::SetNonBlocking(fd);
+    net::SetTcpNoDelay(fd);
+    auto conn = std::make_unique<Connection>(parser_options_);
+    conn->fd = fd;
+    connections_.push_back(std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.accepted;
+  }
+}
+
+void HttpServer::ReadAndParse(Connection* conn) {
+  char buffer[4096];
+  while (!conn->dead) {
+    size_t n = 0;
+    const net::IoStatus status =
+        net::ReadSome(conn->fd, buffer, sizeof(buffer), &n);
+    if (status == net::IoStatus::kWouldBlock) {
+      return;
+    }
+    if (status == net::IoStatus::kError) {
+      CloseConnection(conn, /*dropped=*/true);
+      return;
+    }
+    if (status == net::IoStatus::kEof) {
+      // Orderly close. Mid-request, mid-response, or mid-score it is
+      // abnormal (the peer walked away from work in progress).
+      const bool mid_work = conn->awaiting_score || conn->HasPendingOutput() ||
+                            conn->parser.buffered_bytes() > 0;
+      CloseConnection(conn, /*dropped=*/mid_work);
+      return;
+    }
+    conn->parser_status = conn->parser.Consume(buffer, n);
+    if (conn->parser_status == HttpParser::Status::kError) {
+      return;  // Pump answers the 4xx/5xx and closes.
+    }
+  }
+}
+
+void HttpServer::Pump(Connection* conn) {
+  while (!conn->dead) {
+    if (conn->HasPendingOutput()) {
+      FlushOutbox(conn);
+      if (conn->dead || conn->HasPendingOutput()) {
+        return;  // Dead, or waiting for POLLOUT.
+      }
+      // Response fully written: either this connection is done, or the next
+      // pipelined request (if fully buffered) becomes current.
+      if (conn->close_after_write) {
+        CloseConnection(conn, /*dropped=*/false);
+        return;
+      }
+      conn->outbox.clear();
+      conn->outbox_sent = 0;
+      conn->parser_status = conn->parser.Advance();
+      continue;
+    }
+    if (conn->awaiting_score) {
+      if (conn->score_future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        return;
+      }
+      FinishScore(conn);
+      continue;
+    }
+    if (conn->parser_status == HttpParser::Status::kComplete) {
+      HandleRequest(conn);
+      continue;
+    }
+    if (conn->parser_status == HttpParser::Status::kError) {
+      if (conn->parse_error_answered) {
+        return;  // Response already queued (still draining) — nothing more.
+      }
+      conn->parse_error_answered = true;
+      conn->close_after_write = true;  // Framing is unrecoverable.
+      QueueResponse(conn, conn->parser.error_status(),
+                    ErrorBody("bad-request", conn->parser.error_reason()));
+      continue;
+    }
+    return;  // kNeedMore: wait for bytes.
+  }
+}
+
+void HttpServer::HandleRequest(Connection* conn) {
+  const HttpRequest& request = conn->parser.request();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+  }
+  if (!request.KeepAlive()) {
+    conn->close_after_write = true;
+  }
+  if (request.target == "/v1/score") {
+    if (request.method != "POST") {
+      QueueResponse(conn, 405, ErrorBody("method-not-allowed", "use POST"),
+                    {{"Allow", "POST"}});
+      return;
+    }
+    HandleScore(conn, request);
+    return;
+  }
+  if (request.target == "/v1/stats") {
+    if (request.method != "GET") {
+      QueueResponse(conn, 405, ErrorBody("method-not-allowed", "use GET"),
+                    {{"Allow", "GET"}});
+      return;
+    }
+    std::string body = "{\"engine\": " + engine_->stats().ToJson() +
+                       ", \"server\": " + stats().ToJson() + "}";
+    QueueResponse(conn, 200, body);
+    return;
+  }
+  if (request.target == "/healthz") {
+    if (request.method != "GET") {
+      QueueResponse(conn, 405, ErrorBody("method-not-allowed", "use GET"),
+                    {{"Allow", "GET"}});
+      return;
+    }
+    QueueResponse(conn, 200,
+                  std::string("{\"status\": \"ok\", \"model\": \"") +
+                      engine_->model().name() + "\", \"fingerprint\": \"" +
+                      FingerprintHex(engine_->model().fingerprint()) + "\"}");
+    return;
+  }
+  QueueResponse(conn, 404, ErrorBody("not-found", request.target));
+}
+
+void HttpServer::HandleScore(Connection* conn, const HttpRequest& request) {
+  if (!engine_->has_pipeline()) {
+    QueueResponse(conn, 501,
+                  ErrorBody("no-pipeline",
+                            "engine lacks a NotePipeline; raw-note scoring "
+                            "is unavailable"));
+    return;
+  }
+  std::map<std::string, JsonValue> fields;
+  std::string parse_error;
+  if (!ParseFlatJsonObject(request.body, &fields, &parse_error)) {
+    QueueResponse(conn, 400, ErrorBody("bad-json", parse_error));
+    return;
+  }
+  const auto note = fields.find("note");
+  if (note == fields.end() ||
+      note->second.kind != JsonValue::Kind::kString) {
+    QueueResponse(conn, 400,
+                  ErrorBody("bad-request",
+                            "body must carry a string field \"note\""));
+    return;
+  }
+  try {
+    data::Example example =
+        engine_->EncodeNote(note->second.string_value, &conn->degraded);
+    conn->score_future = engine_->ScoreAsync(std::move(example));
+    conn->awaiting_score = true;
+  } catch (const ShedError& error) {
+    // Queue-full at the door: tell the client to back off briefly.
+    QueueResponse(conn, 429, ShedBody("queue-full", options_.retry_after_ms),
+                  {{"Retry-After",
+                    std::to_string((options_.retry_after_ms + 999) / 1000)}});
+  } catch (const std::exception& error) {
+    QueueResponse(conn, 500, ErrorBody("internal", error.what()));
+  }
+}
+
+void HttpServer::FinishScore(Connection* conn) {
+  conn->awaiting_score = false;
+  try {
+    const float score = conn->score_future.get();
+    QueueResponse(conn, 200,
+                  "{\"score\": " + FloatToJson(score) +
+                      ", \"label\": " + (score >= 0.5f ? "1" : "0") +
+                      ", \"degraded\": " +
+                      (conn->degraded ? "true" : "false") +
+                      ", \"fingerprint\": \"" +
+                      FingerprintHex(engine_->model().fingerprint()) + "\"}");
+  } catch (const ShedError& error) {
+    const bool deadline = error.reason() == ShedReason::kDeadlineExceeded;
+    QueueResponse(
+        conn, deadline ? 503 : 429,
+        ShedBody(ShedReasonName(error.reason()), options_.retry_after_ms),
+        {{"Retry-After",
+          std::to_string((options_.retry_after_ms + 999) / 1000)}});
+  } catch (const std::exception& error) {
+    QueueResponse(conn, 500, ErrorBody("internal", error.what()));
+  }
+  conn->degraded = false;
+}
+
+void HttpServer::FlushOutbox(Connection* conn) {
+  while (conn->HasPendingOutput()) {
+    size_t n = 0;
+    const net::IoStatus status =
+        net::WriteSome(conn->fd, conn->outbox.data() + conn->outbox_sent,
+                       conn->outbox.size() - conn->outbox_sent, &n);
+    if (status == net::IoStatus::kWouldBlock) {
+      return;
+    }
+    if (status != net::IoStatus::kOk) {
+      // Socket failure (or injected http.write fault) mid-response: this
+      // connection is unrecoverable, everything else is unaffected.
+      CloseConnection(conn, /*dropped=*/true);
+      return;
+    }
+    conn->outbox_sent += n;
+  }
+}
+
+void HttpServer::QueueResponse(
+    Connection* conn, int status, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << status << ' ' << StatusText(status) << "\r\n"
+      << "Content-Type: application/json\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: " << (conn->close_after_write ? "close" : "keep-alive")
+      << "\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    out << name << ": " << value << "\r\n";
+  }
+  out << "\r\n" << body;
+  conn->outbox = out.str();
+  conn->outbox_sent = 0;
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (status < 300) {
+    ++stats_.responses_2xx;
+  } else if (status == 429) {
+    ++stats_.responses_429;
+  } else if (status == 503) {
+    ++stats_.responses_503;
+  } else if (status < 500) {
+    ++stats_.responses_4xx;
+  } else {
+    ++stats_.responses_5xx;
+  }
+}
+
+void HttpServer::CloseConnection(Connection* conn, bool dropped) {
+  if (conn->dead) {
+    return;
+  }
+  net::CloseFd(conn->fd);
+  conn->fd = -1;
+  conn->dead = true;
+  if (dropped) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.dropped_connections;
+  }
+}
+
+}  // namespace kddn::serve

@@ -1,0 +1,169 @@
+#ifndef KDDN_SERVE_HTTP_SERVER_H_
+#define KDDN_SERVE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/http_parser.h"
+#include "serve/inference_engine.h"
+
+namespace kddn::serve {
+
+struct HttpServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back with
+  /// port() after Start()).
+  int port = 0;
+  /// Concurrent connections beyond this are not accepted until one closes
+  /// (they wait in the kernel backlog).
+  int max_connections = 256;
+  /// Per-request framing budgets, enforced by the parser (431/413).
+  size_t max_header_bytes = 16 * 1024;
+  size_t max_body_bytes = 1 << 20;
+  /// Retry hint attached to 429/503 shed responses (Retry-After header,
+  /// rounded up to whole seconds, and the retry_after_ms body field).
+  int retry_after_ms = 50;
+};
+
+/// Front-end counters, one step up the stack from serve::Stats: the engine
+/// counts scoring work, this counts protocol outcomes.
+struct HttpServerStatsSnapshot {
+  int64_t accepted = 0;       // Connections accepted.
+  int64_t requests = 0;       // Complete requests routed.
+  int64_t responses_2xx = 0;
+  int64_t responses_4xx = 0;  // Client errors other than 429.
+  int64_t responses_429 = 0;  // Queue-full sheds.
+  int64_t responses_503 = 0;  // Deadline sheds.
+  int64_t responses_5xx = 0;  // Server errors other than 503.
+  /// Connections closed without a complete response: socket errors, peers
+  /// vanishing mid-request, and injected accept/read/write faults.
+  int64_t dropped_connections = 0;
+
+  std::string ToJson() const;
+};
+
+/// Dependency-free HTTP/1.1 front-end over an InferenceEngine: one reactor
+/// thread runs a poll(2) readiness loop (non-blocking sockets, level
+/// -triggered — the epoll shape without the epoll fd, which loopback serving
+/// at this fan-in does not need) and never blocks on scoring. A /v1/score
+/// request is parsed, encoded, and handed to InferenceEngine::ScoreAsync;
+/// the reactor keeps serving other connections and completes the response
+/// when the batcher resolves the future.
+///
+/// Routes:
+///   POST /v1/score   {"note": "<raw clinical note>"}
+///                    -> 200 {"score": p, "label": 0|1, "degraded": bool,
+///                            "fingerprint": "<snapshot hex>"}
+///   GET  /v1/stats   -> 200 {"engine": {...}, "server": {...}}
+///   GET  /healthz    -> 200 {"status": "ok", ...}
+///
+/// Overload mapping (DESIGN.md §11): ShedError(kQueueFull) at enqueue is a
+/// 429, ShedError(kDeadlineExceeded) on the future is a 503; both carry a
+/// Retry-After header and a machine-readable reason. Malformed traffic gets
+/// the parser's 400/413/431/501/505 and the connection closes — framing
+/// after a parse error is unrecoverable. A socket-level failure (including
+/// an injected http.accept/read/write fault) drops exactly that connection;
+/// the engine and every other connection are untouched.
+///
+/// Scores over the wire are bitwise-equal to in-process ScoreNote: the
+/// response serialises the float with a round-trippable %.9g
+/// (json_util.h FloatToJson), enforced by tests/http_test.cc.
+class HttpServer {
+ public:
+  /// `engine` must outlive the server and should be pipeline-constructed;
+  /// without a NotePipeline, /v1/score answers 501.
+  explicit HttpServer(InferenceEngine* engine,
+                      const HttpServerOptions& options = {});
+
+  /// Stops and joins if still running.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds and listens (throwing KddnError on bind failure), then spawns the
+  /// reactor thread. port() is valid once Start() returns.
+  void Start();
+
+  /// Stops the reactor and closes every connection. In-flight scores keep
+  /// running inside the engine; their responses are abandoned. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves an ephemeral request).
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  HttpServerStatsSnapshot stats() const;
+
+ private:
+  /// Per-connection reactor state. A connection handles one scoring request
+  /// at a time; pipelined successors wait inside the parser buffer until the
+  /// current response is fully written (responses stay in request order).
+  struct Connection {
+    int fd = -1;
+    bool dead = false;
+    HttpParser parser;
+    HttpParser::Status parser_status = HttpParser::Status::kNeedMore;
+    bool parse_error_answered = false;
+    std::string outbox;
+    size_t outbox_sent = 0;
+    bool close_after_write = false;
+    bool awaiting_score = false;
+    std::future<float> score_future;
+    bool degraded = false;
+
+    explicit Connection(const HttpParserOptions& parser_options)
+        : parser(parser_options) {}
+
+    bool HasPendingOutput() const { return outbox_sent < outbox.size(); }
+  };
+
+  void LoopThread();
+  void AcceptPending();
+  /// Reads available bytes into the parser; may mark the connection dead.
+  void ReadAndParse(Connection* conn);
+  /// Drives one connection as far as it can go without blocking: flush,
+  /// finish a ready score, route the next complete request, advance through
+  /// pipelined requests. Leaves the connection waiting on poll readiness, a
+  /// score future, or dead.
+  void Pump(Connection* conn);
+  /// Routes parser.request(); fills the outbox or parks a score future.
+  void HandleRequest(Connection* conn);
+  void HandleScore(Connection* conn, const HttpRequest& request);
+  /// Completes a parked /v1/score once its future is ready.
+  void FinishScore(Connection* conn);
+  /// Flushes the outbox; marks the connection dead on socket failure.
+  void FlushOutbox(Connection* conn);
+  /// Queues a response and counts it by status class.
+  void QueueResponse(Connection* conn, int status, const std::string& body,
+                     const std::vector<std::pair<std::string, std::string>>&
+                         extra_headers = {});
+  /// Closes the socket; `dropped` marks an abnormal end (counted).
+  void CloseConnection(Connection* conn, bool dropped);
+
+  InferenceEngine* engine_;
+  HttpServerOptions options_;
+  HttpParserOptions parser_options_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread loop_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  mutable std::mutex stats_mutex_;
+  HttpServerStatsSnapshot stats_;
+};
+
+}  // namespace kddn::serve
+
+#endif  // KDDN_SERVE_HTTP_SERVER_H_

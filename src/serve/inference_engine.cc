@@ -130,8 +130,15 @@ ScoreResult InferenceEngine::TryScoreNote(const std::string& raw_text) {
 }
 
 data::Example InferenceEngine::EncodeNote(const std::string& raw_text) {
+  bool degraded = false;
+  return EncodeNote(raw_text, &degraded);
+}
+
+data::Example InferenceEngine::EncodeNote(const std::string& raw_text,
+                                          bool* degraded) {
   KDDN_CHECK(has_pipeline_)
       << "EncodeNote requires an engine constructed with a NotePipeline";
+  *degraded = false;
   data::Example example;
   example.word_ids = pipeline_.word_vocab->Encode(
       PreprocessWords(raw_text, lemmatizer_, stopwords_));
@@ -162,6 +169,7 @@ data::Example InferenceEngine::EncodeNote(const std::string& raw_text) {
     // branch with a <pad> concept row (never cached, so a recovered
     // extractor serves the real concepts on the next miss).
     stats_.RecordDegraded();
+    *degraded = true;
     example.concept_ids = {text::Vocabulary::kPadId};
   }
   return example;

@@ -159,6 +159,15 @@ class InferenceEngine {
   /// half). Requires a NotePipeline.
   data::Example EncodeNote(const std::string& raw_text);
 
+  /// EncodeNote variant that reports whether the request degraded (concept
+  /// extraction failed and the concept side fell back to a <pad> row). The
+  /// HTTP layer surfaces this per response as the "degraded" flag.
+  data::Example EncodeNote(const std::string& raw_text, bool* degraded);
+
+  /// True when the engine can serve raw notes (constructed with a
+  /// NotePipeline); the HTTP front-end answers 501 on /v1/score otherwise.
+  bool has_pipeline() const { return has_pipeline_; }
+
   /// Serving counters (latency percentiles, batch histogram, cache rates).
   StatsSnapshot stats() const { return stats_.Snapshot(); }
 

@@ -1,0 +1,263 @@
+#include "serve/json_util.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace kddn::serve {
+
+namespace {
+
+/// Cursor over the input with the shared "fail with a reason" helper.
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+  std::string* error;
+
+  bool Fail(const std::string& reason) {
+    *error = reason;
+    return false;
+  }
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && (text[pos] == ' ' || text[pos] == '\t' ||
+                        text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Expect(char c) {
+    if (AtEnd() || text[pos] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool ParseHex4(unsigned* out) {
+    if (pos + 4 > text.size()) {
+      return Fail("truncated \\u escape");
+    }
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Fail("bad hex digit in \\u escape");
+      }
+    }
+    pos += 4;
+    *out = value;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Expect('"')) {
+      return false;
+    }
+    out->clear();
+    while (true) {
+      if (AtEnd()) {
+        return Fail("unterminated string");
+      }
+      const char c = text[pos++];
+      if (c == '"') {
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (AtEnd()) {
+        return Fail("truncated escape");
+      }
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          if (!ParseHex4(&code)) {
+            return false;
+          }
+          // BMP code point to UTF-8. Surrogate halves are rejected rather
+          // than recombined — the clinical-note payloads this API accepts
+          // have no use for astral-plane characters, and silently mangling
+          // them would be worse than a clean 400.
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return Fail("surrogate \\u escape unsupported");
+          }
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (AtEnd()) {
+      return Fail("truncated value");
+    }
+    const char c = Peek();
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string_value);
+    }
+    if (c == '{' || c == '[') {
+      return Fail("nested containers unsupported");
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      pos += 4;
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      pos += 5;
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return true;
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      pos += 4;
+      out->kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    // Number: collect the JSON number alphabet, validate via strtod.
+    const size_t start = pos;
+    while (!AtEnd() &&
+           (std::isdigit(static_cast<unsigned char>(Peek())) || Peek() == '-' ||
+            Peek() == '+' || Peek() == '.' || Peek() == 'e' || Peek() == 'E')) {
+      ++pos;
+    }
+    if (pos == start) {
+      return Fail("unexpected character");
+    }
+    const std::string token = text.substr(start, pos - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("malformed number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number_value = value;
+    return true;
+  }
+};
+
+}  // namespace
+
+bool ParseFlatJsonObject(const std::string& text,
+                         std::map<std::string, JsonValue>* out,
+                         std::string* error) {
+  out->clear();
+  error->clear();
+  Parser p{text, 0, error};
+  p.SkipWhitespace();
+  if (!p.Expect('{')) {
+    return false;
+  }
+  p.SkipWhitespace();
+  if (!p.AtEnd() && p.Peek() == '}') {
+    ++p.pos;
+  } else {
+    while (true) {
+      p.SkipWhitespace();
+      std::string key;
+      if (!p.ParseString(&key)) {
+        return false;
+      }
+      p.SkipWhitespace();
+      if (!p.Expect(':')) {
+        return false;
+      }
+      JsonValue value;
+      if (!p.ParseValue(&value)) {
+        return false;
+      }
+      (*out)[key] = std::move(value);
+      p.SkipWhitespace();
+      if (p.AtEnd()) {
+        return p.Fail("truncated object");
+      }
+      if (p.Peek() == ',') {
+        ++p.pos;
+        continue;
+      }
+      if (p.Peek() == '}') {
+        ++p.pos;
+        break;
+      }
+      return p.Fail("expected ',' or '}'");
+    }
+  }
+  p.SkipWhitespace();
+  if (!p.AtEnd()) {
+    return p.Fail("trailing bytes after object");
+  }
+  return true;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string FloatToJson(float value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(value));
+  return buf;
+}
+
+}  // namespace kddn::serve

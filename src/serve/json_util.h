@@ -1,0 +1,45 @@
+#ifndef KDDN_SERVE_JSON_UTIL_H_
+#define KDDN_SERVE_JSON_UTIL_H_
+
+#include <map>
+#include <string>
+
+namespace kddn::serve {
+
+/// Minimal JSON support for the HTTP layer: enough to read the flat request
+/// objects the API accepts ({"note": "..."}), to read back the flat response
+/// objects the load generator checks, and to write escaped strings and
+/// round-trippable floats. Deliberately not a general JSON library — nested
+/// containers are rejected with a parse error, which doubles as the 400 path
+/// for malformed client payloads.
+
+/// One parsed scalar field of a flat JSON object.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+};
+
+/// Parses a flat JSON object ({"k": scalar, ...}) into `*out`. Returns true
+/// on success; on failure returns false and sets `*error` to a short reason
+/// (safe to echo into a 400 response body). Duplicate keys keep the last
+/// value, matching common JSON implementations. String escapes \" \\ \/ \b
+/// \f \n \r \t and \uXXXX (BMP, encoded as UTF-8) are decoded.
+bool ParseFlatJsonObject(const std::string& text,
+                         std::map<std::string, JsonValue>* out,
+                         std::string* error);
+
+/// `text` with JSON string escaping applied (quotes, backslash, control
+/// characters as \uXXXX), without surrounding quotes.
+std::string JsonEscape(const std::string& text);
+
+/// Shortest decimal form of `value` that parses back to the identical float
+/// bit pattern (printf %.9g is sufficient for IEEE-754 binary32). The HTTP
+/// layer's bitwise-equality contract rides on this round trip.
+std::string FloatToJson(float value);
+
+}  // namespace kddn::serve
+
+#endif  // KDDN_SERVE_JSON_UTIL_H_

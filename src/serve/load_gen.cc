@@ -1,0 +1,388 @@
+#include "serve/load_gen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "common/check.h"
+#include "common/net_util.h"
+#include "common/rng.h"
+#include "kb/knowledge_base.h"
+#include "serve/json_util.h"
+#include "serve/stats.h"
+#include "synth/disease_model.h"
+#include "synth/note_generator.h"
+
+namespace kddn::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Reads one HTTP response off a blocking socket: status line, headers,
+/// Content-Length body. Returns false on any transport-level failure
+/// (the server never sends chunked responses, so Content-Length framing is
+/// the protocol here).
+bool ReadHttpResponse(int fd, int* status, std::string* body,
+                      bool* connection_close) {
+  *status = 0;
+  body->clear();
+  *connection_close = false;
+  std::string raw;
+  size_t header_end = std::string::npos;
+  char buffer[4096];
+  while (header_end == std::string::npos) {
+    size_t n = 0;
+    const net::IoStatus io = net::ReadSome(fd, buffer, sizeof(buffer), &n);
+    if (io == net::IoStatus::kWouldBlock) {
+      continue;  // Blocking fd: only seen on EINTR.
+    }
+    if (io != net::IoStatus::kOk) {
+      return false;
+    }
+    raw.append(buffer, n);
+    header_end = raw.find("\r\n\r\n");
+    if (raw.size() > (1 << 20)) {
+      return false;  // A sane response header block is tiny.
+    }
+  }
+  // Status line: HTTP/1.1 NNN reason.
+  const size_t first_space = raw.find(' ');
+  if (first_space == std::string::npos || first_space + 4 > raw.size()) {
+    return false;
+  }
+  *status = std::atoi(raw.c_str() + first_space + 1);
+  if (*status < 100 || *status > 599) {
+    return false;
+  }
+  // Headers we care about: Content-Length, Connection.
+  size_t content_length = 0;
+  bool have_length = false;
+  size_t line_start = raw.find("\r\n") + 2;
+  while (line_start < header_end + 2) {
+    const size_t line_end = raw.find("\r\n", line_start);
+    std::string line = raw.substr(line_start, line_end - line_start);
+    line_start = line_end + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      continue;
+    }
+    std::string name = line.substr(0, colon);
+    std::string value = line.substr(colon + 1);
+    for (char& c : name) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    const size_t value_begin = value.find_first_not_of(" \t");
+    value = value_begin == std::string::npos ? "" : value.substr(value_begin);
+    if (name == "content-length") {
+      content_length = static_cast<size_t>(std::strtoull(value.c_str(),
+                                                         nullptr, 10));
+      have_length = true;
+    } else if (name == "connection" && value == "close") {
+      *connection_close = true;
+    }
+  }
+  if (!have_length) {
+    return false;
+  }
+  body->assign(raw, header_end + 4, std::string::npos);
+  while (body->size() < content_length) {
+    size_t n = 0;
+    const net::IoStatus io = net::ReadSome(fd, buffer, sizeof(buffer), &n);
+    if (io == net::IoStatus::kWouldBlock) {
+      continue;
+    }
+    if (io != net::IoStatus::kOk) {
+      return false;
+    }
+    body->append(buffer, n);
+  }
+  body->resize(content_length);
+  return true;
+}
+
+bool DoScore(int fd, const std::string& note, RequestOutcome* outcome,
+             bool* connection_close) {
+  const std::string body = "{\"note\": \"" + JsonEscape(note) + "\"}";
+  std::ostringstream request;
+  request << "POST /v1/score HTTP/1.1\r\n"
+          << "Host: loadgen\r\n"
+          << "Content-Type: application/json\r\n"
+          << "Content-Length: " << body.size() << "\r\n"
+          << "\r\n"
+          << body;
+  const std::string wire = request.str();
+  try {
+    net::WriteAll(fd, wire.data(), wire.size());
+  } catch (const KddnError&) {
+    return false;
+  }
+  std::string response_body;
+  if (!ReadHttpResponse(fd, &outcome->status, &response_body,
+                        connection_close)) {
+    return false;
+  }
+  if (outcome->status == 200) {
+    std::map<std::string, JsonValue> fields;
+    std::string error;
+    if (ParseFlatJsonObject(response_body, &fields, &error)) {
+      const auto score = fields.find("score");
+      if (score != fields.end() &&
+          score->second.kind == JsonValue::Kind::kNumber) {
+        // double -> float narrows back to the exact served float: the %.9g
+        // decimal the server emitted identifies one binary32 value.
+        outcome->score = static_cast<float>(score->second.number_value);
+      }
+      const auto degraded = fields.find("degraded");
+      outcome->degraded = degraded != fields.end() &&
+                          degraded->second.kind == JsonValue::Kind::kBool &&
+                          degraded->second.bool_value;
+    }
+  }
+  return true;
+}
+
+struct SharedRun {
+  const LoadGenOptions* options;
+  const std::vector<std::string>* pool;
+  const std::vector<int>* schedule;
+  std::vector<RequestOutcome>* outcomes;
+  Clock::time_point start;
+  std::atomic<int> next{0};
+};
+
+void LoadWorker(SharedRun* run) {
+  const LoadGenOptions& options = *run->options;
+  net::ScopedFd fd;
+  while (true) {
+    const int i = run->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= options.requests) {
+      return;
+    }
+    if (options.qps > 0.0) {
+      // Open loop: request i is due at start + i/qps, independent of how
+      // earlier requests fared. Sleeping past the due time (all senders
+      // busy) is the backpressure signal the knee sweep looks for.
+      const auto due =
+          run->start + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               static_cast<double>(i) / options.qps));
+      std::this_thread::sleep_until(due);
+    }
+    RequestOutcome outcome;
+    outcome.note_index = (*run->schedule)[static_cast<size_t>(i)];
+    const std::string& note =
+        (*run->pool)[static_cast<size_t>(outcome.note_index)];
+    bool ok = false;
+    bool connection_close = false;
+    // One reconnect retry absorbs a keep-alive connection the server closed
+    // (error responses, injected faults) without failing the request.
+    for (int attempt = 0; attempt < 2 && !ok; ++attempt) {
+      if (!fd.valid()) {
+        try {
+          fd.reset(net::ConnectTcp(options.host, options.port));
+        } catch (const KddnError&) {
+          break;
+        }
+      }
+      const auto sent = Clock::now();
+      ok = DoScore(fd.get(), note, &outcome, &connection_close);
+      outcome.latency_ms = MsBetween(sent, Clock::now());
+      if (!ok) {
+        fd.reset();
+      }
+    }
+    if (!ok) {
+      outcome.transport_error = true;
+      outcome.status = 0;
+    } else if (connection_close) {
+      fd.reset();
+    }
+    (*run->outcomes)[static_cast<size_t>(i)] = outcome;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> BuildNotePool(uint64_t seed, int pool_size) {
+  KDDN_CHECK_GT(pool_size, 0) << "note pool must be non-empty";
+  const kb::KnowledgeBase kb = kb::KnowledgeBase::BuildDefault();
+  const std::vector<synth::DiseaseProfile> panel = synth::BuildDiseasePanel(kb);
+  const synth::NoteGenerator generator(&kb);
+  Rng rng(seed ^ 0x6c6f6164676e01ULL);  // Domain-separated from the schedule.
+  constexpr synth::NoteStyle kStyles[] = {
+      synth::NoteStyle::kNursing, synth::NoteStyle::kRadiology,
+      synth::NoteStyle::kEcho, synth::NoteStyle::kEcg};
+  std::vector<std::string> pool;
+  pool.reserve(static_cast<size_t>(pool_size));
+  for (int i = 0; i < pool_size; ++i) {
+    synth::PatientState patient;
+    patient.age = 35 + rng.UniformInt(55);
+    patient.improving = rng.Bernoulli(0.5);
+    patient.severity = rng.Uniform();
+    const int num_diseases = 1 + rng.UniformInt(3);
+    for (int d = 0; d < num_diseases; ++d) {
+      patient.diseases.push_back(
+          &panel[static_cast<size_t>(rng.UniformInt(
+              static_cast<int>(panel.size())))]);
+      patient.disease_worsening.push_back(rng.Bernoulli(0.5));
+    }
+    const synth::NoteStyle style = kStyles[rng.UniformInt(4)];
+    pool.push_back(generator.Generate(patient, style, &rng));
+  }
+  return pool;
+}
+
+std::vector<int> BuildRequestSchedule(uint64_t seed, int requests,
+                                      int pool_size) {
+  KDDN_CHECK_GT(pool_size, 0) << "note pool must be non-empty";
+  KDDN_CHECK_GE(requests, 0) << "negative request count";
+  Rng rng(seed ^ 0x7363686564756cULL);
+  std::vector<int> schedule;
+  schedule.reserve(static_cast<size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    schedule.push_back(rng.UniformInt(pool_size));
+  }
+  return schedule;
+}
+
+void LoadGenReport::Finalize() {
+  ok = shed_queue_full = shed_deadline = http_errors = transport_errors = 0;
+  std::vector<double> latencies;
+  latencies.reserve(outcomes.size());
+  max_ms = 0.0;
+  for (const RequestOutcome& outcome : outcomes) {
+    if (outcome.transport_error) {
+      ++transport_errors;
+    } else if (outcome.status == 200) {
+      ++ok;
+      latencies.push_back(outcome.latency_ms);
+      max_ms = std::max(max_ms, outcome.latency_ms);
+    } else if (outcome.status == 429) {
+      ++shed_queue_full;
+    } else if (outcome.status == 503) {
+      ++shed_deadline;
+    } else {
+      ++http_errors;
+    }
+  }
+  const double total = static_cast<double>(outcomes.size());
+  shed_rate =
+      total == 0.0
+          ? 0.0
+          : static_cast<double>(shed_queue_full + shed_deadline) / total;
+  achieved_rps = wall_ms <= 0.0 ? 0.0 : total / (wall_ms / 1000.0);
+  p50_ms = PercentileOf(latencies, 0.5);
+  p99_ms = PercentileOf(latencies, 0.99);
+  p999_ms = PercentileOf(latencies, 0.999);
+}
+
+std::string LoadGenReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\"requests\": " << requests << ", \"concurrency\": " << concurrency
+      << ", \"offered_qps\": " << offered_qps << ", \"seed\": " << seed
+      << ", \"ok\": " << ok << ", \"shed_429\": " << shed_queue_full
+      << ", \"shed_503\": " << shed_deadline
+      << ", \"http_errors\": " << http_errors
+      << ", \"transport_errors\": " << transport_errors
+      << ", \"wall_ms\": " << wall_ms
+      << ", \"achieved_rps\": " << achieved_rps
+      << ", \"shed_rate\": " << shed_rate << ", \"p50_ms\": " << p50_ms
+      << ", \"p99_ms\": " << p99_ms << ", \"p999_ms\": " << p999_ms
+      << ", \"max_ms\": " << max_ms << "}";
+  return out.str();
+}
+
+std::string KneeSweep::ToJson() const {
+  std::ostringstream out;
+  out << "{\"knee_qps\": " << knee_qps << ", \"points\": [";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const KneePoint& p = points[i];
+    out << "{\"offered_qps\": " << p.offered_qps
+        << ", \"achieved_rps\": " << p.achieved_rps
+        << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
+        << ", \"shed_rate\": " << p.shed_rate << "}"
+        << (i + 1 < points.size() ? ", " : "");
+  }
+  out << "]}";
+  return out.str();
+}
+
+LoadGenReport RunLoadGen(const LoadGenOptions& options) {
+  KDDN_CHECK_GT(options.port, 0) << "load generator needs a target port";
+  KDDN_CHECK_GT(options.requests, 0) << "nothing to send";
+  KDDN_CHECK_GT(options.concurrency, 0) << "need at least one worker";
+  KDDN_CHECK_GE(options.qps, 0.0) << "qps must be >= 0";
+
+  const std::vector<std::string> pool =
+      BuildNotePool(options.seed, options.note_pool_size);
+  const std::vector<int> schedule =
+      BuildRequestSchedule(options.seed, options.requests,
+                           options.note_pool_size);
+
+  LoadGenReport report;
+  report.requests = options.requests;
+  report.concurrency = options.concurrency;
+  report.offered_qps = options.qps;
+  report.seed = options.seed;
+  report.outcomes.resize(static_cast<size_t>(options.requests));
+
+  SharedRun run;
+  run.options = &options;
+  run.pool = &pool;
+  run.schedule = &schedule;
+  run.outcomes = &report.outcomes;
+  run.start = Clock::now();
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(options.concurrency));
+  for (int w = 0; w < options.concurrency; ++w) {
+    workers.emplace_back(LoadWorker, &run);
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  report.wall_ms = MsBetween(run.start, Clock::now());
+  report.Finalize();
+  return report;
+}
+
+KneeSweep FindSaturationKnee(const LoadGenOptions& base,
+                             const std::vector<double>& qps_steps) {
+  KneeSweep sweep;
+  for (const double qps : qps_steps) {
+    LoadGenOptions step = base;
+    step.qps = qps;
+    const LoadGenReport report = RunLoadGen(step);
+    KneePoint point;
+    point.offered_qps = qps;
+    point.achieved_rps = report.achieved_rps;
+    point.p50_ms = report.p50_ms;
+    point.p99_ms = report.p99_ms;
+    point.shed_rate = report.shed_rate;
+    sweep.points.push_back(point);
+    const bool kept_up =
+        report.achieved_rps >= 0.9 * qps && report.shed_rate < 0.1;
+    if (kept_up) {
+      sweep.knee_qps = std::max(sweep.knee_qps, qps);
+    }
+  }
+  return sweep;
+}
+
+bool ScoreOverHttp(int fd, const std::string& note, RequestOutcome* outcome) {
+  bool connection_close = false;
+  const bool ok = DoScore(fd, note, outcome, &connection_close);
+  outcome->transport_error = !ok;
+  return ok;
+}
+
+}  // namespace kddn::serve

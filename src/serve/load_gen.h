@@ -1,0 +1,125 @@
+#ifndef KDDN_SERVE_LOAD_GEN_H_
+#define KDDN_SERVE_LOAD_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kddn::serve {
+
+/// Deterministic load harness for the HTTP front-end. The request *stream*
+/// (which synthetic note goes out as request i) is a pure function of the
+/// seed — two runs from the same seed replay byte-identical traffic, which
+/// is what makes BENCH_http.json comparable across hosts and what the
+/// determinism test in tests/http_test.cc pins. Timing, of course, is not
+/// deterministic; only the traffic is.
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Total requests in the run.
+  int requests = 200;
+  /// Closed loop: exactly this many in-flight requests (worker threads with
+  /// one keep-alive connection each). Open loop: the sender-pool size, i.e.
+  /// an upper bound on in-flight requests while the schedule is honoured.
+  int concurrency = 4;
+  /// 0 = closed loop (send-when-answered). > 0 = open loop: request i is
+  /// due at start + i/qps regardless of response progress; senders falling
+  /// behind the schedule is exactly the saturation signal the knee sweep
+  /// measures.
+  double qps = 0.0;
+  /// Seed for the synthetic triage traffic.
+  uint64_t seed = 1;
+  /// Distinct synthetic notes to rotate through (exercises the concept
+  /// cache at a realistic repeat rate).
+  int note_pool_size = 64;
+};
+
+/// One request's outcome, indexed by its position in the stream.
+struct RequestOutcome {
+  int note_index = -1;       // Which pool note was sent.
+  int status = 0;            // HTTP status; 0 on transport error.
+  double latency_ms = 0.0;   // Send-to-last-response-byte.
+  float score = 0.0f;        // Parsed from a 200 body.
+  bool degraded = false;     // Parsed from a 200 body.
+  bool transport_error = false;
+};
+
+struct LoadGenReport {
+  // Echo of the run shape.
+  int requests = 0;
+  int concurrency = 0;
+  double offered_qps = 0.0;  // 0 for closed loop.
+  uint64_t seed = 0;
+
+  std::vector<RequestOutcome> outcomes;  // outcomes[i] = request i.
+
+  // Aggregates over outcomes (Finalize()).
+  int64_t ok = 0;                // 200s.
+  int64_t shed_queue_full = 0;   // 429s.
+  int64_t shed_deadline = 0;     // 503s.
+  int64_t http_errors = 0;       // Other non-200 statuses.
+  int64_t transport_errors = 0;
+  double wall_ms = 0.0;
+  double achieved_rps = 0.0;     // Completed (any status) per wall second.
+  double shed_rate = 0.0;        // (429 + 503) / requests.
+  // Latency percentiles over *successful* (200) requests — shed responses
+  // return in microseconds and would flatter the tail.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double max_ms = 0.0;
+
+  /// Recomputes the aggregate block from outcomes + wall_ms.
+  void Finalize();
+
+  /// Flat JSON object of the aggregate block (no per-request outcomes).
+  std::string ToJson() const;
+};
+
+/// One step of an open-loop saturation sweep.
+struct KneePoint {
+  double offered_qps = 0.0;
+  double achieved_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double shed_rate = 0.0;
+};
+
+struct KneeSweep {
+  std::vector<KneePoint> points;
+  /// Highest offered QPS the server kept up with: the last step whose
+  /// achieved throughput stayed within 90% of offered and whose shed rate
+  /// stayed under 10%. 0 when even the first step saturated.
+  double knee_qps = 0.0;
+
+  std::string ToJson() const;
+};
+
+/// The deterministic synthetic note pool for `seed` (templated clinical
+/// notes over the default knowledge base, mixed styles and severities).
+std::vector<std::string> BuildNotePool(uint64_t seed, int pool_size);
+
+/// The deterministic request stream: schedule[i] = pool index of request i.
+/// Drawn from a separate Rng stream so pool size and request count vary
+/// independently.
+std::vector<int> BuildRequestSchedule(uint64_t seed, int requests,
+                                      int pool_size);
+
+/// Runs one load test against a live server. Closed loop when qps == 0,
+/// open loop otherwise. Throws KddnError if the server is unreachable.
+LoadGenReport RunLoadGen(const LoadGenOptions& options);
+
+/// Runs open-loop steps at each offered QPS and locates the saturation knee.
+KneeSweep FindSaturationKnee(const LoadGenOptions& base,
+                             const std::vector<double>& qps_steps);
+
+/// Blocking single-request client used by the load workers and the tests:
+/// POSTs {"note": ...} to /v1/score over an existing connection fd. Returns
+/// false on transport failure (outcome.transport_error set). Exposed so
+/// tests can drive the exact client the harness uses.
+bool ScoreOverHttp(int fd, const std::string& note, RequestOutcome* outcome);
+
+}  // namespace kddn::serve
+
+#endif  // KDDN_SERVE_LOAD_GEN_H_
