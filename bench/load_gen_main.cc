@@ -36,6 +36,7 @@
 #include "serve/frozen_model.h"
 #include "serve/http_server.h"
 #include "serve/inference_engine.h"
+#include "serve/json_util.h"
 #include "serve/load_gen.h"
 #include "synth/cohort.h"
 
@@ -162,12 +163,13 @@ int RunSelfHostedBench(const Flags& flags) {
       << "  \"scores_bitwise_equal\": " << (bitwise ? "true" : "false")
       << ",\n"
       << "  \"closed_loop\": " << closed.ToJson() << ",\n"
-      << "  \"p50_ms\": " << closed.p50_ms << ",\n"
-      << "  \"p99_ms\": " << closed.p99_ms << ",\n"
-      << "  \"p999_ms\": " << closed.p999_ms << ",\n"
-      << "  \"throughput_rps\": " << closed.achieved_rps << ",\n"
-      << "  \"shed_rate\": " << closed.shed_rate << ",\n"
-      << "  \"knee_qps\": " << sweep.knee_qps << ",\n"
+      << "  \"p50_ms\": " << serve::DoubleToJson(closed.p50_ms) << ",\n"
+      << "  \"p99_ms\": " << serve::DoubleToJson(closed.p99_ms) << ",\n"
+      << "  \"p999_ms\": " << serve::DoubleToJson(closed.p999_ms) << ",\n"
+      << "  \"throughput_rps\": " << serve::DoubleToJson(closed.achieved_rps)
+      << ",\n"
+      << "  \"shed_rate\": " << serve::DoubleToJson(closed.shed_rate) << ",\n"
+      << "  \"knee_qps\": " << serve::DoubleToJson(sweep.knee_qps) << ",\n"
       << "  \"knee_sweep\": " << sweep.ToJson() << ",\n"
       << "  \"engine_stats\": " << engine.stats().ToJson() << ",\n"
       << "  \"server_stats\": " << server.stats().ToJson() << "\n"

@@ -24,6 +24,13 @@
 // + per-epoch eval wall-clock of a validation-heavy workload under the PR-4
 // baseline vs the overlapped input pipeline and fused gradient-free eval
 // (DESIGN.md §10), asserting bitwise-identical weights and curves.
+//
+// Run with --trace_json[=path] to emit BENCH_trace.json: the observability
+// invariants (DESIGN.md §12) — per-span overhead with tracing disabled (the
+// relaxed-atomic fast path) and enabled, per-stage wall time from a traced
+// build + train + serve run, and the frozen-forward zero-tensor-allocation
+// flag measured through alloc::AllocScope. Fails (exit 1) if the warm
+// forward allocates. Gated by scripts/check_bench.py.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -36,7 +43,9 @@
 
 #include "autograd/ops.h"
 #include "baselines/lda.h"
+#include "common/alloc_tracker.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/trainer.h"
 #include "data/dataset.h"
 #include "kb/concept_extractor.h"
@@ -732,6 +741,155 @@ int RunPipelineBench(const std::string& out_path) {
   return all_identical ? 0 : 1;
 }
 
+/// Emits BENCH_trace.json: the observability invariants of DESIGN.md §12.
+/// Three measurements share one artifact:
+///
+///  * `trace_disabled_overhead_ns` — per-span cost with tracing off, i.e.
+///    the single relaxed atomic load every instrumented hot path pays
+///    unconditionally. check_bench.py bounds it.
+///  * `stage_wall_ms` — per-stage span rollup (count / total / max) from a
+///    traced dataset-build + train + serve run, the numbers DESIGN.md §12
+///    quotes instead of asserting in prose.
+///  * `frozen_forward_alloc_free` — true iff a warm FrozenModel forward and
+///    a warm engine batch pass perform zero tensor allocations, measured
+///    through alloc::AllocScope. The PR-4 pooling claim as a hard gate.
+int RunTraceBench(const std::string& out_path) {
+  // --- Span overhead, disabled then enabled -------------------------------
+  constexpr int kSpansPerRep = 1 << 20;
+  const auto span_burst = [&] {
+    for (int i = 0; i < kSpansPerRep; ++i) {
+      KDDN_TRACE_SPAN("trace.noop");
+    }
+  };
+  trace::SetEnabled(false);
+  const double disabled_ns =
+      BestSeconds(5, span_burst) / kSpansPerRep * 1e9;
+  trace::SetEnabled(true);
+  const double enabled_ns = BestSeconds(5, span_burst) / kSpansPerRep * 1e9;
+  trace::SetEnabled(false);
+  trace::Clear();
+  std::printf("span overhead: disabled=%.1fns enabled=%.1fns\n", disabled_ns,
+              enabled_ns);
+
+  // --- Traced end-to-end run: build + train + serve -----------------------
+  // Small enough that the per-thread rings (8192 events) keep every span;
+  // `spans_dropped` in the artifact confirms.
+  trace::SetEnabled(true);
+  auto kb = kb::KnowledgeBase::BuildDefault();
+  kb::ConceptExtractor extractor(&kb);
+  synth::CohortConfig cohort_config;
+  cohort_config.num_patients = 120;
+  cohort_config.seed = 21;
+  const synth::Cohort cohort = synth::Cohort::Generate(cohort_config, kb);
+  data::DatasetOptions data_options;
+  data_options.max_words = 96;
+  data_options.max_concepts = 48;
+  const data::MortalityDataset dataset =
+      data::MortalityDataset::Build(cohort, extractor, data_options);
+
+  models::ModelConfig model_config;
+  model_config.word_vocab_size = dataset.word_vocab().size();
+  model_config.concept_vocab_size = dataset.concept_vocab().size();
+  model_config.embedding_dim = 20;
+  model_config.num_filters = 50;
+  model_config.seed = 5;
+  models::BkDdn model(model_config);
+  core::TrainOptions train_options;
+  train_options.epochs = 1;
+  train_options.batch_size = 32;
+  core::Trainer trainer(train_options);
+  trainer.Train(&model, dataset.train(), dataset.validation(),
+                synth::Horizon::kInHospital);
+
+  const serve::FrozenModel frozen = serve::FrozenModel::Freeze(model);
+  serve::EngineOptions engine_options;
+  engine_options.max_batch = 16;
+  engine_options.flush_deadline_ms = 2;
+  {
+    serve::InferenceEngine engine(&frozen, engine_options);
+    std::vector<std::future<float>> futures;
+    for (const data::Example& example : dataset.test()) {
+      futures.push_back(engine.ScoreAsync(example));
+    }
+    for (std::future<float>& future : futures) {
+      future.get();
+    }
+  }
+  trace::SetEnabled(false);
+
+  const std::vector<trace::ThreadSnapshot> snapshot = trace::Snapshot();
+  const std::map<std::string, trace::SpanStats> stages =
+      trace::AggregateByName(snapshot);
+  uint64_t spans_dropped = 0;
+  for (const trace::ThreadSnapshot& thread : snapshot) {
+    spans_dropped += thread.dropped;
+  }
+  trace::Clear();
+
+  // --- Zero-allocation invariant on the warm serving path -----------------
+  // Warm pass grows every workspace buffer to the split's high-water shape;
+  // the measured passes must then leave the tensor allocator untouched.
+  serve::FrozenModel::Workspace ws;
+  float sink = 0.0f;
+  for (const data::Example& example : dataset.test()) {
+    sink += frozen.ScorePositive(example, &ws);
+  }
+  uint64_t forward_allocs = 0;
+  {
+    alloc::AllocScope scope("bench.frozen_forward");
+    for (int rep = 0; rep < 3; ++rep) {
+      for (const data::Example& example : dataset.test()) {
+        sink += frozen.ScorePositive(example, &ws);
+      }
+    }
+    forward_allocs = scope.allocations();
+  }
+  benchmark::DoNotOptimize(sink);
+  const bool alloc_free = forward_allocs == 0;
+  const alloc::Totals totals = alloc::GlobalTotals();
+  std::printf("frozen_forward_alloc_free=%s (allocs=%llu over %zux3 warm "
+              "examples), live=%llu peak=%llu bytes\n",
+              alloc_free ? "true" : "FALSE",
+              static_cast<unsigned long long>(forward_allocs),
+              dataset.test().size(),
+              static_cast<unsigned long long>(totals.live_bytes),
+              static_cast<unsigned long long>(totals.peak_bytes));
+
+  std::ofstream out(out_path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n";
+  WriteHostFields(out);
+  out << "  \"trace_disabled_overhead_ns\": " << disabled_ns << ",\n";
+  out << "  \"trace_enabled_overhead_ns\": " << enabled_ns << ",\n";
+  out << "  \"ring_capacity_events\": " << trace::internal::kRingCapacity
+      << ",\n";
+  out << "  \"spans_dropped\": " << spans_dropped << ",\n";
+  out << "  \"stage_wall_ms\": {";
+  bool first = true;
+  for (const auto& [name, stats] : stages) {
+    out << (first ? "" : ", ") << "\"" << name << "\": {\"count\": "
+        << stats.count << ", \"total_ms\": " << stats.total_ns / 1e6
+        << ", \"max_ms\": " << stats.max_ns / 1e6 << "}";
+    first = false;
+  }
+  out << "},\n";
+  out << "  \"frozen_forward_alloc_free\": " << (alloc_free ? "true" : "false")
+      << ",\n";
+  out << "  \"frozen_forward_allocations\": " << forward_allocs << ",\n";
+  out << "  \"tensor_live_bytes\": " << totals.live_bytes << ",\n";
+  out << "  \"tensor_peak_bytes\": " << totals.peak_bytes << ",\n";
+  out << "  \"tensor_allocations\": " << totals.allocations << ",\n";
+  out << "  \"tensor_frees\": " << totals.frees << "\n";
+  out << "}\n";
+  std::printf("wrote %s (disabled span %.1fns, %zu stages, dropped %llu)\n",
+              out_path.c_str(), disabled_ns, stages.size(),
+              static_cast<unsigned long long>(spans_dropped));
+  return alloc_free ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace kddn
 
@@ -756,6 +914,10 @@ int main(int argc, char** argv) {
       const char* eq = std::strchr(argv[i], '=');
       return kddn::RunPipelineBench(eq != nullptr ? eq + 1
                                                   : "BENCH_pipeline.json");
+    }
+    if (std::strncmp(argv[i], "--trace_json", 12) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return kddn::RunTraceBench(eq != nullptr ? eq + 1 : "BENCH_trace.json");
     }
   }
   benchmark::Initialize(&argc, argv);

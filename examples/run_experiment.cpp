@@ -11,7 +11,8 @@
 // --num_threads (pool size; results are bitwise identical at any value),
 // --verbose, --serve (BK-DDN/AK-DDN: re-score the test split through a
 // frozen snapshot + batched engine and check it against the graph path),
-// --serve_batch (engine max_batch, default 16).
+// --serve_batch (engine max_batch, default 16), --trace_out <path> (trace
+// the run and write Chrome-trace JSON for ui.perfetto.dev — DESIGN.md §12).
 //
 // HTTP serving: --http_port <p> (0 = ephemeral) freezes the trained-or-
 // loaded snapshot behind the raw-note pipeline and serves POST /v1/score,
@@ -42,6 +43,7 @@
 #include "common/check.h"
 #include "common/flags.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/experiment.h"
 #include "kb/concept_extractor.h"
 #include "nn/serialization.h"
@@ -54,6 +56,30 @@ int main(int argc, char** argv) {
   using namespace kddn;
   const Flags flags = Flags::Parse(argc, argv);
   SetGlobalThreadPoolSize(flags.GetInt("num_threads", 0));
+
+  // --trace_out=<path> traces the whole run (dataset build, every training
+  // phase, serving) and writes Chrome-trace JSON on exit — load the file in
+  // https://ui.perfetto.dev or chrome://tracing. See DESIGN.md §12.
+  struct TraceWriter {
+    std::string path;
+    ~TraceWriter() {
+      if (path.empty()) {
+        return;
+      }
+      trace::SetEnabled(false);
+      if (trace::WriteChromeTrace(path)) {
+        std::printf("wrote trace %s (open in https://ui.perfetto.dev)\n",
+                    path.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write trace %s\n", path.c_str());
+      }
+    }
+  } trace_writer{flags.GetString("trace_out", "") == "true"
+                     ? "trace.json"
+                     : flags.GetString("trace_out", "")};
+  if (!trace_writer.path.empty()) {
+    trace::SetEnabled(true);
+  }
 
   const std::string corpus = flags.GetString("corpus", "nursing");
   const std::string model_name = flags.GetString("model", "AK-DDN");

@@ -10,7 +10,11 @@ number, so this guard checks only the properties every host must uphold:
 * headline speedups that compare a before/after on the *same* host
   (BENCH_train.json total_speedup, BENCH_pipeline.json end_to_end_speedup)
   must not drop below 1.0 — the optimised path must never lose to the
-  baseline it replaced.
+  baseline it replaced;
+* observability invariants (BENCH_trace.json): disabled-tracing span
+  overhead stays within a relaxed-atomic-load budget, the warm frozen
+  forward performs zero tensor allocations, and every instrumented stage
+  recorded at least one span.
 
 Component ratios (prefetch overlap, dataset-build scaling, thread scaling)
 are deliberately not gated: on a single-core host (single_core_host: true)
@@ -99,6 +103,40 @@ def check_http(errors, name, data):
              f"throughput_rps = {data['throughput_rps']!r}, expected > 0")
 
 
+def check_trace(errors, name, data):
+    # The two observability invariants DESIGN.md §12 promises on every host:
+    # the disabled-tracing fast path stays a handful of nanoseconds (one
+    # relaxed atomic load), and the warm frozen forward performs zero tensor
+    # allocations. Enabled-path cost and stage wall times are informational.
+    require_flag(errors, name, data, "frozen_forward_alloc_free")
+    overhead = data.get("trace_disabled_overhead_ns")
+    if not isinstance(overhead, (int, float)):
+        fail(errors, name, "missing numeric trace_disabled_overhead_ns")
+    elif overhead > 250.0:
+        fail(errors, name,
+             f"trace_disabled_overhead_ns = {overhead}, expected <= 250 "
+             "(disabled spans must stay a single relaxed atomic load)")
+    if data.get("spans_dropped") != 0:
+        fail(errors, name,
+             f"spans_dropped = {data.get('spans_dropped')!r}, expected 0 "
+             "(the bench run must fit the per-thread rings)")
+    for field in ("trace_enabled_overhead_ns", "ring_capacity_events",
+                  "single_core_host", "tensor_peak_bytes"):
+        if field not in data:
+            fail(errors, name, f"missing required field {field!r}")
+    stages = data.get("stage_wall_ms")
+    if not isinstance(stages, dict):
+        fail(errors, name, "missing stage_wall_ms object")
+        return
+    for stage in ("dataset.build", "train.epoch", "train.forward",
+                  "train.backward", "train.optimizer_step", "frozen.forward",
+                  "gemm.block", "serve.batch_execute"):
+        entry = stages.get(stage)
+        if not isinstance(entry, dict) or entry.get("count", 0) < 1:
+            fail(errors, name,
+                 f"stage_wall_ms[{stage!r}] missing or has zero spans")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -115,6 +153,7 @@ def main():
                    check_pipeline)
     check_artifact(errors, args.repo_root / "BENCH_serve.json", check_serve)
     check_artifact(errors, args.repo_root / "BENCH_http.json", check_http)
+    check_artifact(errors, args.repo_root / "BENCH_trace.json", check_trace)
 
     if errors:
         for error in errors:

@@ -1,0 +1,116 @@
+#include "common/alloc_tracker.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace kddn::alloc {
+namespace {
+
+std::atomic<uint64_t> g_live_bytes{0};
+std::atomic<uint64_t> g_peak_bytes{0};
+std::atomic<uint64_t> g_allocations{0};
+std::atomic<uint64_t> g_frees{0};
+std::atomic<uint64_t> g_allocated_bytes{0};
+std::atomic<uint64_t> g_freed_bytes{0};
+
+struct TagRegistry {
+  std::mutex mu;
+  std::map<std::string, TagTotals> totals;
+};
+
+TagRegistry& GetTagRegistry() {
+  static TagRegistry* registry = new TagRegistry();  // Leaked: outlives TLS.
+  return *registry;
+}
+
+void RaisePeak(uint64_t live) {
+  uint64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !g_peak_bytes.compare_exchange_weak(peak, live,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Totals GlobalTotals() {
+  Totals totals;
+  totals.live_bytes = g_live_bytes.load(std::memory_order_relaxed);
+  totals.peak_bytes = g_peak_bytes.load(std::memory_order_relaxed);
+  totals.allocations = g_allocations.load(std::memory_order_relaxed);
+  totals.frees = g_frees.load(std::memory_order_relaxed);
+  totals.allocated_bytes = g_allocated_bytes.load(std::memory_order_relaxed);
+  totals.freed_bytes = g_freed_bytes.load(std::memory_order_relaxed);
+  return totals;
+}
+
+void ResetPeak() {
+  g_peak_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+void RecordAlloc(uint64_t bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_allocated_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  const uint64_t live =
+      g_live_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  RaisePeak(live);
+}
+
+void RecordFree(uint64_t bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  g_freed_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  g_live_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void TrackRealloc(uint64_t old_bytes, uint64_t new_bytes) {
+  if (old_bytes == new_bytes) {
+    return;
+  }
+  RecordFree(old_bytes);
+  RecordAlloc(new_bytes);
+}
+
+std::map<std::string, TagTotals> TagSnapshot() {
+  TagRegistry& registry = GetTagRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.totals;
+}
+
+AllocScope::AllocScope(const char* tag) : tag_(tag), start_(GlobalTotals()) {}
+
+AllocScope::~AllocScope() {
+  const Totals end = GlobalTotals();
+  TagRegistry& registry = GetTagRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  TagTotals& entry = registry.totals[tag_];
+  entry.allocations += end.allocations - start_.allocations;
+  entry.allocated_bytes += end.allocated_bytes - start_.allocated_bytes;
+  entry.frees += end.frees - start_.frees;
+  entry.freed_bytes += end.freed_bytes - start_.freed_bytes;
+}
+
+uint64_t AllocScope::allocations() const {
+  return GlobalTotals().allocations - start_.allocations;
+}
+
+uint64_t AllocScope::frees() const {
+  return GlobalTotals().frees - start_.frees;
+}
+
+uint64_t AllocScope::allocated_bytes() const {
+  return GlobalTotals().allocated_bytes - start_.allocated_bytes;
+}
+
+int64_t AllocScope::live_delta() const {
+  return static_cast<int64_t>(GlobalTotals().live_bytes) -
+         static_cast<int64_t>(start_.live_bytes);
+}
+
+}  // namespace kddn::alloc

@@ -1,0 +1,89 @@
+#ifndef KDDN_COMMON_ALLOC_TRACKER_H_
+#define KDDN_COMMON_ALLOC_TRACKER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace kddn::alloc {
+
+/// Tensor-storage allocation accounting (DESIGN.md §12). The tracked domain
+/// is the set of float buffers held by live `Tensor`s plus the buffers cached
+/// in `TensorPool` freelists: a buffer is "allocated" when genuine heap
+/// storage enters that domain (fresh vector growth, FromData adoption) and
+/// "freed" when it leaves (Tensor destruction, pool drop/trim). Handing a
+/// buffer from a pool to a Tensor and back is *not* an event — which is
+/// exactly what lets a test assert "this warm serving path performed zero
+/// allocations" via AllocScope.
+///
+/// Counters are process-global relaxed atomics, always on: the cost is a
+/// couple of atomic adds per *allocation*, i.e. zero on the pooled steady
+/// state the tracker exists to defend.
+
+/// Point-in-time totals since process start (or the last ResetPeak for
+/// peak_bytes).
+struct Totals {
+  uint64_t live_bytes = 0;
+  uint64_t peak_bytes = 0;
+  uint64_t allocations = 0;
+  uint64_t frees = 0;
+  uint64_t allocated_bytes = 0;
+  uint64_t freed_bytes = 0;
+};
+
+Totals GlobalTotals();
+
+/// Re-arms peak tracking from the current live size.
+void ResetPeak();
+
+/// Records `bytes` of storage entering the tracked domain. No-op for 0.
+void RecordAlloc(uint64_t bytes);
+
+/// Records `bytes` of storage leaving the tracked domain. No-op for 0.
+void RecordFree(uint64_t bytes);
+
+/// Capacity-change helper: a buffer already in the domain grew or shrank its
+/// backing block. Emits a free of the old block and an alloc of the new one;
+/// silent when the capacity is unchanged (in-place reuse).
+void TrackRealloc(uint64_t old_bytes, uint64_t new_bytes);
+
+/// Cumulative per-tag totals folded in at AllocScope destruction.
+struct TagTotals {
+  uint64_t allocations = 0;
+  uint64_t allocated_bytes = 0;
+  uint64_t frees = 0;
+  uint64_t freed_bytes = 0;
+};
+
+std::map<std::string, TagTotals> TagSnapshot();
+
+/// RAII window over the global counters. Snapshot at construction, deltas on
+/// demand; at destruction the window's totals are folded into the per-tag
+/// map under `tag`. Counters are global, so a scope observes allocations
+/// from *all* threads — run the region under test on a quiesced process (as
+/// the zero-alloc regression tests do) for exact attribution.
+class AllocScope {
+ public:
+  explicit AllocScope(const char* tag);
+  ~AllocScope();
+
+  AllocScope(const AllocScope&) = delete;
+  AllocScope& operator=(const AllocScope&) = delete;
+
+  /// Allocations recorded since this scope opened.
+  uint64_t allocations() const;
+  /// Frees recorded since this scope opened.
+  uint64_t frees() const;
+  /// Bytes allocated since this scope opened.
+  uint64_t allocated_bytes() const;
+  /// Net change in live bytes since this scope opened (may be negative).
+  int64_t live_delta() const;
+
+ private:
+  const char* tag_;
+  Totals start_;
+};
+
+}  // namespace kddn::alloc
+
+#endif  // KDDN_COMMON_ALLOC_TRACKER_H_

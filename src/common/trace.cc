@@ -1,0 +1,252 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace kddn::trace {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// One ring slot. Fields are individually atomic so a Snapshot() racing with a
+// wraparound overwrite is a benign data-race-free read of possibly mixed
+// fields, never undefined behaviour. The owning thread is the only writer.
+struct Slot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<uint64_t> begin_ns{0};
+  std::atomic<uint64_t> end_ns{0};
+};
+
+struct Ring {
+  explicit Ring(int tid_in) : tid(tid_in) {}
+  int tid;
+  // Monotonic event count; slot index is count & (kRingCapacity - 1). The
+  // writer publishes with release so a reader's acquire load sees the slot
+  // contents of every event it counts.
+  std::atomic<uint64_t> count{0};
+  Slot slots[internal::kRingCapacity];
+
+  void Record(const char* name, uint64_t begin_ns, uint64_t end_ns) {
+    const uint64_t idx = count.load(std::memory_order_relaxed);
+    Slot& slot = slots[idx & (internal::kRingCapacity - 1)];
+    slot.name.store(name, std::memory_order_relaxed);
+    slot.begin_ns.store(begin_ns, std::memory_order_relaxed);
+    slot.end_ns.store(end_ns, std::memory_order_relaxed);
+    count.store(idx + 1, std::memory_order_release);
+  }
+};
+
+// Registry of every thread's ring. Rings are never freed: a thread id stays
+// valid in exported traces even after the thread exits, and a dangling
+// thread_local pointer is impossible.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // Leaked: outlives all threads.
+  return *registry;
+}
+
+Ring& ThreadRing() {
+  thread_local Ring* ring = [] {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.rings.push_back(
+        std::make_unique<Ring>(static_cast<int>(registry.rings.size())));
+    return registry.rings.back().get();
+  }();
+  return *ring;
+}
+
+uint64_t SteadyEpochNs() {
+  // Captured once so all threads share one timebase starting near zero.
+  static const uint64_t epoch = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return epoch;
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  SteadyEpochNs();  // Pin the timebase before the first span.
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t NowNs() {
+  const uint64_t now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return now - SteadyEpochNs();
+}
+
+Span::Span(const char* name) {
+  if (!g_enabled.load(std::memory_order_relaxed)) {
+    name_ = nullptr;
+    return;
+  }
+  name_ = name;
+  begin_ns_ = NowNs();
+}
+
+Span::~Span() {
+  if (name_ != nullptr) {
+    internal::RecordSpan(name_, begin_ns_, NowNs());
+  }
+}
+
+namespace internal {
+
+void RecordSpan(const char* name, uint64_t begin_ns, uint64_t end_ns) {
+  ThreadRing().Record(name, begin_ns, end_ns);
+}
+
+int CurrentThreadId() { return ThreadRing().tid; }
+
+}  // namespace internal
+
+std::vector<ThreadSnapshot> Snapshot() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<ThreadSnapshot> out;
+  out.reserve(registry.rings.size());
+  for (const auto& ring : registry.rings) {
+    ThreadSnapshot snap;
+    snap.tid = ring->tid;
+    snap.recorded = ring->count.load(std::memory_order_acquire);
+    const uint64_t kept =
+        std::min<uint64_t>(snap.recorded, internal::kRingCapacity);
+    snap.dropped = snap.recorded - kept;
+    snap.events.reserve(static_cast<size_t>(kept));
+    // Oldest resident event first.
+    for (uint64_t i = snap.recorded - kept; i < snap.recorded; ++i) {
+      const Slot& slot = ring->slots[i & (internal::kRingCapacity - 1)];
+      SpanEvent event;
+      event.name = slot.name.load(std::memory_order_relaxed);
+      event.begin_ns = slot.begin_ns.load(std::memory_order_relaxed);
+      event.end_ns = slot.end_ns.load(std::memory_order_relaxed);
+      if (event.name != nullptr) {
+        snap.events.push_back(event);
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void Clear() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& ring : registry.rings) {
+    for (Slot& slot : ring->slots) {
+      slot.name.store(nullptr, std::memory_order_relaxed);
+      slot.begin_ns.store(0, std::memory_order_relaxed);
+      slot.end_ns.store(0, std::memory_order_relaxed);
+    }
+    ring->count.store(0, std::memory_order_release);
+  }
+}
+
+std::map<std::string, SpanStats> AggregateByName(
+    const std::vector<ThreadSnapshot>& snapshot) {
+  std::map<std::string, SpanStats> stats;
+  for (const ThreadSnapshot& thread : snapshot) {
+    for (const SpanEvent& event : thread.events) {
+      SpanStats& entry = stats[event.name];
+      const uint64_t duration = event.end_ns - event.begin_ns;
+      entry.count += 1;
+      entry.total_ns += duration;
+      entry.max_ns = std::max(entry.max_ns, duration);
+    }
+  }
+  return stats;
+}
+
+namespace {
+
+// One B or E marker derived from a completed span.
+struct Marker {
+  const char* name;
+  uint64_t ts_ns;
+  uint64_t other_ns;  // The span's opposite endpoint, for nesting tie-breaks.
+  bool is_begin;
+  int tid;
+};
+
+// Chrome-trace nesting requires, at equal timestamps within a thread: ends
+// before begins (sibling handoff), outer begins before inner begins (later
+// end first), and inner ends before outer ends (later begin first). Both
+// tie-breaks reduce to "larger opposite endpoint first".
+bool MarkerLess(const Marker& a, const Marker& b) {
+  if (a.tid != b.tid) return a.tid < b.tid;
+  if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+  if (a.is_begin != b.is_begin) return !a.is_begin;
+  return a.other_ns > b.other_ns;
+}
+
+void AppendMarker(std::ostringstream* out, const Marker& marker, bool first) {
+  if (!first) {
+    *out << ",\n";
+  }
+  // Microsecond timestamps with nanosecond precision, per the trace format.
+  char ts[64];
+  std::snprintf(ts, sizeof(ts), "%.3f",
+                static_cast<double>(marker.ts_ns) / 1000.0);
+  *out << "{\"name\":\"" << marker.name << "\",\"cat\":\"kddn\",\"ph\":\""
+       << (marker.is_begin ? 'B' : 'E') << "\",\"ts\":" << ts
+       << ",\"pid\":1,\"tid\":" << marker.tid << "}";
+}
+
+}  // namespace
+
+std::string ToChromeJson(const std::vector<ThreadSnapshot>& snapshot) {
+  std::vector<Marker> markers;
+  uint64_t min_ns = UINT64_MAX;
+  for (const ThreadSnapshot& thread : snapshot) {
+    for (const SpanEvent& event : thread.events) {
+      min_ns = std::min(min_ns, event.begin_ns);
+      markers.push_back(
+          {event.name, event.begin_ns, event.end_ns, true, thread.tid});
+      markers.push_back(
+          {event.name, event.end_ns, event.begin_ns, false, thread.tid});
+    }
+  }
+  if (min_ns == UINT64_MAX) {
+    min_ns = 0;
+  }
+  for (Marker& marker : markers) {
+    marker.ts_ns -= min_ns;
+    marker.other_ns -= std::min(marker.other_ns, min_ns);
+  }
+  std::stable_sort(markers.begin(), markers.end(), MarkerLess);
+  std::ostringstream out;
+  out << "{\"traceEvents\":[\n";
+  for (size_t i = 0; i < markers.size(); ++i) {
+    AppendMarker(&out, markers[i], i == 0);
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  const std::string json = ToChromeJson(Snapshot());
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const int close_rc = std::fclose(file);
+  return written == json.size() && close_rc == 0;
+}
+
+}  // namespace kddn::trace

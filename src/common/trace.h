@@ -1,0 +1,115 @@
+#ifndef KDDN_COMMON_TRACE_H_
+#define KDDN_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kddn::trace {
+
+/// Lightweight scoped tracing (DESIGN.md §12). Each thread writes completed
+/// spans into its own fixed-size lock-free ring buffer; a global registry can
+/// snapshot every thread's ring and export the result as Chrome-trace JSON
+/// (loadable in chrome://tracing or https://ui.perfetto.dev).
+///
+/// Cost model: when tracing is disabled (the default), a span is a single
+/// relaxed atomic load — no clock read, no buffer write. The microbench
+/// records this as `trace_disabled_overhead_ns` in BENCH_trace.json and
+/// scripts/check_bench.py gates on it. When enabled, a span is two
+/// steady_clock reads plus three relaxed atomic stores into the owning
+/// thread's ring slot.
+///
+/// Span names must be string literals (or otherwise have static storage
+/// duration): the ring stores the pointer, not a copy.
+
+/// Global enable flag. Off by default; flipping it affects spans opened
+/// afterwards (a span that began while disabled records nothing).
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// Nanoseconds on the process-wide steady-clock timebase (monotonic, starts
+/// near zero at first use). All span timestamps share this timebase.
+uint64_t NowNs();
+
+/// One completed span as read out of a ring buffer.
+struct SpanEvent {
+  const char* name = nullptr;
+  uint64_t begin_ns = 0;
+  uint64_t end_ns = 0;
+};
+
+/// Everything captured from one thread's ring: the events still resident
+/// (oldest first), how many were recorded over the thread's lifetime, and how
+/// many wrapped out of the fixed-size ring before this snapshot.
+struct ThreadSnapshot {
+  int tid = 0;
+  uint64_t recorded = 0;
+  uint64_t dropped = 0;
+  std::vector<SpanEvent> events;
+};
+
+/// Copies every registered thread's ring. Safe to call while other threads
+/// are still tracing (slot fields are atomic, so reads race benignly with
+/// wraparound overwrites), but for exact results snapshot at a quiescent
+/// point — which is what the exporter, tests, and bench all do.
+std::vector<ThreadSnapshot> Snapshot();
+
+/// Resets every registered ring (event counts back to zero). Only meaningful
+/// at a quiescent point; concurrent writers would interleave with the reset.
+void Clear();
+
+/// Per-span-name rollup of a snapshot, for bench emitters and the
+/// determinism test ("identical span count per stage").
+struct SpanStats {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t max_ns = 0;
+};
+std::map<std::string, SpanStats> AggregateByName(
+    const std::vector<ThreadSnapshot>& snapshot);
+
+/// Chrome-trace JSON ({"traceEvents":[...]}) with one matched B/E event pair
+/// per span, one event object per line. Timestamps are microseconds relative
+/// to the earliest span in the snapshot.
+std::string ToChromeJson(const std::vector<ThreadSnapshot>& snapshot);
+
+/// Snapshot() + ToChromeJson() + write to `path`. Returns false (and leaves
+/// any partial file) on I/O failure.
+bool WriteChromeTrace(const std::string& path);
+
+/// RAII span. Use through KDDN_TRACE_SPAN rather than directly.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;  // nullptr when tracing was disabled at entry.
+  uint64_t begin_ns_ = 0;
+};
+
+namespace internal {
+// Records one completed span into the calling thread's ring buffer.
+void RecordSpan(const char* name, uint64_t begin_ns, uint64_t end_ns);
+// The registry's id for the calling thread (registering it if needed).
+int CurrentThreadId();
+// Ring capacity in events (power of two); exposed for the wraparound test.
+inline constexpr uint32_t kRingCapacity = 8192;
+}  // namespace internal
+
+}  // namespace kddn::trace
+
+#define KDDN_TRACE_CONCAT_INNER(a, b) a##b
+#define KDDN_TRACE_CONCAT(a, b) KDDN_TRACE_CONCAT_INNER(a, b)
+
+/// Opens a scoped span named `name` (a string literal) covering the rest of
+/// the enclosing block. Near-free when tracing is disabled.
+#define KDDN_TRACE_SPAN(name) \
+  ::kddn::trace::Span KDDN_TRACE_CONCAT(kddn_trace_span_, __LINE__)(name)
+
+#endif  // KDDN_COMMON_TRACE_H_

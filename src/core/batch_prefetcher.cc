@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/trace.h"
 
 namespace kddn::core {
 
@@ -83,6 +84,7 @@ const PreparedBatch* BatchPrefetcher::Next() {
 void BatchPrefetcher::AssembleInto(PreparedBatch* batch,
                                    const std::vector<int>* order, int epoch,
                                    size_t index) const {
+  KDDN_TRACE_SPAN("train.batch_assemble");
   const size_t begin = index * options_.batch_size;
   const size_t end = std::min(order->size(), begin + options_.batch_size);
   batch->epoch = epoch;

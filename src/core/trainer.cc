@@ -12,6 +12,7 @@
 #include "common/fault_injector.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/batch_prefetcher.h"
 #include "nn/optimizer.h"
 #include "nn/serialization.h"
@@ -218,6 +219,7 @@ eval::CurveRecorder Trainer::Train(models::NeuralDocumentModel* model,
   BatchPrefetcher prefetcher(&train, prefetch_options);
 
   for (int epoch = start_epoch; epoch <= options_.epochs; ++epoch) {
+    KDDN_TRACE_SPAN("train.epoch");
     KDDN_FAULT_POINT("core.train.epoch");
     rng.Shuffle(&order);
     prefetcher.BeginEpoch(&order, epoch);
@@ -242,11 +244,16 @@ eval::CurveRecorder Trainer::Train(models::NeuralDocumentModel* model,
               nn::ForwardContext ctx;
               ctx.training = true;
               ctx.rng = &example_rng;
-              ag::NodePtr loss = ag::SoftmaxCrossEntropy(
-                  model->Logits(example, ctx), batch->labels[b]);
-              loss_sum += ag::ScalarValue(loss);
+              ag::NodePtr loss;
+              {
+                KDDN_TRACE_SPAN("train.forward");
+                loss = ag::SoftmaxCrossEntropy(model->Logits(example, ctx),
+                                               batch->labels[b]);
+                loss_sum += ag::ScalarValue(loss);
+              }
               // Mean-reduce over the batch so the step size is
               // batch-invariant.
+              KDDN_TRACE_SPAN("train.backward");
               ag::Backward(ag::Scale(loss, batch->inv_batch));
             }
             chunk_losses[chunk] = loss_sum;
@@ -255,14 +262,21 @@ eval::CurveRecorder Trainer::Train(models::NeuralDocumentModel* model,
       // Ordered reduction: chunk 0 first, then chunk 1, ... — the summation
       // order is fixed by the chunk layout, making the result independent of
       // which worker ran which chunk.
-      for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
-        sinks[chunk]->MergeInto();
-        epoch_loss += chunk_losses[chunk];
+      {
+        KDDN_TRACE_SPAN("train.grad_merge");
+        for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+          sinks[chunk]->MergeInto();
+          epoch_loss += chunk_losses[chunk];
+        }
       }
       seen += static_cast<int>(batch->size);
-      optimizer.Step(model->params().all());
+      {
+        KDDN_TRACE_SPAN("train.optimizer_step");
+        optimizer.Step(model->params().all());
+      }
     }
 
+    KDDN_TRACE_SPAN("train.eval");
     eval::CurvePoint point;
     point.epoch = epoch;
     point.train_loss = seen > 0 ? epoch_loss / seen : 0.0;

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "text/lemmatizer.h"
 #include "text/stopwords.h"
 #include "text/tokenizer.h"
@@ -53,6 +54,7 @@ MomentStats ComputeMoments(const std::vector<int>& counts) {
 MortalityDataset MortalityDataset::Build(const synth::Cohort& cohort,
                                          const kb::ConceptExtractor& extractor,
                                          const DatasetOptions& options) {
+  KDDN_TRACE_SPAN("dataset.build");
   KDDN_CHECK(options.test_fraction > 0.0 && options.test_fraction < 1.0);
   KDDN_CHECK(options.validation_fraction >= 0.0 &&
              options.validation_fraction < 1.0);
@@ -80,6 +82,7 @@ MortalityDataset MortalityDataset::Build(const synth::Cohort& cohort,
   const std::vector<synth::SyntheticPatient>& patients = cohort.patients();
   std::vector<Prepared> slots(patients.size());
   auto prepare_one = [&](int64_t i) {
+    KDDN_TRACE_SPAN("dataset.prepare");
     const synth::SyntheticPatient& patient = patients[i];
     Prepared& p = slots[i];
     p.patient_id = patient.id;
@@ -157,6 +160,7 @@ MortalityDataset MortalityDataset::Build(const synth::Cohort& cohort,
   dataset.concept_vocab_ = text::Vocabulary::Build(train_cuis, 1);
 
   auto encode = [&](const Prepared& p) {
+    KDDN_TRACE_SPAN("dataset.encode");
     Example example;
     example.patient_id = p.patient_id;
     example.word_ids =

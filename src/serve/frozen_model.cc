@@ -7,6 +7,7 @@
 
 #include "autograd/ops.h"
 #include "common/check.h"
+#include "common/trace.h"
 #include "tensor/tensor_ops.h"
 #include "text/vocabulary.h"
 
@@ -14,10 +15,14 @@ namespace kddn::serve {
 namespace {
 
 /// Resizes `t` to `shape` only when needed; contents are unspecified after
-/// the call (every user overwrites them fully or zeroes the slack).
+/// the call (every user overwrites them fully or zeroes the slack). Recycles
+/// the tensor's existing storage, so once a workspace buffer has grown to a
+/// workload's high-water size, shape changes stop allocating — this is what
+/// keeps the warm frozen forward tensor-allocation-free across mixed
+/// document lengths (asserted via alloc::AllocScope in tests/trace_test.cc).
 void EnsureShape(Tensor* t, std::vector<int> shape) {
   if (t->shape() != shape) {
-    *t = Tensor(std::move(shape));
+    *t = Tensor::AdoptStorage(std::move(shape), std::move(*t).TakeStorage());
   }
 }
 
@@ -189,7 +194,9 @@ void FrozenModel::ConvBank(const Tensor& input,
   }
 }
 
-Tensor FrozenModel::Logits(const data::Example& example, Workspace* ws) const {
+const Tensor& FrozenModel::Logits(const data::Example& example,
+                                  Workspace* ws) const {
+  KDDN_TRACE_SPAN("frozen.forward");
   KDDN_CHECK(ws != nullptr);
   const std::vector<int>& word_ids =
       example.word_ids.empty() ? PadFallback() : example.word_ids;

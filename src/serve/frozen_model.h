@@ -56,11 +56,14 @@ class FrozenModel {
   /// the paper's end products); any other model kind fails with a KddnError.
   static FrozenModel Freeze(const models::NeuralDocumentModel& model);
 
-  /// Rank-1 logits [2] for one example, written through `ws`. Empty word or
-  /// concept sequences (possible for raw serving traffic; training drops such
-  /// patients) are scored as a single <pad> token, so every input has a
+  /// Rank-1 logits [2] for one example, written through `ws`. The reference
+  /// aliases `ws->logits` and is valid until the next call with the same
+  /// workspace (returning by reference keeps the warm forward free of tensor
+  /// allocations — a tested invariant, see tests/trace_test.cc). Empty word
+  /// or concept sequences (possible for raw serving traffic; training drops
+  /// such patients) are scored as a single <pad> token, so every input has a
   /// well-defined probability.
-  Tensor Logits(const data::Example& example, Workspace* ws) const;
+  const Tensor& Logits(const data::Example& example, Workspace* ws) const;
 
   /// Probability of the positive (death) class.
   float ScorePositive(const data::Example& example, Workspace* ws) const;

@@ -12,6 +12,7 @@
 
 #include "common/check.h"
 #include "common/net_util.h"
+#include "common/trace.h"
 #include "serve/json_util.h"
 
 namespace kddn::serve {
@@ -207,6 +208,7 @@ void HttpServer::AcceptPending() {
 }
 
 void HttpServer::ReadAndParse(Connection* conn) {
+  KDDN_TRACE_SPAN("http.read_parse");
   char buffer[4096];
   while (!conn->dead) {
     size_t n = 0;
@@ -279,6 +281,7 @@ void HttpServer::Pump(Connection* conn) {
 }
 
 void HttpServer::HandleRequest(Connection* conn) {
+  KDDN_TRACE_SPAN("http.handle");
   const HttpRequest& request = conn->parser.request();
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -360,6 +363,7 @@ void HttpServer::HandleScore(Connection* conn, const HttpRequest& request) {
 }
 
 void HttpServer::FinishScore(Connection* conn) {
+  KDDN_TRACE_SPAN("http.finish_score");
   conn->awaiting_score = false;
   try {
     const float score = conn->score_future.get();
@@ -384,6 +388,7 @@ void HttpServer::FinishScore(Connection* conn) {
 }
 
 void HttpServer::FlushOutbox(Connection* conn) {
+  KDDN_TRACE_SPAN("http.flush");
   while (conn->HasPendingOutput()) {
     size_t n = 0;
     const net::IoStatus status =

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/fault_injector.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "text/tokenizer.h"
 
 namespace kddn::serve {
@@ -136,6 +137,7 @@ data::Example InferenceEngine::EncodeNote(const std::string& raw_text) {
 
 data::Example InferenceEngine::EncodeNote(const std::string& raw_text,
                                           bool* degraded) {
+  KDDN_TRACE_SPAN("serve.encode");
   KDDN_CHECK(has_pipeline_)
       << "EncodeNote requires an engine constructed with a NotePipeline";
   *degraded = false;
@@ -226,6 +228,7 @@ void InferenceEngine::WorkerLoop() {
 
 void InferenceEngine::ExecuteBatch(
     std::vector<std::unique_ptr<Request>> batch) {
+  KDDN_TRACE_SPAN("serve.batch_execute");
   const int64_t n = static_cast<int64_t>(batch.size());
   std::vector<float> scores(batch.size());
   try {
@@ -233,6 +236,7 @@ void InferenceEngine::ExecuteBatch(
     // across batches and writes a disjoint scores slot, so results are
     // independent of the batch composition and the thread count.
     GlobalThreadPool().ParallelFor(n, [&](int64_t i) {
+      KDDN_TRACE_SPAN("serve.score");
       static thread_local FrozenModel::Workspace ws;
       scores[static_cast<size_t>(i)] =
           model_->ScorePositive(batch[static_cast<size_t>(i)]->example, &ws);

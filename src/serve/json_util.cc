@@ -260,4 +260,10 @@ std::string FloatToJson(float value) {
   return buf;
 }
 
+std::string DoubleToJson(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
 }  // namespace kddn::serve

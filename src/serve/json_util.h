@@ -40,6 +40,11 @@ std::string JsonEscape(const std::string& text);
 /// layer's bitwise-equality contract rides on this round trip.
 std::string FloatToJson(float value);
 
+/// Round-trippable double (printf %.17g): every stats/report emitter routes
+/// doubles through this one formatter so re-parsed artifacts reproduce the
+/// recorded values bit for bit (no default-precision ostream truncation).
+std::string DoubleToJson(double value);
+
 }  // namespace kddn::serve
 
 #endif  // KDDN_SERVE_JSON_UTIL_H_

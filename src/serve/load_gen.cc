@@ -286,30 +286,36 @@ void LoadGenReport::Finalize() {
 }
 
 std::string LoadGenReport::ToJson() const {
+  // Doubles go through the shared round-trippable formatter (json_util) so
+  // harness artifacts re-parse to the recorded values exactly.
   std::ostringstream out;
   out << "{\"requests\": " << requests << ", \"concurrency\": " << concurrency
-      << ", \"offered_qps\": " << offered_qps << ", \"seed\": " << seed
+      << ", \"offered_qps\": " << DoubleToJson(offered_qps)
+      << ", \"seed\": " << seed
       << ", \"ok\": " << ok << ", \"shed_429\": " << shed_queue_full
       << ", \"shed_503\": " << shed_deadline
       << ", \"http_errors\": " << http_errors
       << ", \"transport_errors\": " << transport_errors
-      << ", \"wall_ms\": " << wall_ms
-      << ", \"achieved_rps\": " << achieved_rps
-      << ", \"shed_rate\": " << shed_rate << ", \"p50_ms\": " << p50_ms
-      << ", \"p99_ms\": " << p99_ms << ", \"p999_ms\": " << p999_ms
-      << ", \"max_ms\": " << max_ms << "}";
+      << ", \"wall_ms\": " << DoubleToJson(wall_ms)
+      << ", \"achieved_rps\": " << DoubleToJson(achieved_rps)
+      << ", \"shed_rate\": " << DoubleToJson(shed_rate)
+      << ", \"p50_ms\": " << DoubleToJson(p50_ms)
+      << ", \"p99_ms\": " << DoubleToJson(p99_ms)
+      << ", \"p999_ms\": " << DoubleToJson(p999_ms)
+      << ", \"max_ms\": " << DoubleToJson(max_ms) << "}";
   return out.str();
 }
 
 std::string KneeSweep::ToJson() const {
   std::ostringstream out;
-  out << "{\"knee_qps\": " << knee_qps << ", \"points\": [";
+  out << "{\"knee_qps\": " << DoubleToJson(knee_qps) << ", \"points\": [";
   for (size_t i = 0; i < points.size(); ++i) {
     const KneePoint& p = points[i];
-    out << "{\"offered_qps\": " << p.offered_qps
-        << ", \"achieved_rps\": " << p.achieved_rps
-        << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
-        << ", \"shed_rate\": " << p.shed_rate << "}"
+    out << "{\"offered_qps\": " << DoubleToJson(p.offered_qps)
+        << ", \"achieved_rps\": " << DoubleToJson(p.achieved_rps)
+        << ", \"p50_ms\": " << DoubleToJson(p.p50_ms)
+        << ", \"p99_ms\": " << DoubleToJson(p.p99_ms)
+        << ", \"shed_rate\": " << DoubleToJson(p.shed_rate) << "}"
         << (i + 1 < points.size() ? ", " : "");
   }
   out << "]}";

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "serve/json_util.h"
 
 namespace kddn::serve {
 
@@ -104,12 +105,12 @@ std::string StatsSnapshot::ToJson() const {
       << ", \"degraded\": " << degraded
       << ", \"cache_hits\": " << cache_hits
       << ", \"cache_misses\": " << cache_misses
-      << ", \"cache_hit_rate\": " << cache_hit_rate
-      << ", \"p50_latency_ms\": " << p50_latency_ms
-      << ", \"p99_latency_ms\": " << p99_latency_ms
-      << ", \"mean_latency_ms\": " << mean_latency_ms
-      << ", \"max_latency_ms\": " << max_latency_ms
-      << ", \"mean_batch_size\": " << mean_batch_size
+      << ", \"cache_hit_rate\": " << DoubleToJson(cache_hit_rate)
+      << ", \"p50_latency_ms\": " << DoubleToJson(p50_latency_ms)
+      << ", \"p99_latency_ms\": " << DoubleToJson(p99_latency_ms)
+      << ", \"mean_latency_ms\": " << DoubleToJson(mean_latency_ms)
+      << ", \"max_latency_ms\": " << DoubleToJson(max_latency_ms)
+      << ", \"mean_batch_size\": " << DoubleToJson(mean_batch_size)
       << ", \"batch_size_histogram\": [";
   for (size_t i = 0; i < batch_size_histogram.size(); ++i) {
     out << batch_size_histogram[i]

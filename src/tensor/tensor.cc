@@ -3,6 +3,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "common/alloc_tracker.h"
 #include "common/check.h"
 
 namespace kddn {
@@ -17,11 +18,42 @@ int64_t ShapeSize(const std::vector<int>& shape) {
   return shape.empty() ? 0 : total;
 }
 
+uint64_t CapacityBytes(const std::vector<float>& storage) {
+  return static_cast<uint64_t>(storage.capacity()) * sizeof(float);
+}
+
 }  // namespace
 
 Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
   data_.assign(static_cast<size_t>(ShapeSize(shape_)), 0.0f);
+  alloc::RecordAlloc(CapacityBytes(data_));
 }
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), data_(other.data_) {
+  alloc::RecordAlloc(CapacityBytes(data_));
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this != &other) {
+    const uint64_t old_bytes = CapacityBytes(data_);
+    shape_ = other.shape_;
+    data_ = other.data_;  // Reuses the existing block when capacity fits.
+    alloc::TrackRealloc(old_bytes, CapacityBytes(data_));
+  }
+  return *this;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this != &other) {
+    alloc::RecordFree(CapacityBytes(data_));
+    shape_ = std::move(other.shape_);
+    data_ = std::move(other.data_);
+  }
+  return *this;
+}
+
+Tensor::~Tensor() { alloc::RecordFree(CapacityBytes(data_)); }
 
 Tensor Tensor::Zeros(std::vector<int> shape) {
   return Tensor(std::move(shape));
@@ -41,6 +73,7 @@ Tensor Tensor::FromData(std::vector<int> shape, std::vector<float> data) {
       << data.size();
   t.shape_ = std::move(shape);
   t.data_ = std::move(data);
+  alloc::RecordAlloc(CapacityBytes(t.data_));
   return t;
 }
 
@@ -48,7 +81,11 @@ Tensor Tensor::AdoptStorage(std::vector<int> shape,
                             std::vector<float> storage) {
   Tensor t;
   const int64_t wanted = ShapeSize(shape);
+  // Incoming storage is already inside the tracked domain (pool freelist or
+  // another Tensor), so only a genuine capacity change is an event.
+  const uint64_t old_bytes = CapacityBytes(storage);
   storage.resize(static_cast<size_t>(wanted));
+  alloc::TrackRealloc(old_bytes, CapacityBytes(storage));
   t.shape_ = std::move(shape);
   t.data_ = std::move(storage);
   return t;
@@ -121,6 +158,7 @@ Tensor Tensor::Reshape(std::vector<int> new_shape) const {
   Tensor t;
   t.shape_ = std::move(new_shape);
   t.data_ = data_;
+  alloc::RecordAlloc(CapacityBytes(t.data_));
   return t;
 }
 

@@ -18,10 +18,15 @@ class Tensor {
   /// Zero-filled tensor with the given shape. All dimensions must be >= 0.
   explicit Tensor(std::vector<int> shape);
 
-  Tensor(const Tensor&) = default;
-  Tensor& operator=(const Tensor&) = default;
-  Tensor(Tensor&&) = default;
-  Tensor& operator=(Tensor&&) = default;
+  // Special members are spelled out (instead of = default) so that every
+  // float-storage block entering or leaving a live Tensor is reported to
+  // alloc::RecordAlloc/RecordFree — see common/alloc_tracker.h for the
+  // accounting domain. Moves transfer the existing block and report nothing.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
 
   /// Factory: zero-filled tensor.
   static Tensor Zeros(std::vector<int> shape);

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor_pool.h"
 
@@ -43,6 +44,7 @@ using GemmFn = void (*)(const float*, const float*, float*, int, int, int, int,
 /// C must already be zero-filled (the kernels accumulate).
 void DispatchGemm(GemmFn fn, const float* a, const float* b, float* c, int m,
                   int k, int n) {
+  KDDN_TRACE_SPAN("gemm.block");
   if (UseParallelMatMul(int64_t{m} * k * n)) {
     GlobalThreadPool().ParallelForBlocked(
         m, /*min_block=*/1, [&](int64_t begin, int64_t end) {

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/alloc_tracker.h"
+
 namespace kddn {
 namespace {
 
@@ -51,7 +53,10 @@ void TensorPool::Push(std::vector<float> storage) {
   const size_t cap = storage.capacity();
   if (cap == 0 || free_.size() >= kMaxEntries ||
       cached_floats_ + cap > kMaxCachedFloats) {
-    return;  // Dropped on the floor; the vector destructor frees it.
+    // Dropped on the floor; the vector destructor frees it, taking the block
+    // out of the tracked domain.
+    alloc::RecordFree(static_cast<uint64_t>(cap) * sizeof(float));
+    return;
   }
   cached_floats_ += cap;
   free_.push_back(std::move(storage));
@@ -59,23 +64,25 @@ void TensorPool::Push(std::vector<float> storage) {
 
 Tensor TensorPool::Acquire(std::vector<int> shape) {
   const size_t n = ShapeElements(shape);
-  std::vector<float> storage = Pop(n);
-  storage.assign(n, 0.0f);
-  return Tensor::AdoptStorage(std::move(shape), std::move(storage));
+  // Capacity growth happens inside AdoptStorage (the one tracked adoption
+  // point), then the defined-contents contract is restored with Fill.
+  Tensor t = Tensor::AdoptStorage(std::move(shape), Pop(n));
+  t.Fill(0.0f);
+  return t;
 }
 
 Tensor TensorPool::AcquireUninit(std::vector<int> shape) {
   const size_t n = ShapeElements(shape);
-  std::vector<float> storage = Pop(n);
-  storage.resize(n);
-  return Tensor::AdoptStorage(std::move(shape), std::move(storage));
+  return Tensor::AdoptStorage(std::move(shape), Pop(n));
 }
 
 Tensor TensorPool::AcquireCopy(const Tensor& src) {
   const size_t n = static_cast<size_t>(src.size());
-  std::vector<float> storage = Pop(n);
-  storage.assign(src.data(), src.data() + n);
-  return Tensor::AdoptStorage(src.shape(), std::move(storage));
+  Tensor t = Tensor::AdoptStorage(src.shape(), Pop(n));
+  if (n > 0) {
+    std::memcpy(t.data(), src.data(), n * sizeof(float));
+  }
+  return t;
 }
 
 void TensorPool::Recycle(Tensor&& t) {
@@ -86,6 +93,10 @@ void TensorPool::Recycle(Tensor&& t) {
 }
 
 void TensorPool::Trim() {
+  for (const std::vector<float>& storage : free_) {
+    alloc::RecordFree(static_cast<uint64_t>(storage.capacity()) *
+                      sizeof(float));
+  }
   free_.clear();
   cached_floats_ = 0;
 }

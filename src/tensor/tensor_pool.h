@@ -23,6 +23,7 @@ namespace kddn {
 class TensorPool {
  public:
   TensorPool() = default;
+  ~TensorPool() { Trim(); }
   TensorPool(const TensorPool&) = delete;
   TensorPool& operator=(const TensorPool&) = delete;
 
