@@ -323,13 +323,13 @@ int RunServeBench(const std::string& out_path) {
   engine_options.flush_deadline_ms = 2;
   serve::InferenceEngine engine(&frozen, engine_options);
   const double engine_s = BestSeconds(3, [&] {
-    std::vector<std::future<float>> futures;
+    std::vector<std::future<serve::Scored>> futures;
     futures.reserve(n);
     for (size_t i = 0; i < n; ++i) {
       futures.push_back(engine.ScoreAsync(split[i]));
     }
     for (size_t i = 0; i < n; ++i) {
-      engine_scores[i] = futures[i].get();
+      engine_scores[i] = futures[i].get().score;
     }
   });
 
@@ -807,11 +807,11 @@ int RunTraceBench(const std::string& out_path) {
   engine_options.flush_deadline_ms = 2;
   {
     serve::InferenceEngine engine(&frozen, engine_options);
-    std::vector<std::future<float>> futures;
+    std::vector<std::future<serve::Scored>> futures;
     for (const data::Example& example : dataset.test()) {
       futures.push_back(engine.ScoreAsync(example));
     }
-    for (std::future<float>& future : futures) {
+    for (std::future<serve::Scored>& future : futures) {
       future.get();
     }
   }

@@ -57,13 +57,13 @@ int main() {
     const data::Example* patient;
     float risk;
   };
-  std::vector<std::future<float>> risks;
+  std::vector<std::future<serve::Scored>> risks;
   for (const data::Example& patient : dataset.test()) {
     risks.push_back(engine.ScoreAsync(patient));
   }
   std::vector<Ranked> queue;
   for (size_t i = 0; i < risks.size(); ++i) {
-    queue.push_back({&dataset.test()[i], risks[i].get()});
+    queue.push_back({&dataset.test()[i], risks[i].get().score});
   }
   std::sort(queue.begin(), queue.end(),
             [](const Ranked& a, const Ranked& b) { return a.risk > b.risk; });

@@ -179,15 +179,15 @@ int main(int argc, char** argv) {
     serve::EngineOptions engine_options;
     engine_options.max_batch = flags.GetInt("serve_batch", 16);
     serve::InferenceEngine engine(&frozen, engine_options);
-    std::vector<std::future<float>> futures;
+    std::vector<std::future<serve::Scored>> futures;
     futures.reserve(dataset.test().size());
     for (const data::Example& example : dataset.test()) {
       futures.push_back(engine.ScoreAsync(example));
     }
     std::vector<float> scores;
     scores.reserve(futures.size());
-    for (std::future<float>& future : futures) {
-      scores.push_back(future.get());
+    for (std::future<serve::Scored>& future : futures) {
+      scores.push_back(future.get().score);
     }
     const double served_auc =
         eval::RocAuc(scores, core::Trainer::Labels(dataset.test(), horizon));

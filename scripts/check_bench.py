@@ -137,6 +137,41 @@ def check_trace(errors, name, data):
                  f"stage_wall_ms[{stage!r}] missing or has zero spans")
 
 
+def check_swap(errors, name, data):
+    # The hot-swap story (DESIGN.md §13) must hold on every host: the swap
+    # publishes under live load without failing a single request, every score
+    # stays bitwise-consistent with the snapshot fingerprint its response
+    # carries, the health gate refuses corrupted and impostor candidates, and
+    # the chaos campaign drives the probation watchdog into a rollback.
+    require_flag(errors, name, data, "swap_published")
+    require_flag(errors, name, data, "scores_bitwise_consistent")
+    require_flag(errors, name, data, "corrupt_swap_rejected")
+    require_flag(errors, name, data, "golden_swap_rejected")
+    require_flag(errors, name, data, "rollback_observed")
+    if data.get("requests_failed_during_swap") != 0:
+        fail(errors, name,
+             f"requests_failed_during_swap = "
+             f"{data.get('requests_failed_during_swap')!r}, expected 0 "
+             "(a hot swap must be zero-downtime)")
+    for field in ("swap_latency_ms", "rollback_latency_ms", "p99_steady_ms",
+                  "p99_swap_ms", "chaos_schedule", "chaos_fired",
+                  "single_core_host"):
+        if field not in data:
+            fail(errors, name, f"missing required field {field!r}")
+    inflation = data.get("p99_inflation")
+    if not isinstance(inflation, (int, float)) or inflation <= 0:
+        fail(errors, name, "missing positive p99_inflation")
+    elif inflation > 25.0:
+        # Generous across hosts; a swap must perturb the tail, not melt it.
+        fail(errors, name,
+             f"p99_inflation = {inflation}, expected <= 25 "
+             "(the swap run's tail must stay the same order of magnitude)")
+    if data.get("chaos_fired", 0) < 1:
+        fail(errors, name,
+             f"chaos_fired = {data.get('chaos_fired')!r}, expected >= 1 "
+             "(the campaign must actually inject faults)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -154,6 +189,7 @@ def main():
     check_artifact(errors, args.repo_root / "BENCH_serve.json", check_serve)
     check_artifact(errors, args.repo_root / "BENCH_http.json", check_http)
     check_artifact(errors, args.repo_root / "BENCH_trace.json", check_trace)
+    check_artifact(errors, args.repo_root / "BENCH_swap.json", check_swap)
 
     if errors:
         for error in errors:

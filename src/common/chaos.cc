@@ -1,0 +1,135 @@
+#include "common/chaos.h"
+
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/fault_injector.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace kddn {
+
+namespace {
+
+/// Strict non-negative integer parse: every character must be a digit, and
+/// the value must fit an int. Throws KddnError naming the field otherwise.
+int ParseCount(const std::string& text, const char* field,
+               const std::string& event_spec) {
+  if (text.empty()) {
+    throw KddnError(std::string("chaos schedule: empty ") + field + " in \"" +
+                    event_spec + "\"");
+  }
+  long long value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw KddnError(std::string("chaos schedule: non-numeric ") + field +
+                      " \"" + text + "\" in \"" + event_spec + "\"");
+    }
+    value = value * 10 + (c - '0');
+    if (value > 1'000'000'000LL) {
+      throw KddnError(std::string("chaos schedule: ") + field + " \"" + text +
+                      "\" is out of range in \"" + event_spec + "\"");
+    }
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+ChaosSchedule ChaosSchedule::Parse(const std::string& spec) {
+  ChaosSchedule schedule;
+  if (Strip(spec).empty()) {
+    return schedule;  // An empty spec is a valid no-fault campaign.
+  }
+  for (const std::string& raw_event : Split(spec, ";")) {
+    const std::string event_spec = Strip(raw_event);
+    if (event_spec.empty()) {
+      continue;  // Tolerate "a@1;;b@2" and trailing ';'.
+    }
+    const size_t at = event_spec.find('@');
+    if (at == std::string::npos) {
+      throw KddnError("chaos schedule: missing '@' in \"" + event_spec +
+                      "\" (grammar: site@first_hit[xBURST])");
+    }
+    ChaosEvent event;
+    event.site = Strip(event_spec.substr(0, at));
+    if (event.site.empty()) {
+      throw KddnError("chaos schedule: empty site in \"" + event_spec + "\"");
+    }
+    const std::string counts = Strip(event_spec.substr(at + 1));
+    const size_t x = counts.find('x');
+    if (x == std::string::npos) {
+      event.first_hit = ParseCount(counts, "first_hit", event_spec);
+    } else {
+      event.first_hit =
+          ParseCount(Strip(counts.substr(0, x)), "first_hit", event_spec);
+      event.burst = ParseCount(Strip(counts.substr(x + 1)), "burst",
+                               event_spec);
+      if (event.burst < 1) {
+        throw KddnError("chaos schedule: burst must be >= 1 in \"" +
+                        event_spec + "\"");
+      }
+    }
+    schedule.events.push_back(std::move(event));
+  }
+  return schedule;
+}
+
+std::string ChaosSchedule::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) {
+      out << ";";
+    }
+    out << events[i].site << "@" << events[i].first_hit;
+    if (events[i].burst != 1) {
+      out << "x" << events[i].burst;
+    }
+  }
+  return out.str();
+}
+
+ChaosSchedule GenerateCampaign(uint64_t seed,
+                               const std::vector<std::string>& sites,
+                               int num_events, int max_first_hit,
+                               int max_burst) {
+  KDDN_CHECK(!sites.empty()) << "a chaos campaign needs at least one site";
+  KDDN_CHECK_GE(num_events, 0);
+  KDDN_CHECK_GE(max_first_hit, 0);
+  KDDN_CHECK_GE(max_burst, 1);
+  Rng rng(seed);
+  ChaosSchedule schedule;
+  schedule.events.reserve(static_cast<size_t>(num_events));
+  for (int i = 0; i < num_events; ++i) {
+    ChaosEvent event;
+    event.site = sites[static_cast<size_t>(
+        rng.UniformInt(static_cast<int>(sites.size())))];
+    event.first_hit = rng.UniformInt(max_first_hit + 1);
+    event.burst = 1 + rng.UniformInt(max_burst);
+    schedule.events.push_back(std::move(event));
+  }
+  return schedule;
+}
+
+ChaosCampaign::ChaosCampaign(ChaosSchedule schedule)
+    : schedule_(std::move(schedule)) {
+  FaultInjector& injector = FaultInjector::Instance();
+  injector.ClearFiredLog();
+  for (const ChaosEvent& event : schedule_.events) {
+    injector.ArmWindow(event.site, event.first_hit, event.burst);
+  }
+}
+
+ChaosCampaign::~ChaosCampaign() {
+  FaultInjector& injector = FaultInjector::Instance();
+  std::set<std::string> sites;
+  for (const ChaosEvent& event : schedule_.events) {
+    sites.insert(event.site);
+  }
+  for (const std::string& site : sites) {
+    injector.Disarm(site);
+  }
+}
+
+}  // namespace kddn

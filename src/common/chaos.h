@@ -1,0 +1,87 @@
+#ifndef KDDN_COMMON_CHAOS_H_
+#define KDDN_COMMON_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kddn {
+
+/// Deterministic chaos campaigns over the KDDN_FAULT_POINT sites.
+///
+/// A campaign is a *schedule*: a list of (site, first_hit, burst) events,
+/// each meaning "hits [first_hit, first_hit + burst) of `site` throw". The
+/// schedule is pure data — it can be parsed from a CLI flag, generated from
+/// a seed, printed back, and shipped inside a bench artifact — and arming it
+/// is a thin loop over FaultInjector::ArmWindow. Because the injector fires
+/// on per-site hit ordinals, a schedule replays bit-for-bit: same schedule,
+/// same per-site traversal order, same injected failures (FiredLog proves
+/// it). DESIGN.md §13 describes how the swap bench uses this to make
+/// "rollback under fault pressure" a reproducible measurement instead of an
+/// anecdote.
+///
+/// Text grammar (whitespace around separators is ignored):
+///
+///   schedule := event (';' event)*
+///   event    := site '@' first_hit ('x' burst)?
+///
+/// e.g. "serve.encode.extract@5x3; http.read@40" arms a 3-hit burst starting
+/// at the 6th extractor call plus a single-shot read fault at hit 40.
+/// Malformed specs throw KddnError naming the offending piece.
+
+/// One scheduled fault window.
+struct ChaosEvent {
+  std::string site;
+  int first_hit = 0;
+  int burst = 1;
+
+  bool operator==(const ChaosEvent& other) const {
+    return site == other.site && first_hit == other.first_hit &&
+           burst == other.burst;
+  }
+};
+
+/// An ordered list of fault windows, with the text round trip.
+struct ChaosSchedule {
+  std::vector<ChaosEvent> events;
+
+  /// Parses the grammar above. Throws KddnError on malformed input (empty
+  /// site, missing '@', non-numeric or negative first_hit, burst < 1, ...).
+  static ChaosSchedule Parse(const std::string& spec);
+
+  /// Canonical text form; Parse(ToString()) reproduces the schedule exactly.
+  std::string ToString() const;
+
+  bool empty() const { return events.empty(); }
+};
+
+/// Derives a schedule from a seed: `num_events` windows drawn over `sites`
+/// with first_hit in [0, max_first_hit] and burst in [1, max_burst], via the
+/// repo's portable xoshiro256** Rng. Same arguments => identical schedule on
+/// every platform, so a whole campaign is reproducible from one integer.
+ChaosSchedule GenerateCampaign(uint64_t seed,
+                               const std::vector<std::string>& sites,
+                               int num_events, int max_first_hit,
+                               int max_burst);
+
+/// RAII campaign arming: clears the injector's fired log, arms every window
+/// in the schedule, and on destruction disarms the scheduled sites (leaving
+/// unrelated arming untouched). The fired log is left in place so the test
+/// or bench can snapshot it after the run.
+class ChaosCampaign {
+ public:
+  explicit ChaosCampaign(ChaosSchedule schedule);
+  ~ChaosCampaign();
+
+  ChaosCampaign(const ChaosCampaign&) = delete;
+  ChaosCampaign& operator=(const ChaosCampaign&) = delete;
+
+  const ChaosSchedule& schedule() const { return schedule_; }
+
+ private:
+  ChaosSchedule schedule_;
+};
+
+}  // namespace kddn
+
+#endif  // KDDN_COMMON_CHAOS_H_

@@ -12,7 +12,17 @@ FaultInjector& FaultInjector::Instance() {
 void FaultInjector::Arm(const std::string& site, int fail_on_hit) {
   KDDN_CHECK_GE(fail_on_hit, 0);
   std::lock_guard<std::mutex> lock(mutex_);
-  sites_[site] = SiteState{fail_on_hit, 0, false};
+  sites_[site] = SiteState{0, {Window{fail_on_hit, 1}}};
+  armed_sites_.store(static_cast<int>(sites_.size()),
+                     std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmWindow(const std::string& site, int first_hit,
+                              int burst) {
+  KDDN_CHECK_GE(first_hit, 0);
+  KDDN_CHECK_GE(burst, 1) << "a burst window must cover at least one hit";
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_[site].windows.push_back(Window{first_hit, burst});
   armed_sites_.store(static_cast<int>(sites_.size()),
                      std::memory_order_relaxed);
 }
@@ -49,14 +59,29 @@ void FaultInjector::Hit(const char* site) {
     }
     SiteState& state = it->second;
     const int hit = state.hits++;
-    if (!state.fired && hit == state.fail_on_hit) {
-      state.fired = true;
-      fire = true;
+    for (const Window& window : state.windows) {
+      if (hit >= window.first_hit && hit < window.first_hit + window.burst) {
+        fire = true;
+        break;
+      }
+    }
+    if (fire) {
+      fired_log_.push_back(FiredEvent{site, hit});
     }
   }
   if (fire) {
     throw KddnError(std::string("injected fault at ") + site);
   }
+}
+
+std::vector<FaultInjector::FiredEvent> FaultInjector::FiredLog() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_log_;
+}
+
+void FaultInjector::ClearFiredLog() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fired_log_.clear();
 }
 
 FaultInjector::ScopedFault::ScopedFault(std::string site, int fail_on_hit)

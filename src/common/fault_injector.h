@@ -5,6 +5,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace kddn {
 
@@ -17,20 +18,47 @@ namespace kddn {
 ///   EXPECT_THROW(nn::SaveParametersToFile(params, path), KddnError);
 ///
 /// Hits are counted per arming, so `fail_on_hit = 3` simulates a crash on the
-/// fourth traversal (e.g. "truncate after three corpus lines"). A site fires
+/// fourth traversal (e.g. "truncate after three corpus lines"). Arm() fires
 /// at most once per arming — retries after the injected failure proceed
 /// normally, which is exactly the crash-then-recover sequence the tests
-/// exercise. All methods are thread-safe.
+/// exercise.
+///
+/// Chaos campaigns (common/chaos.h) need more than a single-shot trigger, so
+/// a site can also carry *windows*: ArmWindow(site, first_hit, burst) makes
+/// hits [first_hit, first_hit + burst) all throw, and multiple windows can
+/// be stacked on one site without resetting its hit count. Because firing
+/// depends only on the per-site hit ordinal, a schedule of windows replays
+/// bit-for-bit whenever the traversal order of each individual site is
+/// deterministic — across threads, only the per-site interleaving matters.
+/// Every injected throw is appended to a fired log ({site, hit ordinal})
+/// that tests snapshot to prove two runs experienced identical faults.
+/// All methods are thread-safe.
 class FaultInjector {
  public:
+  /// One injected failure, as it happened: which site threw, and which hit
+  /// ordinal (per-site, counted from arming) triggered it.
+  struct FiredEvent {
+    std::string site;
+    int hit = 0;
+
+    bool operator==(const FiredEvent& other) const {
+      return site == other.site && hit == other.hit;
+    }
+  };
+
   static FaultInjector& Instance();
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   /// Arms `site` to throw on hit number `fail_on_hit` (0 = the next hit).
-  /// Re-arming resets the site's hit count.
+  /// Re-arming resets the site's hit count and replaces any windows.
   void Arm(const std::string& site, int fail_on_hit = 0);
+
+  /// Adds a burst window to `site`: hits [first_hit, first_hit + burst) all
+  /// throw. Unlike Arm(), this does NOT reset the site's hit count, so a
+  /// campaign can stack several windows on one site. `burst` must be >= 1.
+  void ArmWindow(const std::string& site, int first_hit, int burst = 1);
 
   /// Disarms one site / every site. Disarming an unarmed site is a no-op.
   void Disarm(const std::string& site);
@@ -40,8 +68,14 @@ class FaultInjector {
   int HitCount(const std::string& site) const;
 
   /// Called by KDDN_FAULT_POINT. Throws KddnError("injected fault at <site>")
-  /// when this hit is the one the site was armed for; otherwise returns.
+  /// when this hit falls in an armed window; otherwise returns.
   void Hit(const char* site);
+
+  /// Every injected throw since the last ClearFiredLog(), in firing order.
+  /// The per-site subsequences are deterministic for a fixed schedule; tests
+  /// compare sorted logs (or per-site projections) across runs.
+  std::vector<FiredEvent> FiredLog() const;
+  void ClearFiredLog();
 
   /// RAII arming for tests: arms in the constructor, disarms the site in the
   /// destructor so a failing test cannot leak an armed fault into the next.
@@ -60,10 +94,14 @@ class FaultInjector {
  private:
   FaultInjector() = default;
 
+  struct Window {
+    int first_hit = 0;
+    int burst = 1;
+  };
+
   struct SiteState {
-    int fail_on_hit = 0;
     int hits = 0;
-    bool fired = false;
+    std::vector<Window> windows;
   };
 
   mutable std::mutex mutex_;
@@ -71,6 +109,7 @@ class FaultInjector {
   /// means Hit() returns without touching the mutex or the map.
   std::atomic<int> armed_sites_{0};
   std::unordered_map<std::string, SiteState> sites_;
+  std::vector<FiredEvent> fired_log_;
 };
 
 }  // namespace kddn

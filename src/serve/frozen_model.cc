@@ -271,4 +271,17 @@ float FrozenModel::ScorePositive(const data::Example& example) const {
   return ScorePositive(example, &ws);
 }
 
+bool FrozenModel::VerifyChecksum() const {
+  return Fnv1a(blob_.data(), blob_.size() * sizeof(float),
+               1469598103934665603ULL) == fingerprint_;
+}
+
+void FrozenModel::CorruptBlobForTest(size_t index) {
+  KDDN_CHECK(index < blob_.size()) << "corruption index out of range";
+  uint32_t bits;
+  std::memcpy(&bits, &blob_[index], sizeof(bits));
+  bits ^= 0x00400000u;  // Flip a mantissa bit: value changes, stays finite.
+  std::memcpy(&blob_[index], &bits, sizeof(bits));
+}
+
 }  // namespace kddn::serve

@@ -95,6 +95,18 @@ class FrozenModel {
   /// share a fingerprint; any weight change alters it.
   uint64_t fingerprint() const { return fingerprint_; }
 
+  /// Recomputes the FNV-1a checksum over the weight blob and compares it to
+  /// the fingerprint recorded at Freeze() time. False means the snapshot's
+  /// canonical bytes no longer match what was frozen (bit rot, a bad copy, a
+  /// poisoned artifact) — the swap health gate refuses to publish such a
+  /// snapshot (DESIGN.md §13).
+  bool VerifyChecksum() const;
+
+  /// Test hook: flips bits of one blob scalar so VerifyChecksum() fails.
+  /// Deliberately does NOT touch the kernel-ready tensors — a poisoned blob
+  /// must be caught by the checksum stage, not by serving garbage.
+  void CorruptBlobForTest(size_t index);
+
   /// Total scalar weights in the snapshot.
   int64_t num_weights() const { return static_cast<int64_t>(blob_.size()); }
 

@@ -5,7 +5,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cinttypes>
 #include <cstdio>
 #include <sstream>
 #include <utility>
@@ -14,6 +13,7 @@
 #include "common/net_util.h"
 #include "common/trace.h"
 #include "serve/json_util.h"
+#include "serve/snapshot_registry.h"
 
 namespace kddn::serve {
 
@@ -25,6 +25,7 @@ const char* StatusText(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
     case 413: return "Payload Too Large";
     case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
@@ -46,12 +47,6 @@ std::string ShedBody(const char* reason, int retry_after_ms) {
          "\", \"retry_after_ms\": " + std::to_string(retry_after_ms) + "}";
 }
 
-std::string FingerprintHex(uint64_t fingerprint) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%016" PRIx64, fingerprint);
-  return buf;
-}
-
 }  // namespace
 
 std::string HttpServerStatsSnapshot::ToJson() const {
@@ -62,17 +57,24 @@ std::string HttpServerStatsSnapshot::ToJson() const {
       << ", \"responses_429\": " << responses_429
       << ", \"responses_503\": " << responses_503
       << ", \"responses_5xx\": " << responses_5xx
-      << ", \"dropped_connections\": " << dropped_connections << "}";
+      << ", \"dropped_connections\": " << dropped_connections
+      << ", \"closed_idle\": " << closed_idle << "}";
   return out.str();
 }
 
 HttpServer::HttpServer(InferenceEngine* engine,
                        const HttpServerOptions& options)
-    : engine_(engine), options_(options) {
+    : HttpServer(engine, /*registry=*/nullptr, options) {}
+
+HttpServer::HttpServer(InferenceEngine* engine, SnapshotRegistry* registry,
+                       const HttpServerOptions& options)
+    : engine_(engine), registry_(registry), options_(options) {
   KDDN_CHECK(engine_ != nullptr);
   KDDN_CHECK_GT(options_.max_connections, 0)
       << "max_connections must be positive";
   KDDN_CHECK_GE(options_.retry_after_ms, 0) << "retry_after_ms must be >= 0";
+  KDDN_CHECK_GE(options_.idle_timeout_ms, 0)
+      << "idle_timeout_ms must be >= 0 (0 = never reap)";
   parser_options_.max_header_bytes = options_.max_header_bytes;
   parser_options_.max_body_bytes = options_.max_body_bytes;
 }
@@ -93,6 +95,7 @@ void HttpServer::Start() {
   wake_read_fd_ = pipe_fds[0];
   wake_write_fd_ = pipe_fds[1];
   net::SetNonBlocking(wake_read_fd_);
+  start_time_ = Clock::now();
   stop_requested_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   loop_ = std::thread([this] { LoopThread(); });
@@ -140,8 +143,14 @@ void HttpServer::LoopThread() {
     }
     // A parked score future has no fd to poll; tick fast while one is in
     // flight so its response goes out within ~1ms of the batcher resolving
-    // it, and slow otherwise (the wake pipe covers Stop()).
-    const int timeout_ms = any_awaiting ? 1 : 200;
+    // it, and slow otherwise (the wake pipe covers Stop()). An enabled idle
+    // timeout caps the slow tick so the reaper's granularity stays a
+    // fraction of the timeout itself.
+    int timeout_ms = any_awaiting ? 1 : 200;
+    if (options_.idle_timeout_ms > 0) {
+      timeout_ms = std::min(
+          timeout_ms, std::max(1, options_.idle_timeout_ms / 4));
+    }
     ::poll(poll_fds.data(), poll_fds.size(), timeout_ms);
 
     if ((poll_fds[0].revents & POLLIN) != 0) {
@@ -167,12 +176,18 @@ void HttpServer::LoopThread() {
       }
       Pump(conn);
     }
+    ReapIdleConnections();
     connections_.erase(
         std::remove_if(connections_.begin(), connections_.end(),
                        [](const std::unique_ptr<Connection>& conn) {
                          return conn->dead;
                        }),
         connections_.end());
+    // Probation watchdog rides the reactor loop: a failure-budget breach
+    // rolls the engine back within one poll interval, with no extra thread.
+    if (registry_ != nullptr) {
+      registry_->PollProbation();
+    }
   }
   for (auto& conn : connections_) {
     if (!conn->dead) {
@@ -201,9 +216,31 @@ void HttpServer::AcceptPending() {
     net::SetTcpNoDelay(fd);
     auto conn = std::make_unique<Connection>(parser_options_);
     conn->fd = fd;
+    conn->last_activity = Clock::now();
     connections_.push_back(std::move(conn));
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.accepted;
+  }
+}
+
+void HttpServer::ReapIdleConnections() {
+  if (options_.idle_timeout_ms <= 0) {
+    return;
+  }
+  const Clock::time_point now = Clock::now();
+  const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+  for (auto& conn : connections_) {
+    // A connection with work in flight is active no matter how old its last
+    // byte is: a parked score future or a draining response will refresh
+    // last_activity when it completes.
+    if (conn->dead || conn->awaiting_score || conn->HasPendingOutput()) {
+      continue;
+    }
+    if (now - conn->last_activity >= limit) {
+      CloseConnection(conn.get(), /*dropped=*/false);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.closed_idle;
+    }
   }
 }
 
@@ -229,6 +266,7 @@ void HttpServer::ReadAndParse(Connection* conn) {
       CloseConnection(conn, /*dropped=*/mid_work);
       return;
     }
+    conn->last_activity = Clock::now();
     conn->parser_status = conn->parser.Consume(buffer, n);
     if (conn->parser_status == HttpParser::Status::kError) {
       return;  // Pump answers the 4xx/5xx and closes.
@@ -280,6 +318,19 @@ void HttpServer::Pump(Connection* conn) {
   }
 }
 
+std::string HttpServer::LifecycleFieldsJson() const {
+  const double uptime_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start_time_)
+          .count();
+  std::ostringstream out;
+  out << "\"active_fingerprint\": \""
+      << FingerprintToHex(engine_->active_fingerprint())
+      << "\", \"snapshot_count\": "
+      << (registry_ != nullptr ? registry_->snapshot().snapshot_count : 1)
+      << ", \"uptime_ms\": " << DoubleToJson(uptime_ms);
+  return out.str();
+}
+
 void HttpServer::HandleRequest(Connection* conn) {
   KDDN_TRACE_SPAN("http.handle");
   const HttpRequest& request = conn->parser.request();
@@ -299,14 +350,28 @@ void HttpServer::HandleRequest(Connection* conn) {
     HandleScore(conn, request);
     return;
   }
+  if (request.target == "/v1/admin/swap") {
+    if (request.method != "POST") {
+      QueueResponse(conn, 405, ErrorBody("method-not-allowed", "use POST"),
+                    {{"Allow", "POST"}});
+      return;
+    }
+    HandleSwap(conn, request);
+    return;
+  }
   if (request.target == "/v1/stats") {
     if (request.method != "GET") {
       QueueResponse(conn, 405, ErrorBody("method-not-allowed", "use GET"),
                     {{"Allow", "GET"}});
       return;
     }
-    std::string body = "{\"engine\": " + engine_->stats().ToJson() +
-                       ", \"server\": " + stats().ToJson() + "}";
+    std::string body = "{" + LifecycleFieldsJson() +
+                       ", \"engine\": " + engine_->stats().ToJson() +
+                       ", \"server\": " + stats().ToJson();
+    if (registry_ != nullptr) {
+      body += ", \"registry\": " + registry_->snapshot().ToJson();
+    }
+    body += "}";
     QueueResponse(conn, 200, body);
     return;
   }
@@ -318,8 +383,8 @@ void HttpServer::HandleRequest(Connection* conn) {
     }
     QueueResponse(conn, 200,
                   std::string("{\"status\": \"ok\", \"model\": \"") +
-                      engine_->model().name() + "\", \"fingerprint\": \"" +
-                      FingerprintHex(engine_->model().fingerprint()) + "\"}");
+                      engine_->active()->name() + "\", " +
+                      LifecycleFieldsJson() + "}");
     return;
   }
   QueueResponse(conn, 404, ErrorBody("not-found", request.target));
@@ -362,18 +427,74 @@ void HttpServer::HandleScore(Connection* conn, const HttpRequest& request) {
   }
 }
 
+void HttpServer::HandleSwap(Connection* conn, const HttpRequest& request) {
+  if (registry_ == nullptr) {
+    QueueResponse(conn, 501,
+                  ErrorBody("no-registry",
+                            "server was built without a snapshot registry; "
+                            "hot-swap is unavailable"));
+    return;
+  }
+  std::map<std::string, JsonValue> fields;
+  std::string parse_error;
+  if (!ParseFlatJsonObject(request.body, &fields, &parse_error)) {
+    QueueResponse(conn, 400, ErrorBody("bad-json", parse_error));
+    return;
+  }
+  const auto field = fields.find("fingerprint");
+  if (field == fields.end() ||
+      field->second.kind != JsonValue::Kind::kString) {
+    QueueResponse(
+        conn, 400,
+        ErrorBody("bad-request",
+                  "body must carry a string field \"fingerprint\""));
+    return;
+  }
+  unsigned long long fingerprint = 0;
+  if (!ParseHexFingerprint(field->second.string_value, &fingerprint)) {
+    QueueResponse(conn, 400,
+                  ErrorBody("bad-request",
+                            "fingerprint must be 1-16 hex digits"));
+    return;
+  }
+  const SwapOutcome outcome = registry_->Swap(fingerprint);
+  int status = 200;
+  switch (outcome.code) {
+    case SwapCode::kPublished:
+    case SwapCode::kAlreadyActive:
+      status = 200;
+      break;
+    case SwapCode::kUnknownFingerprint:
+      status = 404;
+      break;
+    case SwapCode::kChecksumMismatch:
+    case SwapCode::kGoldenMismatch:
+      status = 409;  // The health gate refused; the incumbent still serves.
+      break;
+  }
+  QueueResponse(conn, status,
+                std::string("{\"result\": \"") + SwapCodeName(outcome.code) +
+                    "\", \"message\": \"" + JsonEscape(outcome.message) +
+                    "\", \"active_fingerprint\": \"" +
+                    FingerprintToHex(outcome.active_fingerprint) +
+                    "\", \"swap_ms\": " + DoubleToJson(outcome.swap_ms) +
+                    "}");
+}
+
 void HttpServer::FinishScore(Connection* conn) {
   KDDN_TRACE_SPAN("http.finish_score");
   conn->awaiting_score = false;
   try {
-    const float score = conn->score_future.get();
+    // The fingerprint is the one tagged at batch execution — the snapshot
+    // that actually produced this score, not whatever is active now.
+    const Scored scored = conn->score_future.get();
     QueueResponse(conn, 200,
-                  "{\"score\": " + FloatToJson(score) +
-                      ", \"label\": " + (score >= 0.5f ? "1" : "0") +
+                  "{\"score\": " + FloatToJson(scored.score) +
+                      ", \"label\": " + (scored.score >= 0.5f ? "1" : "0") +
                       ", \"degraded\": " +
                       (conn->degraded ? "true" : "false") +
                       ", \"fingerprint\": \"" +
-                      FingerprintHex(engine_->model().fingerprint()) + "\"}");
+                      FingerprintToHex(scored.fingerprint) + "\"}");
   } catch (const ShedError& error) {
     const bool deadline = error.reason() == ShedReason::kDeadlineExceeded;
     QueueResponse(
@@ -422,6 +543,7 @@ void HttpServer::QueueResponse(
   out << "\r\n" << body;
   conn->outbox = out.str();
   conn->outbox_sent = 0;
+  conn->last_activity = Clock::now();
   std::lock_guard<std::mutex> lock(stats_mutex_);
   if (status < 300) {
     ++stats_.responses_2xx;

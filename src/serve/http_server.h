@@ -2,6 +2,7 @@
 #define KDDN_SERVE_HTTP_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -14,6 +15,8 @@
 #include "serve/inference_engine.h"
 
 namespace kddn::serve {
+
+class SnapshotRegistry;
 
 struct HttpServerOptions {
   /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back with
@@ -28,6 +31,12 @@ struct HttpServerOptions {
   /// Retry hint attached to 429/503 shed responses (Retry-After header,
   /// rounded up to whole seconds, and the retry_after_ms body field).
   int retry_after_ms = 50;
+  /// Keep-alive connections with no request activity for this long are
+  /// closed by the reactor (counted in closed_idle), reclaiming their
+  /// max_connections slot from clients that connect and go quiet. 0 keeps
+  /// idle connections forever (the pre-timeout behavior). A connection with
+  /// a score in flight or a response still draining is never reaped.
+  int idle_timeout_ms = 0;
 };
 
 /// Front-end counters, one step up the stack from serve::Stats: the engine
@@ -43,6 +52,9 @@ struct HttpServerStatsSnapshot {
   /// Connections closed without a complete response: socket errors, peers
   /// vanishing mid-request, and injected accept/read/write faults.
   int64_t dropped_connections = 0;
+  /// Keep-alive connections reaped by idle_timeout_ms (orderly close, not
+  /// counted as dropped — the peer had nothing in flight).
+  int64_t closed_idle = 0;
 
   std::string ToJson() const;
 };
@@ -56,11 +68,25 @@ struct HttpServerStatsSnapshot {
 /// when the batcher resolves the future.
 ///
 /// Routes:
-///   POST /v1/score   {"note": "<raw clinical note>"}
-///                    -> 200 {"score": p, "label": 0|1, "degraded": bool,
-///                            "fingerprint": "<snapshot hex>"}
-///   GET  /v1/stats   -> 200 {"engine": {...}, "server": {...}}
-///   GET  /healthz    -> 200 {"status": "ok", ...}
+///   POST /v1/score       {"note": "<raw clinical note>"}
+///                        -> 200 {"score": p, "label": 0|1,
+///                                "degraded": bool,
+///                                "fingerprint": "<snapshot hex>"}
+///   GET  /v1/stats       -> 200 {"engine": {...}, "server": {...},
+///                                "registry": {...}, "active_fingerprint",
+///                                "snapshot_count", "uptime_ms"}
+///   GET  /healthz        -> 200 {"status": "ok", "active_fingerprint",
+///                                "snapshot_count", "uptime_ms", ...}
+///   POST /v1/admin/swap  {"fingerprint": "<hex>"}
+///                        -> 200 published / already-active
+///                           404 unknown fingerprint
+///                           409 health gate rejected (checksum/golden)
+///                           501 server built without a SnapshotRegistry
+///
+/// The score response's fingerprint is the snapshot that actually scored the
+/// note (tagged at batch execution, InferenceEngine::Scored) — during a
+/// hot-swap a client can observe either snapshot's score, but never a score
+/// labelled with the wrong one.
 ///
 /// Overload mapping (DESIGN.md §11): ShedError(kQueueFull) at enqueue is a
 /// 429, ShedError(kDeadlineExceeded) on the future is a 503; both carry a
@@ -69,6 +95,10 @@ struct HttpServerStatsSnapshot {
 /// after a parse error is unrecoverable. A socket-level failure (including
 /// an injected http.accept/read/write fault) drops exactly that connection;
 /// the engine and every other connection are untouched.
+///
+/// When a SnapshotRegistry is attached, the reactor also ticks its probation
+/// watchdog every loop iteration, so a failure-budget breach rolls back
+/// within one poll interval without any dedicated watchdog thread.
 ///
 /// Scores over the wire are bitwise-equal to in-process ScoreNote: the
 /// response serialises the float with a round-trippable %.9g
@@ -79,6 +109,12 @@ class HttpServer {
   /// without a NotePipeline, /v1/score answers 501.
   explicit HttpServer(InferenceEngine* engine,
                       const HttpServerOptions& options = {});
+
+  /// As above, plus a snapshot registry enabling POST /v1/admin/swap and the
+  /// probation watchdog. `registry` may be null (admin route answers 501)
+  /// and must outlive the server otherwise.
+  HttpServer(InferenceEngine* engine, SnapshotRegistry* registry,
+             const HttpServerOptions& options);
 
   /// Stops and joins if still running.
   ~HttpServer();
@@ -102,6 +138,8 @@ class HttpServer {
   HttpServerStatsSnapshot stats() const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   /// Per-connection reactor state. A connection handles one scoring request
   /// at a time; pipelined successors wait inside the parser buffer until the
   /// current response is fully written (responses stay in request order).
@@ -115,8 +153,11 @@ class HttpServer {
     size_t outbox_sent = 0;
     bool close_after_write = false;
     bool awaiting_score = false;
-    std::future<float> score_future;
+    std::future<Scored> score_future;
     bool degraded = false;
+    /// Last time bytes arrived or a response was queued; drives the idle
+    /// reaper.
+    Clock::time_point last_activity;
 
     explicit Connection(const HttpParserOptions& parser_options)
         : parser(parser_options) {}
@@ -126,6 +167,8 @@ class HttpServer {
 
   void LoopThread();
   void AcceptPending();
+  /// Closes keep-alive connections idle past options_.idle_timeout_ms.
+  void ReapIdleConnections();
   /// Reads available bytes into the parser; may mark the connection dead.
   void ReadAndParse(Connection* conn);
   /// Drives one connection as far as it can go without blocking: flush,
@@ -136,6 +179,10 @@ class HttpServer {
   /// Routes parser.request(); fills the outbox or parks a score future.
   void HandleRequest(Connection* conn);
   void HandleScore(Connection* conn, const HttpRequest& request);
+  void HandleSwap(Connection* conn, const HttpRequest& request);
+  /// Shared "active_fingerprint"/"snapshot_count"/"uptime_ms" JSON fields
+  /// (without braces) for /v1/stats and /healthz.
+  std::string LifecycleFieldsJson() const;
   /// Completes a parked /v1/score once its future is ready.
   void FinishScore(Connection* conn);
   /// Flushes the outbox; marks the connection dead on socket failure.
@@ -148,6 +195,7 @@ class HttpServer {
   void CloseConnection(Connection* conn, bool dropped);
 
   InferenceEngine* engine_;
+  SnapshotRegistry* registry_ = nullptr;
   HttpServerOptions options_;
   HttpParserOptions parser_options_;
 
@@ -159,6 +207,7 @@ class HttpServer {
   std::atomic<bool> stop_requested_{false};
   std::thread loop_;
   std::vector<std::unique_ptr<Connection>> connections_;
+  Clock::time_point start_time_;
 
   mutable std::mutex stats_mutex_;
   HttpServerStatsSnapshot stats_;

@@ -44,7 +44,22 @@ const char* ShedReasonName(ShedReason reason) {
 
 InferenceEngine::InferenceEngine(const FrozenModel* model,
                                  const EngineOptions& options)
-    : model_(model), options_(options) {
+    : InferenceEngine(
+          std::shared_ptr<const FrozenModel>(model,
+                                             [](const FrozenModel*) {}),
+          options) {}
+
+InferenceEngine::InferenceEngine(const FrozenModel* model,
+                                 const NotePipeline& pipeline,
+                                 const EngineOptions& options)
+    : InferenceEngine(
+          std::shared_ptr<const FrozenModel>(model,
+                                             [](const FrozenModel*) {}),
+          pipeline, options) {}
+
+InferenceEngine::InferenceEngine(std::shared_ptr<const FrozenModel> model,
+                                 const EngineOptions& options)
+    : model_(std::move(model)), options_(options) {
   KDDN_CHECK(model_ != nullptr);
   KDDN_CHECK_GT(options_.max_batch, 0) << "max_batch must be positive";
   KDDN_CHECK_GE(options_.flush_deadline_ms, 0)
@@ -57,10 +72,10 @@ InferenceEngine::InferenceEngine(const FrozenModel* model,
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
-InferenceEngine::InferenceEngine(const FrozenModel* model,
+InferenceEngine::InferenceEngine(std::shared_ptr<const FrozenModel> model,
                                  const NotePipeline& pipeline,
                                  const EngineOptions& options)
-    : InferenceEngine(model, options) {
+    : InferenceEngine(std::move(model), options) {
   KDDN_CHECK(pipeline.word_vocab != nullptr);
   KDDN_CHECK(pipeline.concept_vocab != nullptr);
   KDDN_CHECK(pipeline.extractor != nullptr);
@@ -84,14 +99,33 @@ InferenceEngine::~InferenceEngine() {
 }
 
 float InferenceEngine::Score(const data::Example& example) {
-  return ScoreAsync(example).get();
+  return ScoreAsync(example).get().score;
 }
 
-std::future<float> InferenceEngine::ScoreAsync(data::Example example) {
+std::shared_ptr<const FrozenModel> InferenceEngine::active() const {
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  return model_;
+}
+
+uint64_t InferenceEngine::active_fingerprint() const {
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  return model_->fingerprint();
+}
+
+std::shared_ptr<const FrozenModel> InferenceEngine::SwapModel(
+    std::shared_ptr<const FrozenModel> model) {
+  KDDN_CHECK(model != nullptr) << "cannot publish a null snapshot";
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  std::shared_ptr<const FrozenModel> previous = std::move(model_);
+  model_ = std::move(model);
+  return previous;
+}
+
+std::future<Scored> InferenceEngine::ScoreAsync(data::Example example) {
   auto request = std::make_unique<Request>();
   request->example = std::move(example);
   request->enqueued = std::chrono::steady_clock::now();
-  std::future<float> future = request->promise.get_future();
+  std::future<Scored> future = request->promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     KDDN_CHECK(!stopping_) << "ScoreAsync after engine shutdown";
@@ -229,6 +263,12 @@ void InferenceEngine::WorkerLoop() {
 void InferenceEngine::ExecuteBatch(
     std::vector<std::unique_ptr<Request>> batch) {
   KDDN_TRACE_SPAN("serve.batch_execute");
+  // Pin the snapshot for the whole batch (the RCU read side): a SwapModel
+  // that lands mid-batch affects only later batches, and the shared_ptr
+  // keeps this snapshot alive until the batch is done even if the registry
+  // has already dropped it. Every result is tagged with the pinned
+  // snapshot's fingerprint — not whatever is active at completion time.
+  const std::shared_ptr<const FrozenModel> model = active();
   const int64_t n = static_cast<int64_t>(batch.size());
   std::vector<float> scores(batch.size());
   try {
@@ -239,7 +279,7 @@ void InferenceEngine::ExecuteBatch(
       KDDN_TRACE_SPAN("serve.score");
       static thread_local FrozenModel::Workspace ws;
       scores[static_cast<size_t>(i)] =
-          model_->ScorePositive(batch[static_cast<size_t>(i)]->example, &ws);
+          model->ScorePositive(batch[static_cast<size_t>(i)]->example, &ws);
     });
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
@@ -254,7 +294,7 @@ void InferenceEngine::ExecuteBatch(
     stats_.RecordRequestLatencyMs(
         std::chrono::duration<double, std::milli>(done - batch[i]->enqueued)
             .count());
-    batch[i]->promise.set_value(scores[i]);
+    batch[i]->promise.set_value(Scored{scores[i], model->fingerprint()});
   }
 }
 

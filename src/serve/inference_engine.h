@@ -78,6 +78,16 @@ struct ScoreResult {
   bool ok() const { return shed == ShedReason::kNone; }
 };
 
+/// A score bundled with the fingerprint of the snapshot that produced it.
+/// Under hot-swap the active snapshot can change between enqueue and
+/// execution, so the only authoritative "which model scored this request" is
+/// the one recorded by the batch that ran it — every HTTP response carries
+/// this fingerprint (DESIGN.md §13).
+struct Scored {
+  float score = 0.0f;
+  uint64_t fingerprint = 0;
+};
+
 /// Preprocessing assets for raw-text scoring — the same pipeline
 /// data::MortalityDataset applies at training time (tokenize → lemmatize →
 /// stop-word filter → encode on the word side; cached MetaMap-style
@@ -107,14 +117,33 @@ struct NotePipeline {
 /// door, stale requests are dropped unscored, and both outcomes are counted
 /// in stats() and surfaced to the caller as ShedError (throwing APIs) or a
 /// not-ok ScoreResult (Try* APIs).
+///
+/// Hot-swap (DESIGN.md §13): the active snapshot is a shared_ptr published
+/// RCU-style — SwapModel() installs a new snapshot atomically with respect
+/// to batch execution. Each batch pins the snapshot that was active when it
+/// started; in-flight batches finish on their pinned snapshot while new
+/// requests pick up the new one, so a swap never blocks scoring and no
+/// request ever sees a half-installed model. Results are tagged with the
+/// fingerprint of the snapshot that actually scored them.
 class InferenceEngine {
  public:
-  /// Engine without a raw-text pipeline: Score/ScoreAsync only.
+  /// Engine without a raw-text pipeline: Score/ScoreAsync only. The raw
+  /// pointer is borrowed and must outlive the engine (and any snapshot that
+  /// batches may still be pinning after a later SwapModel).
   explicit InferenceEngine(const FrozenModel* model,
                            const EngineOptions& options = {});
 
   /// Engine that can also serve raw notes end to end (ScoreNote).
   InferenceEngine(const FrozenModel* model, const NotePipeline& pipeline,
+                  const EngineOptions& options = {});
+
+  /// Owning variants for hot-swap deployments: the engine (and in-flight
+  /// batches) keep the snapshot alive via shared ownership, typically shared
+  /// with a SnapshotRegistry that can roll back to it later.
+  explicit InferenceEngine(std::shared_ptr<const FrozenModel> model,
+                           const EngineOptions& options = {});
+  InferenceEngine(std::shared_ptr<const FrozenModel> model,
+                  const NotePipeline& pipeline,
                   const EngineOptions& options = {});
 
   /// Flushes the queue (pending requests are still scored) and joins the
@@ -131,9 +160,10 @@ class InferenceEngine {
   float Score(const data::Example& example);
 
   /// Asynchronous variant; the future resolves when the batch containing the
-  /// request executes. Throws ShedError immediately when the queue is at
+  /// request executes, carrying the score and the fingerprint of the snapshot
+  /// that produced it. Throws ShedError immediately when the queue is at
   /// max_queue; a deadline shed surfaces as ShedError on the future.
-  std::future<float> ScoreAsync(data::Example example);
+  std::future<Scored> ScoreAsync(data::Example example);
 
   /// Non-throwing variant of Score for callers that prefer branching over
   /// catching: a shed request comes back as a ScoreResult with ok() == false
@@ -171,12 +201,27 @@ class InferenceEngine {
   /// Serving counters (latency percentiles, batch histogram, cache rates).
   StatsSnapshot stats() const { return stats_.Snapshot(); }
 
-  const FrozenModel& model() const { return *model_; }
+  /// The currently-published snapshot. The returned shared_ptr keeps it
+  /// alive even if a swap lands immediately after, so callers can safely
+  /// read name()/fingerprint()/score through it.
+  std::shared_ptr<const FrozenModel> active() const;
+
+  /// Fingerprint of the currently-published snapshot.
+  uint64_t active_fingerprint() const;
+
+  /// Atomically publishes `model` as the active snapshot and returns the
+  /// snapshot it replaced. Requests already batched keep scoring on the old
+  /// snapshot (their responses carry its fingerprint); requests batched
+  /// after the publish score on the new one. Never blocks on in-flight
+  /// scoring. Prefer driving this through SnapshotRegistry::Swap, which
+  /// health-gates the candidate first.
+  std::shared_ptr<const FrozenModel> SwapModel(
+      std::shared_ptr<const FrozenModel> model);
 
  private:
   struct Request {
     data::Example example;
-    std::promise<float> promise;
+    std::promise<Scored> promise;
     std::chrono::steady_clock::time_point enqueued;
   };
 
@@ -184,7 +229,10 @@ class InferenceEngine {
   /// Scores one batch on the global pool and fulfils its promises.
   void ExecuteBatch(std::vector<std::unique_ptr<Request>> batch);
 
-  const FrozenModel* model_;
+  /// Published-snapshot cell. A mutex (not std::atomic<shared_ptr>) because
+  /// it is touched once per batch / swap, never per request.
+  mutable std::mutex model_mutex_;
+  std::shared_ptr<const FrozenModel> model_;
   EngineOptions options_;
   bool has_pipeline_ = false;
   NotePipeline pipeline_;

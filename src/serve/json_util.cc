@@ -266,4 +266,38 @@ std::string DoubleToJson(double value) {
   return buf;
 }
 
+std::string FingerprintToHex(unsigned long long value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", value);
+  return buf;
+}
+
+bool ParseHexFingerprint(const std::string& text, unsigned long long* value) {
+  size_t begin = 0;
+  if (text.size() >= 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    begin = 2;
+  }
+  const size_t digits = text.size() - begin;
+  if (digits == 0 || digits > 16) {
+    return false;
+  }
+  unsigned long long parsed = 0;
+  for (size_t i = begin; i < text.size(); ++i) {
+    const char c = text[i];
+    int nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    parsed = (parsed << 4) | static_cast<unsigned long long>(nibble);
+  }
+  *value = parsed;
+  return true;
+}
+
 }  // namespace kddn::serve

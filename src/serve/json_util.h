@@ -45,6 +45,16 @@ std::string FloatToJson(float value);
 /// recorded values bit for bit (no default-precision ostream truncation).
 std::string DoubleToJson(double value);
 
+/// Canonical wire form of a snapshot fingerprint: 16 lowercase hex digits,
+/// zero-padded, no 0x prefix. Every emitter (healthz, stats, score
+/// responses, swap admin, bench artifacts) goes through this one formatter
+/// so fingerprints compare as strings across the whole system.
+std::string FingerprintToHex(unsigned long long value);
+
+/// Parses the FingerprintToHex form back (1-16 hex digits, optional 0x
+/// prefix tolerated). Returns false on anything else.
+bool ParseHexFingerprint(const std::string& text, unsigned long long* value);
+
 }  // namespace kddn::serve
 
 #endif  // KDDN_SERVE_JSON_UTIL_H_

@@ -30,12 +30,14 @@ double MsBetween(Clock::time_point a, Clock::time_point b) {
 /// Reads one HTTP response off a blocking socket: status line, headers,
 /// Content-Length body. Returns false on any transport-level failure
 /// (the server never sends chunked responses, so Content-Length framing is
-/// the protocol here).
+/// the protocol here). `*retry_after_ms` is set from a Retry-After header
+/// (whole seconds on the wire, converted to ms) when present, else left -1.
 bool ReadHttpResponse(int fd, int* status, std::string* body,
-                      bool* connection_close) {
+                      bool* connection_close, int* retry_after_ms) {
   *status = 0;
   body->clear();
   *connection_close = false;
+  *retry_after_ms = -1;
   std::string raw;
   size_t header_end = std::string::npos;
   char buffer[4096];
@@ -88,6 +90,8 @@ bool ReadHttpResponse(int fd, int* status, std::string* body,
       have_length = true;
     } else if (name == "connection" && value == "close") {
       *connection_close = true;
+    } else if (name == "retry-after") {
+      *retry_after_ms = 1000 * std::atoi(value.c_str());
     }
   }
   if (!have_length) {
@@ -110,7 +114,7 @@ bool ReadHttpResponse(int fd, int* status, std::string* body,
 }
 
 bool DoScore(int fd, const std::string& note, RequestOutcome* outcome,
-             bool* connection_close) {
+             bool* connection_close, int* retry_after_ms) {
   const std::string body = "{\"note\": \"" + JsonEscape(note) + "\"}";
   std::ostringstream request;
   request << "POST /v1/score HTTP/1.1\r\n"
@@ -127,27 +131,78 @@ bool DoScore(int fd, const std::string& note, RequestOutcome* outcome,
   }
   std::string response_body;
   if (!ReadHttpResponse(fd, &outcome->status, &response_body,
-                        connection_close)) {
+                        connection_close, retry_after_ms)) {
     return false;
   }
+  std::map<std::string, JsonValue> fields;
+  std::string error;
+  if (!ParseFlatJsonObject(response_body, &fields, &error)) {
+    return true;  // Transport-level success; the body is just not flat JSON.
+  }
   if (outcome->status == 200) {
-    std::map<std::string, JsonValue> fields;
-    std::string error;
-    if (ParseFlatJsonObject(response_body, &fields, &error)) {
-      const auto score = fields.find("score");
-      if (score != fields.end() &&
-          score->second.kind == JsonValue::Kind::kNumber) {
-        // double -> float narrows back to the exact served float: the %.9g
-        // decimal the server emitted identifies one binary32 value.
-        outcome->score = static_cast<float>(score->second.number_value);
+    const auto score = fields.find("score");
+    if (score != fields.end() &&
+        score->second.kind == JsonValue::Kind::kNumber) {
+      // double -> float narrows back to the exact served float: the %.9g
+      // decimal the server emitted identifies one binary32 value.
+      outcome->score = static_cast<float>(score->second.number_value);
+    }
+    const auto degraded = fields.find("degraded");
+    outcome->degraded = degraded != fields.end() &&
+                        degraded->second.kind == JsonValue::Kind::kBool &&
+                        degraded->second.bool_value;
+    const auto fingerprint = fields.find("fingerprint");
+    if (fingerprint != fields.end() &&
+        fingerprint->second.kind == JsonValue::Kind::kString) {
+      unsigned long long parsed = 0;
+      if (ParseHexFingerprint(fingerprint->second.string_value, &parsed)) {
+        outcome->fingerprint = parsed;
       }
-      const auto degraded = fields.find("degraded");
-      outcome->degraded = degraded != fields.end() &&
-                          degraded->second.kind == JsonValue::Kind::kBool &&
-                          degraded->second.bool_value;
+    }
+  } else {
+    // Shed bodies carry a machine-readable retry_after_ms, finer-grained
+    // than the header's whole seconds; prefer it when present.
+    const auto hint = fields.find("retry_after_ms");
+    if (hint != fields.end() &&
+        hint->second.kind == JsonValue::Kind::kNumber &&
+        hint->second.number_value >= 0.0) {
+      *retry_after_ms = static_cast<int>(hint->second.number_value);
     }
   }
   return true;
+}
+
+/// SplitMix64 finalizer: the jitter hash for (seed, request, attempt).
+uint64_t MixBits(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic wait before retry `attempt` (1-based) of request `index`:
+/// capped exponential backoff plus seeded jitter, floored by the server's
+/// retry hint (ms; pass -1 for none).
+int RetryWaitMs(const LoadGenOptions& options, int index, int attempt,
+                int server_hint_ms) {
+  int64_t backoff = options.retry_backoff_ms;
+  for (int k = 1; k < attempt && backoff < options.retry_backoff_cap_ms;
+       ++k) {
+    backoff *= 2;
+  }
+  backoff = std::min<int64_t>(backoff, options.retry_backoff_cap_ms);
+  const uint64_t hash =
+      MixBits(options.seed ^ MixBits(static_cast<uint64_t>(index) * 0x10001 +
+                                     static_cast<uint64_t>(attempt)));
+  const int64_t jitter =
+      backoff <= 1 ? 0
+                   : static_cast<int64_t>(
+                         hash % static_cast<uint64_t>(backoff / 2 + 1));
+  int64_t wait = backoff + jitter;
+  if (server_hint_ms >= 0) {
+    wait = std::max<int64_t>(wait, server_hint_ms);
+  }
+  return static_cast<int>(wait);
 }
 
 struct SharedRun {
@@ -181,31 +236,51 @@ void LoadWorker(SharedRun* run) {
     outcome.note_index = (*run->schedule)[static_cast<size_t>(i)];
     const std::string& note =
         (*run->pool)[static_cast<size_t>(outcome.note_index)];
-    bool ok = false;
-    bool connection_close = false;
-    // One reconnect retry absorbs a keep-alive connection the server closed
-    // (error responses, injected faults) without failing the request.
-    for (int attempt = 0; attempt < 2 && !ok; ++attempt) {
-      if (!fd.valid()) {
-        try {
-          fd.reset(net::ConnectTcp(options.host, options.port));
-        } catch (const KddnError&) {
-          break;
+    int retries = 0;
+    while (true) {
+      bool ok = false;
+      bool connection_close = false;
+      int retry_after_ms = -1;
+      // One reconnect retry absorbs a keep-alive connection the server
+      // closed (error responses, injected faults) without failing the
+      // request.
+      for (int attempt = 0; attempt < 2 && !ok; ++attempt) {
+        if (!fd.valid()) {
+          try {
+            fd.reset(net::ConnectTcp(options.host, options.port));
+          } catch (const KddnError&) {
+            break;
+          }
+        }
+        const auto sent = Clock::now();
+        ok = DoScore(fd.get(), note, &outcome, &connection_close,
+                     &retry_after_ms);
+        outcome.latency_ms = MsBetween(sent, Clock::now());
+        if (!ok) {
+          fd.reset();
         }
       }
-      const auto sent = Clock::now();
-      ok = DoScore(fd.get(), note, &outcome, &connection_close);
-      outcome.latency_ms = MsBetween(sent, Clock::now());
       if (!ok) {
+        outcome.transport_error = true;
+        outcome.status = 0;
+        break;
+      }
+      if (connection_close) {
         fd.reset();
       }
+      // Shed responses are retryable within the per-request budget; the
+      // wait is deterministic from (seed, request, attempt) and never less
+      // than the server's hint.
+      if ((outcome.status == 429 || outcome.status == 503) &&
+          retries < options.max_retries) {
+        ++retries;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            RetryWaitMs(options, i, retries, retry_after_ms)));
+        continue;
+      }
+      break;
     }
-    if (!ok) {
-      outcome.transport_error = true;
-      outcome.status = 0;
-    } else if (connection_close) {
-      fd.reset();
-    }
+    outcome.retries = retries;
     (*run->outcomes)[static_cast<size_t>(i)] = outcome;
   }
 }
@@ -256,10 +331,15 @@ std::vector<int> BuildRequestSchedule(uint64_t seed, int requests,
 
 void LoadGenReport::Finalize() {
   ok = shed_queue_full = shed_deadline = http_errors = transport_errors = 0;
+  total_retries = retried_requests = 0;
   std::vector<double> latencies;
   latencies.reserve(outcomes.size());
   max_ms = 0.0;
   for (const RequestOutcome& outcome : outcomes) {
+    total_retries += outcome.retries;
+    if (outcome.retries > 0) {
+      ++retried_requests;
+    }
     if (outcome.transport_error) {
       ++transport_errors;
     } else if (outcome.status == 200) {
@@ -296,6 +376,8 @@ std::string LoadGenReport::ToJson() const {
       << ", \"shed_503\": " << shed_deadline
       << ", \"http_errors\": " << http_errors
       << ", \"transport_errors\": " << transport_errors
+      << ", \"total_retries\": " << total_retries
+      << ", \"retried_requests\": " << retried_requests
       << ", \"wall_ms\": " << DoubleToJson(wall_ms)
       << ", \"achieved_rps\": " << DoubleToJson(achieved_rps)
       << ", \"shed_rate\": " << DoubleToJson(shed_rate)
@@ -327,6 +409,11 @@ LoadGenReport RunLoadGen(const LoadGenOptions& options) {
   KDDN_CHECK_GT(options.requests, 0) << "nothing to send";
   KDDN_CHECK_GT(options.concurrency, 0) << "need at least one worker";
   KDDN_CHECK_GE(options.qps, 0.0) << "qps must be >= 0";
+  KDDN_CHECK_GE(options.max_retries, 0) << "max_retries must be >= 0";
+  KDDN_CHECK_GE(options.retry_backoff_ms, 0)
+      << "retry_backoff_ms must be >= 0";
+  KDDN_CHECK_GE(options.retry_backoff_cap_ms, options.retry_backoff_ms)
+      << "retry_backoff_cap_ms must be >= retry_backoff_ms";
 
   const std::vector<std::string> pool =
       BuildNotePool(options.seed, options.note_pool_size);
@@ -386,9 +473,38 @@ KneeSweep FindSaturationKnee(const LoadGenOptions& base,
 
 bool ScoreOverHttp(int fd, const std::string& note, RequestOutcome* outcome) {
   bool connection_close = false;
-  const bool ok = DoScore(fd, note, outcome, &connection_close);
+  int retry_after_ms = -1;
+  const bool ok =
+      DoScore(fd, note, outcome, &connection_close, &retry_after_ms);
   outcome->transport_error = !ok;
   return ok;
+}
+
+bool HttpRequestJson(const std::string& host, int port,
+                     const std::string& method, const std::string& target,
+                     const std::string& body, int* status,
+                     std::string* response_body) {
+  *status = 0;
+  response_body->clear();
+  try {
+    net::ScopedFd fd(net::ConnectTcp(host, port));
+    std::ostringstream request;
+    request << method << ' ' << target << " HTTP/1.1\r\n"
+            << "Host: loadgen\r\n"
+            << "Content-Type: application/json\r\n"
+            << "Content-Length: " << body.size() << "\r\n"
+            << "Connection: close\r\n"
+            << "\r\n"
+            << body;
+    const std::string wire = request.str();
+    net::WriteAll(fd.get(), wire.data(), wire.size());
+    bool connection_close = false;
+    int retry_after_ms = -1;
+    return ReadHttpResponse(fd.get(), status, response_body,
+                            &connection_close, &retry_after_ms);
+  } catch (const KddnError&) {
+    return false;
+  }
 }
 
 }  // namespace kddn::serve

@@ -33,16 +33,36 @@ struct LoadGenOptions {
   /// Distinct synthetic notes to rotate through (exercises the concept
   /// cache at a realistic repeat rate).
   int note_pool_size = 64;
+  /// Client-side retry budget for shed responses (429/503), per request, on
+  /// top of the initial attempt. 0 disables retries (the pre-retry
+  /// behavior). Retried requests keep their slot in the stream; the final
+  /// attempt's status is the outcome, and retry counts are reported
+  /// separately so retry traffic never masquerades as organic load.
+  int max_retries = 0;
+  /// Exponential backoff before each retry: attempt k waits
+  /// min(cap, base << (k-1)) plus a deterministic jitter in [0, wait/2]
+  /// derived from (seed, request index, attempt) — same seed, same waits,
+  /// no synchronized thundering herd. The server's retry hint (Retry-After
+  /// header / retry_after_ms body field) raises the wait when larger.
+  int retry_backoff_ms = 2;
+  int retry_backoff_cap_ms = 100;
 };
 
 /// One request's outcome, indexed by its position in the stream.
 struct RequestOutcome {
   int note_index = -1;       // Which pool note was sent.
-  int status = 0;            // HTTP status; 0 on transport error.
-  double latency_ms = 0.0;   // Send-to-last-response-byte.
+  int status = 0;            // HTTP status (of the final attempt); 0 on
+                             // transport error.
+  double latency_ms = 0.0;   // Send-to-last-response-byte, final attempt.
   float score = 0.0f;        // Parsed from a 200 body.
   bool degraded = false;     // Parsed from a 200 body.
+  /// Snapshot fingerprint parsed from a 200 body (0 when absent) — the
+  /// hot-swap harness checks each score against the snapshot that produced
+  /// it, not whichever is active when the response is read.
+  uint64_t fingerprint = 0;
   bool transport_error = false;
+  int retries = 0;           // Shed-retry attempts consumed (not transport
+                             // reconnects).
 };
 
 struct LoadGenReport {
@@ -60,6 +80,8 @@ struct LoadGenReport {
   int64_t shed_deadline = 0;     // 503s.
   int64_t http_errors = 0;       // Other non-200 statuses.
   int64_t transport_errors = 0;
+  int64_t total_retries = 0;     // Shed retries across all requests.
+  int64_t retried_requests = 0;  // Requests that needed >= 1 retry.
   double wall_ms = 0.0;
   double achieved_rps = 0.0;     // Completed (any status) per wall second.
   double shed_rate = 0.0;        // (429 + 503) / requests.
@@ -119,6 +141,16 @@ KneeSweep FindSaturationKnee(const LoadGenOptions& base,
 /// false on transport failure (outcome.transport_error set). Exposed so
 /// tests can drive the exact client the harness uses.
 bool ScoreOverHttp(int fd, const std::string& note, RequestOutcome* outcome);
+
+/// Blocking one-shot HTTP request: opens a connection, sends `method target`
+/// with a JSON body (may be empty for GETs), reads the response, closes.
+/// Returns false on transport failure. The hot-swap harness and tests drive
+/// POST /v1/admin/swap and GET /v1/stats through this — the same wire
+/// client the load workers use.
+bool HttpRequestJson(const std::string& host, int port,
+                     const std::string& method, const std::string& target,
+                     const std::string& body, int* status,
+                     std::string* response_body);
 
 }  // namespace kddn::serve
 

@@ -1,0 +1,176 @@
+#ifndef KDDN_SERVE_SNAPSHOT_REGISTRY_H_
+#define KDDN_SERVE_SNAPSHOT_REGISTRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "serve/frozen_model.h"
+#include "serve/inference_engine.h"
+#include "serve/stats.h"
+
+namespace kddn::serve {
+
+/// Health-gate and probation knobs for snapshot hot-swap (DESIGN.md §13).
+/// Validated at registry construction.
+struct SwapPolicy {
+  /// Health gate: refuse a candidate whose blob bytes no longer match its
+  /// fingerprint (FrozenModel::VerifyChecksum).
+  bool verify_checksum = true;
+  /// Probation ends cleanly after this many served-or-shed requests without
+  /// a budget breach.
+  int probation_requests = 256;
+  /// The rollback budget is only evaluated once probation has seen this many
+  /// requests — a single early failure must not flap a healthy rollout.
+  int min_probation_samples = 16;
+  /// Auto-rollback when (shed + timeouts + degraded) / (served + shed +
+  /// timeouts) since publish exceeds this rate during probation. 0 means any
+  /// failure at all rolls back (once min_probation_samples is met).
+  double max_failure_rate = 0.05;
+};
+
+/// Why a swap attempt did or did not publish.
+enum class SwapCode {
+  kPublished = 0,       // Health gate passed; candidate is now active.
+  kAlreadyActive,       // No-op: the fingerprint is the active snapshot.
+  kUnknownFingerprint,  // Not in the registry.
+  kChecksumMismatch,    // Blob bytes no longer match the fingerprint.
+  kGoldenMismatch,      // A golden note scored differently than the offline
+                        // reference claimed — the artifact is not the model
+                        // it says it is.
+};
+
+const char* SwapCodeName(SwapCode code);
+
+struct SwapOutcome {
+  SwapCode code = SwapCode::kPublished;
+  /// Human-readable detail (which golden note diverged, ...).
+  std::string message;
+  /// The fingerprint active after the attempt (the candidate on success,
+  /// the incumbent on rejection).
+  uint64_t active_fingerprint = 0;
+  /// Wall time of the health gate + publish.
+  double swap_ms = 0.0;
+
+  bool published() const { return code == SwapCode::kPublished; }
+};
+
+/// Point-in-time registry state for /v1/stats and bench artifacts.
+struct RegistrySnapshot {
+  uint64_t active_fingerprint = 0;
+  uint64_t previous_fingerprint = 0;  // 0 until the first swap.
+  int snapshot_count = 0;
+  bool in_probation = false;
+  int64_t swaps = 0;      // Successful publishes (incl. rollback publishes).
+  int64_t rejected = 0;   // Candidates refused by the health gate.
+  int64_t rollbacks = 0;  // Probation breaches that restored the previous.
+  /// Breach detection to previous-snapshot republished, for the last
+  /// rollback (0 until one happens).
+  double last_rollback_ms = 0.0;
+
+  std::string ToJson() const;
+};
+
+/// Owns every FrozenModel snapshot a serving process knows about and
+/// orchestrates zero-downtime transitions between them on one
+/// InferenceEngine (DESIGN.md §13):
+///
+///  * Add() registers a fingerprinted snapshot together with the golden
+///    scores its producer computed offline;
+///  * Swap() health-gates a candidate — checksum verify, then every golden
+///    note re-scored in-process and compared bitwise to the offline
+///    reference — and only then publishes it RCU-style via
+///    InferenceEngine::SwapModel. A rejected candidate leaves the incumbent
+///    untouched;
+///  * after a publish the registry is in probation: PollProbation() (called
+///    from the HTTP reactor loop, or directly by tests) watches the
+///    engine's shed/timeout/degraded counters against SwapPolicy's budget
+///    and republishes the previous snapshot automatically on a breach.
+///
+/// Rollback deliberately skips the health gate: the previous snapshot
+/// already served live traffic, and the emergency path must not be able to
+/// strand the engine on a misbehaving candidate. All methods are
+/// thread-safe; the registry retains every added snapshot, so a snapshot
+/// pinned by an in-flight batch or needed for rollback can never disappear.
+class SnapshotRegistry {
+ public:
+  /// `engine` must outlive the registry. The engine's current active
+  /// snapshot is registered as the incumbent (with no golden scores — it is
+  /// already proven by live traffic).
+  explicit SnapshotRegistry(InferenceEngine* engine,
+                            const SwapPolicy& policy = {});
+
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// The golden note set: model-ready examples whose scores every candidate
+  /// must reproduce bitwise. Shared across candidates so Add() only carries
+  /// per-candidate expected scores. Replacing the set does not retroactively
+  /// re-check published snapshots.
+  void SetGoldenExamples(std::vector<data::Example> examples);
+
+  /// Registers a snapshot. `golden_scores[i]` is the offline-computed score
+  /// of golden example i on this snapshot (must match the golden set size,
+  /// or be empty to skip the golden stage for this candidate — checksum
+  /// verification still applies). Returns the snapshot's fingerprint.
+  /// Re-adding an existing fingerprint replaces its golden scores.
+  uint64_t Add(FrozenModel snapshot, std::vector<float> golden_scores = {});
+
+  bool Has(uint64_t fingerprint) const;
+
+  /// Health-gates and (on success) publishes the candidate, entering
+  /// probation. See SwapOutcome for the rejection taxonomy.
+  SwapOutcome Swap(uint64_t fingerprint);
+
+  /// Probation watchdog tick: evaluates the failure budget against the
+  /// engine's counters and rolls back to the previous snapshot on a breach.
+  /// Cheap when not in probation (one mutex acquisition). Returns true iff
+  /// this call performed a rollback.
+  bool PollProbation();
+
+  RegistrySnapshot snapshot() const;
+
+  uint64_t active_fingerprint() const {
+    return engine_->active_fingerprint();
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const FrozenModel> model;
+    std::vector<float> golden_scores;
+  };
+
+  /// Health gate stages, called with mutex_ held.
+  SwapOutcome CheckCandidate(const Entry& entry) const;
+
+  /// Failure/sample deltas since the probation baseline.
+  static int64_t FailuresOf(const StatsSnapshot& s) {
+    return s.shed + s.timeouts + s.degraded;
+  }
+  static int64_t SamplesOf(const StatsSnapshot& s) {
+    return s.requests + s.shed + s.timeouts;
+  }
+
+  InferenceEngine* engine_;
+  SwapPolicy policy_;
+
+  mutable std::mutex mutex_;
+  std::map<uint64_t, Entry> snapshots_;
+  std::vector<data::Example> golden_examples_;
+  std::shared_ptr<const FrozenModel> previous_;  // Rollback target.
+  bool in_probation_ = false;
+  StatsSnapshot probation_baseline_;
+  int64_t swaps_ = 0;
+  int64_t rejected_ = 0;
+  int64_t rollbacks_ = 0;
+  double last_rollback_ms_ = 0.0;
+};
+
+}  // namespace kddn::serve
+
+#endif  // KDDN_SERVE_SNAPSHOT_REGISTRY_H_

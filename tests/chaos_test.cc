@@ -1,0 +1,210 @@
+// Chaos-campaign suite (DESIGN.md §13): schedule grammar round trips and
+// loud rejection of malformed specs, seeded campaign generation, burst
+// -window semantics on the fault injector, and — the property the hot-swap
+// bench rides on — bit-for-bit replay: the same schedule over the same
+// per-site traversal produces the identical fired-event log, including when
+// the hits come from multiple threads.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/chaos.h"
+#include "common/check.h"
+#include "common/fault_injector.h"
+#include "gtest/gtest.h"
+
+namespace kddn {
+namespace {
+
+/// Every test starts from a clean injector: no armed sites, empty log.
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Instance().DisarmAll();
+    FaultInjector::Instance().ClearFiredLog();
+  }
+  void TearDown() override {
+    FaultInjector::Instance().DisarmAll();
+    FaultInjector::Instance().ClearFiredLog();
+  }
+};
+
+/// Traverses `site` `hits` times, swallowing injected faults; returns how
+/// many hits threw.
+int Traverse(const char* site, int hits) {
+  int fired = 0;
+  for (int i = 0; i < hits; ++i) {
+    try {
+      FaultInjector::Instance().Hit(site);
+    } catch (const KddnError&) {
+      ++fired;
+    }
+  }
+  return fired;
+}
+
+// ---------------------------------------------------------------------------
+// Schedule grammar.
+// ---------------------------------------------------------------------------
+TEST_F(ChaosTest, ParsesSingleAndMultiEventSpecs) {
+  const ChaosSchedule one = ChaosSchedule::Parse("http.read@40");
+  ASSERT_EQ(one.events.size(), 1u);
+  EXPECT_EQ(one.events[0].site, "http.read");
+  EXPECT_EQ(one.events[0].first_hit, 40);
+  EXPECT_EQ(one.events[0].burst, 1);
+
+  const ChaosSchedule many =
+      ChaosSchedule::Parse(" serve.encode.extract@5x3 ; http.read@40 ;");
+  ASSERT_EQ(many.events.size(), 2u);
+  EXPECT_EQ(many.events[0].site, "serve.encode.extract");
+  EXPECT_EQ(many.events[0].first_hit, 5);
+  EXPECT_EQ(many.events[0].burst, 3);
+  EXPECT_EQ(many.events[1].site, "http.read");
+  EXPECT_EQ(many.events[1].burst, 1);
+
+  EXPECT_TRUE(ChaosSchedule::Parse("").empty());
+  EXPECT_TRUE(ChaosSchedule::Parse("  ").empty());
+}
+
+TEST_F(ChaosTest, ToStringRoundTripsThroughParse) {
+  const char* specs[] = {
+      "a.b@0", "a.b@5x3", "a.b@5x3;c.d@0;c.d@9x2",
+  };
+  for (const char* spec : specs) {
+    const ChaosSchedule schedule = ChaosSchedule::Parse(spec);
+    EXPECT_EQ(schedule.ToString(), spec);
+    EXPECT_EQ(ChaosSchedule::Parse(schedule.ToString()).events,
+              schedule.events);
+  }
+}
+
+TEST_F(ChaosTest, MalformedSpecsThrowKddnError) {
+  const char* bad[] = {
+      "no-at-sign",      // Missing '@'.
+      "@5",              // Empty site.
+      "a.b@",            // Empty first_hit.
+      "a.b@x3",          // Empty first_hit before burst.
+      "a.b@five",        // Non-numeric first_hit.
+      "a.b@-1",          // Negative (the '-' is not a digit).
+      "a.b@1x",          // Empty burst.
+      "a.b@1xq",         // Non-numeric burst.
+      "a.b@1x0",         // burst < 1.
+      "a.b@99999999999", // Out of int range.
+  };
+  for (const char* spec : bad) {
+    EXPECT_THROW(ChaosSchedule::Parse(spec), KddnError) << spec;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded campaign generation.
+// ---------------------------------------------------------------------------
+TEST_F(ChaosTest, GenerateCampaignIsAPureFunctionOfTheSeed) {
+  const std::vector<std::string> sites = {"a.b", "c.d", "e.f"};
+  const ChaosSchedule first = GenerateCampaign(77, sites, 12, 50, 8);
+  const ChaosSchedule again = GenerateCampaign(77, sites, 12, 50, 8);
+  EXPECT_EQ(first.events, again.events);
+  ASSERT_EQ(first.events.size(), 12u);
+  for (const ChaosEvent& event : first.events) {
+    EXPECT_TRUE(event.site == "a.b" || event.site == "c.d" ||
+                event.site == "e.f");
+    EXPECT_GE(event.first_hit, 0);
+    EXPECT_LE(event.first_hit, 50);
+    EXPECT_GE(event.burst, 1);
+    EXPECT_LE(event.burst, 8);
+  }
+  const ChaosSchedule other = GenerateCampaign(78, sites, 12, 50, 8);
+  EXPECT_NE(first.events, other.events);
+  // The schedule survives its own wire form, so a bench artifact's
+  // chaos_schedule string is sufficient to replay the campaign.
+  EXPECT_EQ(ChaosSchedule::Parse(first.ToString()).events, first.events);
+}
+
+// ---------------------------------------------------------------------------
+// Burst-window semantics on the injector.
+// ---------------------------------------------------------------------------
+TEST_F(ChaosTest, BurstWindowFiresOnExactlyItsHits) {
+  FaultInjector::Instance().ArmWindow("chaos.test.burst", 2, 3);
+  EXPECT_EQ(Traverse("chaos.test.burst", 10), 3);  // Hits 2, 3, 4 threw.
+  const auto log = FaultInjector::Instance().FiredLog();
+  ASSERT_EQ(log.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(log[static_cast<size_t>(i)].site, "chaos.test.burst");
+    EXPECT_EQ(log[static_cast<size_t>(i)].hit, 2 + i);
+  }
+  // The window is spent; further traffic passes.
+  EXPECT_EQ(Traverse("chaos.test.burst", 10), 0);
+}
+
+TEST_F(ChaosTest, WindowsStackWithoutResettingTheHitCount) {
+  FaultInjector::Instance().ArmWindow("chaos.test.stack", 1, 2);
+  EXPECT_EQ(Traverse("chaos.test.stack", 4), 2);  // Hits 1, 2.
+  // Appended mid-stream: the site is at hit 4, so a window at 6 is still
+  // ahead of it. Arm() would have reset the count; ArmWindow must not.
+  FaultInjector::Instance().ArmWindow("chaos.test.stack", 6, 1);
+  EXPECT_EQ(Traverse("chaos.test.stack", 4), 1);  // Hit 6 (hits 4..7).
+  EXPECT_EQ(FaultInjector::Instance().HitCount("chaos.test.stack"), 8);
+}
+
+TEST_F(ChaosTest, ArmKeepsItsSingleShotContract) {
+  FaultInjector::Instance().Arm("chaos.test.single", 3);
+  EXPECT_EQ(Traverse("chaos.test.single", 10), 1);
+  // Re-arming resets the hit count and replaces the window.
+  FaultInjector::Instance().Arm("chaos.test.single", 0);
+  EXPECT_EQ(Traverse("chaos.test.single", 10), 1);
+  FaultInjector::Instance().Disarm("chaos.test.single");
+  EXPECT_EQ(Traverse("chaos.test.single", 10), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Replay determinism: the property that turns a chaos run into a repeatable
+// measurement. Campaign + per-site traversal => identical fired log.
+// ---------------------------------------------------------------------------
+TEST_F(ChaosTest, CampaignReplaysBitForBitFromOneSeed) {
+  const std::vector<std::string> sites = {"chaos.test.r1", "chaos.test.r2"};
+  std::vector<FaultInjector::FiredEvent> logs[2];
+  for (int run = 0; run < 2; ++run) {
+    const ChaosSchedule schedule = GenerateCampaign(123, sites, 6, 30, 4);
+    ChaosCampaign campaign(schedule);
+    for (int hit = 0; hit < 64; ++hit) {  // Interleaved traversal.
+      Traverse("chaos.test.r1", 1);
+      Traverse("chaos.test.r2", 1);
+    }
+    logs[run] = FaultInjector::Instance().FiredLog();
+  }
+  EXPECT_FALSE(logs[0].empty());  // max_first_hit 30 < 64 hits: something fired.
+  EXPECT_EQ(logs[0], logs[1]);
+  // RAII disarm: after the campaigns, the sites are quiet.
+  EXPECT_EQ(Traverse("chaos.test.r1", 64), 0);
+}
+
+TEST_F(ChaosTest, ConcurrentTraversalFiresADeterministicCount) {
+  // Four threads share one site. The interleaving is arbitrary but the hit
+  // ordinals are unique, so the number of injected faults is exactly the
+  // window union's size on every run (and TSan owns the data-race check).
+  ChaosCampaign campaign(
+      ChaosSchedule::Parse("chaos.test.mt@3x5;chaos.test.mt@20x2"));
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 16; ++i) {
+        try {
+          FaultInjector::Instance().Hit("chaos.test.mt");
+        } catch (const KddnError&) {
+          fired.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(fired.load(), 7);  // Hits [3,8) and [20,22) of 64 total.
+  EXPECT_EQ(FaultInjector::Instance().FiredLog().size(), 7u);
+  EXPECT_EQ(FaultInjector::Instance().HitCount("chaos.test.mt"), 64);
+}
+
+}  // namespace
+}  // namespace kddn

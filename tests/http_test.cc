@@ -5,6 +5,7 @@
 // checking the 429/503 shed mapping against serve::Stats, injected
 // accept/read/write faults (one connection drops, the engine is untouched),
 // and determinism tests for the load-generator request stream.
+#include <poll.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -490,6 +491,73 @@ TEST(HttpServerTest, HealthzStatsRoutingAndErrors) {
   server.Stop();
 }
 
+TEST(HttpServerTest, StatsAndHealthzCarryLifecycleFields) {
+  serve::InferenceEngine engine(World().frozen.get(), WorldPipeline());
+  serve::HttpServer server(&engine);
+  server.Start();
+  const int port = server.port();
+
+  // Both endpoints share the lifecycle block: the fingerprint that is
+  // actually scoring, the snapshot inventory, and process uptime.
+  const std::string fingerprint_field =
+      "\"active_fingerprint\": \"" +
+      serve::FingerprintToHex(engine.active_fingerprint()) + "\"";
+  for (const char* target : {"/v1/stats", "/healthz"}) {
+    const std::string response = RawRoundTrip(
+        port, "GET " + std::string(target) +
+                  " HTTP/1.1\r\nConnection: close\r\n\r\n");
+    EXPECT_EQ(StatusOf(response), 200) << target;
+    EXPECT_NE(response.find(fingerprint_field), std::string::npos) << target;
+    // No registry attached: the engine's own snapshot is the whole inventory.
+    EXPECT_NE(response.find("\"snapshot_count\": 1"), std::string::npos)
+        << target;
+    EXPECT_NE(response.find("\"uptime_ms\": "), std::string::npos) << target;
+  }
+  // Without a registry there is no registry block and no admin route.
+  const std::string stats = RawRoundTrip(
+      port, "GET /v1/stats HTTP/1.1\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(stats.find("\"registry\""), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, IdleConnectionsAreReapedActiveOnesAreNot) {
+  serve::InferenceEngine engine(World().frozen.get(), WorldPipeline());
+  serve::HttpServerOptions options;
+  options.idle_timeout_ms = 100;
+  serve::HttpServer server(&engine, options);
+  server.Start();
+  const std::string note = serve::BuildNotePool(41, 1)[0];
+
+  // One connection goes quiet after connecting; one keeps a request/response
+  // cadence well inside the timeout.
+  net::ScopedFd idle_fd(net::ConnectTcp("127.0.0.1", server.port()));
+  net::ScopedFd active_fd(net::ConnectTcp("127.0.0.1", server.port()));
+  for (int i = 0; i < 6; ++i) {
+    serve::RequestOutcome outcome;
+    ASSERT_TRUE(serve::ScoreOverHttp(active_fd.get(), note, &outcome)) << i;
+    EXPECT_EQ(outcome.status, 200) << i;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // By now (~300ms) the idle peer must have been closed by the reaper: its
+  // socket reads EOF without us ever sending a byte.
+  struct pollfd poller = {idle_fd.get(), POLLIN, 0};
+  ASSERT_GT(::poll(&poller, 1, 5000), 0) << "idle connection never reaped";
+  char byte = 0;
+  EXPECT_EQ(::read(idle_fd.get(), &byte, 1), 0);
+
+  // The active connection survived the whole time and still serves.
+  serve::RequestOutcome outcome;
+  ASSERT_TRUE(serve::ScoreOverHttp(active_fd.get(), note, &outcome));
+  EXPECT_EQ(outcome.status, 200);
+
+  const serve::HttpServerStatsSnapshot stats = server.stats();
+  EXPECT_GE(stats.closed_idle, 1);
+  // The reap is an orderly close, not a protocol failure.
+  EXPECT_EQ(stats.dropped_connections, 0);
+  server.Stop();
+}
+
 TEST(HttpServerTest, OversizedFramesGet431And413OverTheWire) {
   serve::InferenceEngine engine(World().frozen.get(), WorldPipeline());
   serve::HttpServerOptions options;
@@ -791,6 +859,66 @@ TEST(LoadGenTest, OpenLoopModeHonoursTheSchedule) {
   // Open loop cannot finish faster than the schedule's span.
   EXPECT_GE(report.wall_ms, (20 - 1) * 1000.0 / 200.0 * 0.5);
   EXPECT_EQ(report.offered_qps, 200.0);
+}
+
+TEST(LoadGenTest, ShedRetriesAreCappedAndReportedSeparately) {
+  // The batcher is parked far in the future with a 2-slot queue, so of six
+  // simultaneous requests two are admitted and the rest draw 429s — and keep
+  // drawing them on every retry, because the queue only drains at the flush.
+  serve::EngineOptions engine_options;
+  engine_options.max_batch = 64;
+  engine_options.flush_deadline_ms = 2000;
+  engine_options.max_queue = 2;
+  serve::InferenceEngine engine(World().frozen.get(), WorldPipeline(),
+                                engine_options);
+  serve::HttpServerOptions server_options;
+  server_options.retry_after_ms = 5;
+  serve::HttpServer server(&engine, server_options);
+  server.Start();
+
+  serve::LoadGenOptions options;
+  options.port = server.port();
+  options.requests = 6;
+  options.concurrency = 6;
+  options.seed = 43;
+  options.note_pool_size = 3;
+  options.max_retries = 3;
+  options.retry_backoff_ms = 2;
+  options.retry_backoff_cap_ms = 16;
+  const serve::LoadGenReport report = serve::RunLoadGen(options);
+  server.Stop();
+
+  // Admitted requests scored when the oldest aged past the flush deadline;
+  // shed ones exhausted their retry budget well before that. Either way
+  // every slot in the stream has a final outcome.
+  EXPECT_EQ(report.ok + report.shed_queue_full, 6);
+  EXPECT_EQ(report.ok, 2);
+  EXPECT_EQ(report.shed_queue_full, 4);
+  // Retry traffic is reported on its own, never folded into the 6 organic
+  // outcomes: each shed request burned exactly its full budget.
+  EXPECT_EQ(report.retried_requests, 4);
+  EXPECT_EQ(report.total_retries, 4 * 3);
+  for (const serve::RequestOutcome& outcome : report.outcomes) {
+    if (outcome.status == 429) {
+      EXPECT_EQ(outcome.retries, 3);
+    } else {
+      EXPECT_EQ(outcome.status, 200);
+      EXPECT_EQ(outcome.retries, 0);
+    }
+  }
+}
+
+TEST(LoadGenTest, RetryOptionValidationIsLoud) {
+  serve::LoadGenOptions options;
+  options.port = 1;  // Never dialled: validation fires first.
+  options.max_retries = -1;
+  EXPECT_THROW(serve::RunLoadGen(options), KddnError);
+  options.max_retries = 2;
+  options.retry_backoff_ms = -3;
+  EXPECT_THROW(serve::RunLoadGen(options), KddnError);
+  options.retry_backoff_ms = 8;
+  options.retry_backoff_cap_ms = 4;  // Cap below base.
+  EXPECT_THROW(serve::RunLoadGen(options), KddnError);
 }
 
 }  // namespace

@@ -603,7 +603,7 @@ TEST(AdmissionControlTest, BurstBeyondMaxQueueShedsAtTheDoor) {
   options.flush_deadline_ms = 1000;  // ...and the flush deadline is far off,
                                      // so queued requests stay queued.
   options.max_queue = 3;
-  std::vector<std::future<float>> admitted;
+  std::vector<std::future<serve::Scored>> admitted;
   {
     serve::InferenceEngine engine(&frozen, options);
     for (int i = 0; i < 3; ++i) {
@@ -630,8 +630,8 @@ TEST(AdmissionControlTest, BurstBeyondMaxQueueShedsAtTheDoor) {
     EXPECT_NE(stats.ToJson().find("\"shed\": 2"), std::string::npos)
         << stats.ToJson();
   }  // Shutdown still drains the admitted requests.
-  for (std::future<float>& future : admitted) {
-    const float p = future.get();
+  for (std::future<serve::Scored>& future : admitted) {
+    const float p = future.get().score;
     EXPECT_TRUE(std::isfinite(p));
   }
 }
@@ -644,7 +644,7 @@ TEST(AdmissionControlTest, StaleRequestsTimeOutInsteadOfBurningABatchSlot) {
   options.flush_deadline_ms = 50;  // The batcher can only wake at +50ms...
   options.deadline_ms = 1;         // ...by which time the request is stale.
   serve::InferenceEngine engine(&frozen, options);
-  std::future<float> future = engine.ScoreAsync(TinyExample());
+  std::future<serve::Scored> future = engine.ScoreAsync(TinyExample());
   try {
     future.get();
     FAIL() << "expected the stale request to be shed";

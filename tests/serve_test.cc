@@ -150,12 +150,12 @@ TEST_P(GoldenPredictionTest, EngineMatchesAutogradAtEveryBatchShape) {
     options.flush_deadline_ms = 1;
     serve::InferenceEngine engine(&frozen, options);
     // Async-enqueue everything first so batches actually form, then resolve.
-    std::vector<std::future<float>> futures;
+    std::vector<std::future<serve::Scored>> futures;
     for (const data::Example& example : examples) {
       futures.push_back(engine.ScoreAsync(example));
     }
     for (size_t i = 0; i < futures.size(); ++i) {
-      EXPECT_EQ(futures[i].get(), reference[i])
+      EXPECT_EQ(futures[i].get().score, reference[i])
           << Model()->name() << " example " << i << ", max_batch "
           << max_batch << ", " << Threads() << " threads";
     }
@@ -213,7 +213,7 @@ TEST(InferenceEngineTest, ConcurrentClientsGetBitwiseCorrectScores) {
 TEST(InferenceEngineTest, DestructorDrainsPendingRequests) {
   const serve::FrozenModel frozen = serve::FrozenModel::Freeze(*World().bk);
   const std::vector<data::Example> examples = GoldenExamples(4);
-  std::vector<std::future<float>> futures;
+  std::vector<std::future<serve::Scored>> futures;
   {
     serve::EngineOptions options;
     options.max_batch = 64;
@@ -223,8 +223,8 @@ TEST(InferenceEngineTest, DestructorDrainsPendingRequests) {
       futures.push_back(engine.ScoreAsync(example));
     }
   }  // Destructor must score, not abandon, the queued requests.
-  for (std::future<float>& future : futures) {
-    const float p = future.get();
+  for (std::future<serve::Scored>& future : futures) {
+    const float p = future.get().score;
     EXPECT_TRUE(std::isfinite(p));
     EXPECT_GE(p, 0.0f);
     EXPECT_LE(p, 1.0f);
