@@ -1,0 +1,94 @@
+#include "common/cpu_features.h"
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#elif defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#endif
+
+namespace kddn {
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+/// Reads extended control register 0. Only valid when CPUID.1:ECX.OSXSAVE is
+/// set; inline asm instead of _xgetbv so this TU needs no -mxsave flag.
+uint64_t ReadXcr0() {
+  uint32_t lo = 0, hi = 0;
+  __asm__ volatile("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) {
+    return f;
+  }
+  f.sse2 = (edx & (1u << 26)) != 0;
+  f.sse4_2 = (ecx & (1u << 20)) != 0;
+  f.fma = (ecx & (1u << 12)) != 0;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx_cpu = (ecx & (1u << 28)) != 0;
+  bool ymm_os = false, zmm_os = false;
+  if (osxsave) {
+    const uint64_t xcr0 = ReadXcr0();
+    ymm_os = (xcr0 & 0x6) == 0x6;          // XMM + YMM state saved.
+    zmm_os = (xcr0 & 0xe6) == 0xe6;        // ... plus opmask/ZMM state.
+  }
+  f.avx = avx_cpu && ymm_os;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+    f.avx2 = f.avx && (ebx & (1u << 5)) != 0;
+    f.avx512f = zmm_os && (ebx & (1u << 16)) != 0;
+  }
+  // FMA is an AVX-register extension: without OS ymm support it is unusable.
+  f.fma = f.fma && f.avx;
+  return f;
+}
+
+#elif defined(__aarch64__)
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+#if defined(__linux__)
+  f.neon = (getauxval(AT_HWCAP) & HWCAP_ASIMD) != 0;
+#else
+  f.neon = true;  // Advanced SIMD is mandatory on aarch64.
+#endif
+  return f;
+}
+
+#else
+
+CpuFeatures Detect() { return CpuFeatures{}; }
+
+#endif
+
+}  // namespace
+
+const CpuFeatures& CpuFeaturesDetected() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+std::string CpuFeaturesSummary(const CpuFeatures& features) {
+  std::string out;
+  const auto append = [&out](bool on, const char* name) {
+    if (on) {
+      out += out.empty() ? "" : " ";
+      out += name;
+    }
+  };
+  append(features.sse2, "sse2");
+  append(features.sse4_2, "sse4_2");
+  append(features.avx, "avx");
+  append(features.avx2, "avx2");
+  append(features.fma, "fma");
+  append(features.avx512f, "avx512f");
+  append(features.neon, "neon");
+  return out.empty() ? "baseline" : out;
+}
+
+}  // namespace kddn

@@ -1,0 +1,37 @@
+#ifndef KDDN_COMMON_CPU_FEATURES_H_
+#define KDDN_COMMON_CPU_FEATURES_H_
+
+#include <string>
+
+namespace kddn {
+
+/// Instruction-set capabilities of the host, detected once at first use.
+///
+/// x86: CPUID leaves 1 and 7, cross-checked against XCR0 (via xgetbv) so a
+/// feature only reads true when the OS actually saves the wider register
+/// state — a kernel that does not context-switch ymm must not see `avx`.
+/// aarch64: getauxval(AT_HWCAP); Advanced SIMD is architecturally mandatory
+/// there, so `neon` is true on every aarch64 Linux host.
+///
+/// Consumers (the GEMM dispatch, `GET /v1/stats`, the microbench emitters)
+/// treat this as ground truth for "what kernel does this host actually run".
+struct CpuFeatures {
+  bool sse2 = false;
+  bool sse4_2 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool neon = false;
+};
+
+/// The host's features, detected on first call and cached (thread-safe).
+const CpuFeatures& CpuFeaturesDetected();
+
+/// Space-separated list of the detected features ("sse2 sse4_2 avx avx2 fma"),
+/// or "baseline" when none of the tracked extensions is present.
+std::string CpuFeaturesSummary(const CpuFeatures& features);
+
+}  // namespace kddn
+
+#endif  // KDDN_COMMON_CPU_FEATURES_H_

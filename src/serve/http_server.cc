@@ -14,6 +14,7 @@
 #include "common/trace.h"
 #include "serve/json_util.h"
 #include "serve/snapshot_registry.h"
+#include "tensor/tensor_ops.h"
 
 namespace kddn::serve {
 
@@ -327,7 +328,11 @@ std::string HttpServer::LifecycleFieldsJson() const {
       << FingerprintToHex(engine_->active_fingerprint())
       << "\", \"snapshot_count\": "
       << (registry_ != nullptr ? registry_->snapshot().snapshot_count : 1)
-      << ", \"uptime_ms\": " << DoubleToJson(uptime_ms);
+      << ", \"uptime_ms\": " << DoubleToJson(uptime_ms)
+      // What dense kernel this host actually scores with (DESIGN.md §9):
+      // the dispatch mode plus the runtime-detected ISA kAuto resolved to.
+      << ", \"gemm_kernel\": \"" << GemmKernelName(GetGemmKernel())
+      << "\", \"simd_isa\": \"" << ActiveGemmIsa() << "\"";
   return out.str();
 }
 

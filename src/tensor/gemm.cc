@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 
 namespace kddn::detail {
 namespace {
@@ -45,8 +47,8 @@ inline void MicroKernelRowsChunk(const float* const a_chunks[kGemmMr],
 
 }  // namespace
 
-void GemmNN(const float* a, const float* b, float* c, int m, int k, int n,
-            int row_begin, int row_end) {
+void GemmNNScalar(const float* a, const float* b, float* c, int m, int k,
+                  int n, int row_begin, int row_end) {
   for (int kc = 0; kc < k; kc += kGemmKc) {
     const int klen = std::min(k, kc + kGemmKc) - kc;
     const float* bchunk = b + static_cast<int64_t>(kc) * n;
@@ -67,11 +69,12 @@ void GemmNN(const float* a, const float* b, float* c, int m, int k, int n,
   }
 }
 
-void GemmTN(const float* a, const float* b, float* c, int m, int k, int n,
-            int row_begin, int row_end) {
+void GemmTNScalar(const float* a, const float* b, float* c, int m, int k,
+                  int n, int row_begin, int row_end) {
   // A is [k, m] and read column-wise (stride m): pack each micro-panel of up
   // to kGemmMr columns x kGemmKc k-entries into contiguous scratch so the
-  // inner loop matches the NN kernel exactly.
+  // inner loop matches the NN kernel exactly. Packing copies values without
+  // arithmetic, so it cannot perturb the accumulation order.
   float panel[kGemmMr * kGemmKc];
   for (int kc = 0; kc < k; kc += kGemmKc) {
     const int klen = std::min(k, kc + kGemmKc) - kc;
@@ -102,47 +105,26 @@ void GemmTN(const float* a, const float* b, float* c, int m, int k, int n,
   }
 }
 
-void GemmNT(const float* a, const float* b, float* c, int m, int k, int n,
-            int row_begin, int row_end) {
-  // Dot-product form: both operand rows are contiguous in k. The micro-kernel
-  // keeps kGemmNr running sums live so each streamed A element feeds four
-  // dot products; sums are staged from/to C per k chunk, which preserves the
-  // per-element ascending-k chain (storing and reloading a partial sum does
-  // not change the addition sequence).
+void GemmNTScalar(const float* a, const float* b, float* c, int m, int k,
+                  int n, int row_begin, int row_end) {
+  // Dot-product form: the canonical lane-split order, emulated in plain
+  // scalar code. Within each k chunk, chunk-local index t feeds lane
+  // (t % kGemmLanes) — the same per-lane add sequence a width-8 SIMD loop
+  // produces — and the lanes are combined by the fixed TreeReduce8 tree
+  // before the chunk total joins the running C value.
+  float lanes[kGemmLanes];
   for (int kc = 0; kc < k; kc += kGemmKc) {
-    const int kend = std::min(k, kc + kGemmKc);
+    const int klen = std::min(k, kc + kGemmKc) - kc;
     for (int i = row_begin; i < row_end; ++i) {
-      const float* arow = a + static_cast<int64_t>(i) * k;
+      const float* achunk = a + static_cast<int64_t>(i) * k + kc;
       float* crow = c + static_cast<int64_t>(i) * n;
-      int j = 0;
-      for (; j + kGemmNr <= n; j += kGemmNr) {
-        const float* b0 = b + static_cast<int64_t>(j + 0) * k;
-        const float* b1 = b + static_cast<int64_t>(j + 1) * k;
-        const float* b2 = b + static_cast<int64_t>(j + 2) * k;
-        const float* b3 = b + static_cast<int64_t>(j + 3) * k;
-        float acc0 = crow[j + 0];
-        float acc1 = crow[j + 1];
-        float acc2 = crow[j + 2];
-        float acc3 = crow[j + 3];
-        for (int kk = kc; kk < kend; ++kk) {
-          const float av = arow[kk];
-          acc0 += av * b0[kk];
-          acc1 += av * b1[kk];
-          acc2 += av * b2[kk];
-          acc3 += av * b3[kk];
+      for (int j = 0; j < n; ++j) {
+        const float* bchunk = b + static_cast<int64_t>(j) * k + kc;
+        std::memset(lanes, 0, sizeof(lanes));
+        for (int t = 0; t < klen; ++t) {
+          lanes[t & (kGemmLanes - 1)] += achunk[t] * bchunk[t];
         }
-        crow[j + 0] = acc0;
-        crow[j + 1] = acc1;
-        crow[j + 2] = acc2;
-        crow[j + 3] = acc3;
-      }
-      for (; j < n; ++j) {
-        const float* brow = b + static_cast<int64_t>(j) * k;
-        float acc = crow[j];
-        for (int kk = kc; kk < kend; ++kk) {
-          acc += arow[kk] * brow[kk];
-        }
-        crow[j] = acc;
+        crow[j] += TreeReduce8(lanes);
       }
     }
   }
@@ -198,5 +180,52 @@ void GemmNTNaive(const float* a, const float* b, float* c, int m, int k, int n,
     }
   }
 }
+
+namespace {
+
+GemmSimdKernels ScalarKernels() {
+  return {&GemmNNScalar, &GemmTNScalar, &GemmNTScalar, "scalar"};
+}
+
+}  // namespace
+
+GemmSimdKernels SelectGemmImpl(const CpuFeatures& features,
+                               bool force_scalar) {
+  if (!force_scalar) {
+    // Widest compiled-in ISA the host supports wins. Every candidate
+    // implements the identical canonical order, so this choice can never
+    // change a result bit — only wall-clock.
+    if (features.avx2) {
+      if (const GemmSimdKernels* kernels = GetGemmKernelsAvx2()) {
+        return *kernels;
+      }
+    }
+    if (features.sse2) {
+      if (const GemmSimdKernels* kernels = GetGemmKernelsSse2()) {
+        return *kernels;
+      }
+    }
+    if (features.neon) {
+      if (const GemmSimdKernels* kernels = GetGemmKernelsNeon()) {
+        return *kernels;
+      }
+    }
+  }
+  return ScalarKernels();
+}
+
+GemmSimdKernels ResolveGemmImplFromEnv() {
+  const char* force = std::getenv("KDDN_FORCE_SCALAR_GEMM");
+  const bool force_scalar =
+      force != nullptr && force[0] != '\0' && std::strcmp(force, "0") != 0;
+  return SelectGemmImpl(CpuFeaturesDetected(), force_scalar);
+}
+
+const GemmSimdKernels& ActiveGemmImpl() {
+  static const GemmSimdKernels impl = ResolveGemmImplFromEnv();
+  return impl;
+}
+
+const char* GemmIsaName() { return ActiveGemmImpl().isa; }
 
 }  // namespace kddn::detail

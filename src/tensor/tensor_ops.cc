@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
@@ -23,7 +25,7 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
                              << " vs " << b.ShapeString();
 }
 
-std::atomic<GemmKernel> g_gemm_kernel{GemmKernel::kBlocked};
+std::atomic<GemmKernel> g_gemm_kernel{GemmKernel::kAuto};
 
 /// Minimum multiply-accumulate count before a matmul fans out across the
 /// global pool; below this the fork/join overhead outweighs the work.
@@ -37,14 +39,20 @@ bool UseParallelMatMul(int64_t flops) {
   return flops >= kParallelMatMulFlops && GlobalThreadPool().num_threads() > 1;
 }
 
-using GemmFn = void (*)(const float*, const float*, float*, int, int, int, int,
-                        int);
+using GemmFn = detail::GemmFn;
+
+std::atomic<bool> g_gemm_timing_enabled{false};
+std::atomic<uint64_t> g_gemm_timing_calls{0};
+std::atomic<uint64_t> g_gemm_timing_ns{0};
 
 /// Runs `fn` over all m output rows, serial or row-blocked parallel.
 /// C must already be zero-filled (the kernels accumulate).
 void DispatchGemm(GemmFn fn, const float* a, const float* b, float* c, int m,
                   int k, int n) {
   KDDN_TRACE_SPAN("gemm.block");
+  const bool timing = g_gemm_timing_enabled.load(std::memory_order_relaxed);
+  const auto start = timing ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::time_point();
   if (UseParallelMatMul(int64_t{m} * k * n)) {
     GlobalThreadPool().ParallelForBlocked(
         m, /*min_block=*/1, [&](int64_t begin, int64_t end) {
@@ -54,24 +62,49 @@ void DispatchGemm(GemmFn fn, const float* a, const float* b, float* c, int m,
   } else {
     fn(a, b, c, m, k, n, 0, m);
   }
+  if (timing) {
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    g_gemm_timing_calls.fetch_add(1, std::memory_order_relaxed);
+    g_gemm_timing_ns.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count(),
+        std::memory_order_relaxed);
+  }
 }
 
 GemmFn PickNN() {
-  return g_gemm_kernel.load(std::memory_order_relaxed) == GemmKernel::kBlocked
-             ? detail::GemmNN
-             : detail::GemmNNNaive;
+  switch (g_gemm_kernel.load(std::memory_order_relaxed)) {
+    case GemmKernel::kScalar:
+      return detail::GemmNNScalar;
+    case GemmKernel::kNaive:
+      return detail::GemmNNNaive;
+    case GemmKernel::kAuto:
+      break;
+  }
+  return detail::ActiveGemmImpl().nn;
 }
 
 GemmFn PickTN() {
-  return g_gemm_kernel.load(std::memory_order_relaxed) == GemmKernel::kBlocked
-             ? detail::GemmTN
-             : detail::GemmTNNaive;
+  switch (g_gemm_kernel.load(std::memory_order_relaxed)) {
+    case GemmKernel::kScalar:
+      return detail::GemmTNScalar;
+    case GemmKernel::kNaive:
+      return detail::GemmTNNaive;
+    case GemmKernel::kAuto:
+      break;
+  }
+  return detail::ActiveGemmImpl().tn;
 }
 
 GemmFn PickNT() {
-  return g_gemm_kernel.load(std::memory_order_relaxed) == GemmKernel::kBlocked
-             ? detail::GemmNT
-             : detail::GemmNTNaive;
+  switch (g_gemm_kernel.load(std::memory_order_relaxed)) {
+    case GemmKernel::kScalar:
+      return detail::GemmNTScalar;
+    case GemmKernel::kNaive:
+      return detail::GemmNTNaive;
+    case GemmKernel::kAuto:
+      break;
+  }
+  return detail::ActiveGemmImpl().nt;
 }
 
 /// Reshapes `*out` to `shape` reusing its storage (no data preserved), then
@@ -113,6 +146,13 @@ MatMulDims CheckMatMulABt(const Tensor& a, const Tensor& b) {
   return {a.dim(0), a.dim(1), b.dim(0)};
 }
 
+// Deliberately scalar — not routed through the GEMM lane-split helpers
+// (DESIGN.md §9). The row max is a sequential std::max chain whose NaN
+// semantics (first operand wins) differ from vector min/max lane rules, so a
+// lane-split max is not bitwise-safe in general; and the exp sum accumulates
+// in double precision, where an 8-way float-style lane split would change
+// both the type and the rounding of every partial. Neither loop is on the
+// GEMM-dominated hot path: exp() dwarfs both.
 void SoftmaxRowsImpl(const Tensor& a, Tensor* out) {
   const int m = a.dim(0), n = a.dim(1);
   const float* ap = a.data();
@@ -145,6 +185,34 @@ void SetGemmKernel(GemmKernel kernel) {
 
 GemmKernel GetGemmKernel() {
   return g_gemm_kernel.load(std::memory_order_relaxed);
+}
+
+const char* GemmKernelName(GemmKernel kernel) {
+  switch (kernel) {
+    case GemmKernel::kScalar:
+      return "scalar";
+    case GemmKernel::kNaive:
+      return "naive";
+    case GemmKernel::kAuto:
+      break;
+  }
+  return "auto";
+}
+
+const char* ActiveGemmIsa() { return detail::GemmIsaName(); }
+
+void SetGemmTimingEnabled(bool enabled) {
+  g_gemm_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void ResetGemmTiming() {
+  g_gemm_timing_calls.store(0, std::memory_order_relaxed);
+  g_gemm_timing_ns.store(0, std::memory_order_relaxed);
+}
+
+GemmTimingStats GetGemmTiming() {
+  return {g_gemm_timing_calls.load(std::memory_order_relaxed),
+          g_gemm_timing_ns.load(std::memory_order_relaxed)};
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -196,6 +264,9 @@ Tensor Transpose(const Tensor& a) {
   Tensor out = TensorPool::ThreadLocal().AcquireUninit({n, m});
   const float* ap = a.data();
   float* op = out.data();
+  // Pure data movement: there is no accumulation here, so the lane-split
+  // order contract is vacuous and any vectorisation is trivially bitwise-
+  // safe — the compiler's auto-vectoriser is free to (and does) use it.
   // Square tiling keeps one side of the scattered accesses cache-resident;
   // 32x32 float tiles are 4 KiB from each matrix.
   constexpr int kTile = 32;

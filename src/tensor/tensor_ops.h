@@ -7,17 +7,50 @@
 namespace kddn {
 
 /// Which GEMM implementation the three MatMul entry points dispatch to.
-/// kBlocked is the production cache-blocked path; kNaive retains the original
-/// element-at-a-time loops (with their data-dependent zero skip) as a
-/// reference for bitwise-equivalence tests and as the "before" baseline of
-/// the training microbench. Both give bitwise-identical results on finite
-/// inputs; see src/tensor/gemm.h for the argument.
-enum class GemmKernel { kBlocked, kNaive };
+///
+///  - kAuto (default): the blocked SIMD kernels, selected once per process
+///    by runtime CPU-feature detection (AVX2 > SSE2 > NEON, falling back to
+///    the scalar lane-faithful reference; the KDDN_FORCE_SCALAR_GEMM
+///    environment variable forces the fallback).
+///  - kScalar: the scalar lane-faithful reference — plain C++ emulating the
+///    identical canonical accumulation order, so its results are bitwise
+///    equal to kAuto on every host, with or without the ISA.
+///  - kNaive: the original element-at-a-time loops (with their
+///    data-dependent zero skip), kept as the "before" wall-clock baseline of
+///    the training microbench. Matches the canonical order for the NN/TN
+///    forms on finite inputs, but NOT for the A*B^T form (whose canonical
+///    order is the lane-split reduction); see src/tensor/gemm.h.
+enum class GemmKernel { kAuto, kScalar, kNaive };
 
-/// Sets the process-wide GEMM dispatch mode (atomic; default kBlocked).
+/// Sets the process-wide GEMM dispatch mode (atomic; default kAuto).
 /// Intended for tests and benchmarks, not concurrent flipping mid-training.
 void SetGemmKernel(GemmKernel kernel);
 GemmKernel GetGemmKernel();
+
+/// Lowercase name of the dispatch mode: "auto", "scalar", or "naive".
+const char* GemmKernelName(GemmKernel kernel);
+
+/// Name of the kernel set kAuto dispatches to on this host ("avx2", "sse2",
+/// "neon", or "scalar"), resolved once per process. Surfaced through
+/// `GET /v1/stats` and the microbench JSON so hosts report what they run.
+const char* ActiveGemmIsa();
+
+/// Opt-in GEMM wall-clock accounting. The training microbench uses this to
+/// measure the GEMM share of a real run in situ: `blocked_gemm_speedup` in
+/// BENCH_train.json is the ratio of accumulated GEMM nanoseconds between
+/// kernel modes on the identical workload, undiluted by the non-GEMM epoch
+/// cost. Disabled (the default) it costs one relaxed atomic load per matmul
+/// — the same fast-path budget as a disabled trace span. Enabled it adds two
+/// steady_clock reads around each dispatch (tens of ns against multi-µs
+/// kernels). Counters are process-wide and atomically accumulated, so
+/// concurrent matmuls from pool workers are counted correctly.
+struct GemmTimingStats {
+  uint64_t calls = 0;
+  uint64_t total_ns = 0;
+};
+void SetGemmTimingEnabled(bool enabled);
+void ResetGemmTiming();
+GemmTimingStats GetGemmTiming();
 
 /// Matrix product A[m,k] * B[k,n] -> [m,n].
 Tensor MatMul(const Tensor& a, const Tensor& b);

@@ -1,16 +1,28 @@
-// Performance-architecture tests (DESIGN.md §9): the cache-blocked GEMM
-// kernels must match the retained naive reference bitwise at awkward shapes,
-// the TensorPool must recycle storage without leaking stale bytes into
-// results, the row tracker must obey its marking rules, and — the end-to-end
-// guarantee — row-sparse embedding updates must train to bitwise-identical
-// weights as the dense path at any thread count.
+// Performance-architecture tests (DESIGN.md §9): the runtime-dispatched SIMD
+// GEMM kernels must match the scalar lane-faithful reference bitwise at every
+// awkward shape, lane remainder, thread count, and special-value pattern; the
+// dispatch logic must pick the widest compiled-in ISA and honour the
+// force-scalar override; the TensorPool must recycle storage without leaking
+// stale bytes into results; the row tracker must obey its marking rules; and
+// — the end-to-end guarantees — row-sparse embedding updates must train to
+// bitwise-identical weights as the dense path at any thread count, and a
+// checkpoint written under the scalar kernel must resume bitwise-identically
+// under the SIMD kernel.
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "autograd/node.h"
 #include "autograd/ops.h"
+#include "common/check.h"
+#include "common/cpu_features.h"
+#include "common/fault_injector.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/trainer.h"
 #include "data/dataset.h"
 #include "gtest/gtest.h"
@@ -19,6 +31,7 @@
 #include "models/bk_ddn.h"
 #include "nn/optimizer.h"
 #include "synth/cohort.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/tensor_pool.h"
 
@@ -37,6 +50,19 @@ struct SparseModeGuard {
   ~SparseModeGuard() { ag::SetSparseGradients(previous); }
 };
 
+/// Restores the global thread pool size on scope exit.
+struct ThreadPoolGuard {
+  int previous = GlobalThreadPoolSize();
+  ~ThreadPoolGuard() { SetGlobalThreadPoolSize(previous); }
+};
+
+/// A fresh scratch directory under the test temp dir.
+std::string ScratchDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "kddn_perf_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
 void ExpectBitwiseEqual(const Tensor& a, const Tensor& b,
                         const std::string& what) {
   ASSERT_TRUE(a.SameShape(b)) << what;
@@ -44,10 +70,25 @@ void ExpectBitwiseEqual(const Tensor& a, const Tensor& b,
       << what;
 }
 
+/// Runs all three matmul forms under the given kernel mode.
+struct GemmResults {
+  Tensor nn, nt, tn;
+};
+
+GemmResults RunAllForms(GemmKernel kernel, const Tensor& a, const Tensor& b,
+                        const Tensor& bt, const Tensor& at) {
+  SetGemmKernel(kernel);
+  return {MatMul(a, b), MatMulABt(a, bt), MatMulAtB(at, b)};
+}
+
 /// Sweeps sub-tile, prime, and just-past-tile extents through all three
-/// matmul forms, comparing the blocked kernels to the naive reference
-/// bitwise. 256 and 301 in the k sweep cross the kGemmKc chunk boundary.
-TEST(GemmKernelTest, BlockedMatchesNaiveBitwiseAcrossShapes) {
+/// matmul forms. The dispatched SIMD kernels (kAuto) must match the scalar
+/// lane-faithful reference (kScalar) bitwise everywhere; the NN and TN forms
+/// must additionally match the retained naive loops, whose plain ascending-k
+/// chain IS their canonical order on finite inputs. (The NT form's canonical
+/// order is the lane-split reduction, so naive NT is intentionally not
+/// comparable.) 256 and 301 in the k sweep cross the kGemmKc chunk boundary.
+TEST(GemmKernelTest, SimdMatchesScalarReferenceAcrossShapes) {
   GemmKernelGuard guard;
   Rng rng(123);
   const std::vector<int> extents = {1, 2, 3, 7, 17, 64, 65};
@@ -61,25 +102,131 @@ TEST(GemmKernelTest, BlockedMatchesNaiveBitwiseAcrossShapes) {
         const Tensor b = RandomNormal({k, n}, 0, 1, &rng);
         const Tensor bt = RandomNormal({n, k}, 0, 1, &rng);
         const Tensor at = RandomNormal({k, m}, 0, 1, &rng);
-        SetGemmKernel(GemmKernel::kNaive);
-        const Tensor naive_nn = MatMul(a, b);
-        const Tensor naive_nt = MatMulABt(a, bt);
-        const Tensor naive_tn = MatMulAtB(at, b);
-        SetGemmKernel(GemmKernel::kBlocked);
+        const GemmResults naive = RunAllForms(GemmKernel::kNaive, a, b, bt, at);
+        const GemmResults scalar =
+            RunAllForms(GemmKernel::kScalar, a, b, bt, at);
+        const GemmResults simd = RunAllForms(GemmKernel::kAuto, a, b, bt, at);
         const std::string shape = " at m=" + std::to_string(m) +
                                   " k=" + std::to_string(k) +
                                   " n=" + std::to_string(n);
-        ExpectBitwiseEqual(MatMul(a, b), naive_nn, "MatMul" + shape);
-        ExpectBitwiseEqual(MatMulABt(a, bt), naive_nt, "MatMulABt" + shape);
-        ExpectBitwiseEqual(MatMulAtB(at, b), naive_tn, "MatMulAtB" + shape);
+        ExpectBitwiseEqual(simd.nn, scalar.nn, "simd MatMul" + shape);
+        ExpectBitwiseEqual(simd.nt, scalar.nt, "simd MatMulABt" + shape);
+        ExpectBitwiseEqual(simd.tn, scalar.tn, "simd MatMulAtB" + shape);
+        ExpectBitwiseEqual(scalar.nn, naive.nn, "naive MatMul" + shape);
+        ExpectBitwiseEqual(scalar.tn, naive.tn, "naive MatMulAtB" + shape);
       }
     }
   }
 }
 
+/// The lane-remainder sweep: every k tail length against kGemmLanes (1 ..
+/// 2*lanes+1), primes, and the kGemmKc chunk boundary (kc-1, kc, kc+1,
+/// 2*kc+3), at 1, 2 and 4 pool threads. The accumulation order is a property
+/// of the shape alone, so the dispatched kernel must reproduce the scalar
+/// reference bitwise at every (k, threads) point, and the reference must
+/// reproduce itself across thread counts. At m=n=64 the larger k values
+/// clear the parallel-matmul FLOP threshold, so threads>1 genuinely split
+/// the row range.
+TEST(GemmKernelTest, LaneRemainderSweepAcrossThreads) {
+  GemmKernelGuard guard;
+  ThreadPoolGuard pool_guard;
+  Rng rng(777);
+  std::vector<int> k_extents;
+  for (int k = 1; k <= 2 * detail::kGemmLanes + 1; ++k) {
+    k_extents.push_back(k);  // 1 .. 17: every remainder class, twice.
+  }
+  for (int k : {19, 23, 29, 31, detail::kGemmKc - 1, detail::kGemmKc,
+                detail::kGemmKc + 1, 2 * detail::kGemmKc + 3}) {
+    k_extents.push_back(k);
+  }
+  const int m = 64, n = 64;
+  for (int k : k_extents) {
+    const Tensor a = RandomNormal({m, k}, 0, 1, &rng);
+    const Tensor b = RandomNormal({k, n}, 0, 1, &rng);
+    const Tensor bt = RandomNormal({n, k}, 0, 1, &rng);
+    const Tensor at = RandomNormal({k, m}, 0, 1, &rng);
+    SetGlobalThreadPoolSize(1);
+    const GemmResults ref = RunAllForms(GemmKernel::kScalar, a, b, bt, at);
+    for (int threads : {1, 2, 4}) {
+      SetGlobalThreadPoolSize(threads);
+      const std::string where =
+          " at k=" + std::to_string(k) + " threads=" + std::to_string(threads);
+      const GemmResults scalar =
+          RunAllForms(GemmKernel::kScalar, a, b, bt, at);
+      ExpectBitwiseEqual(scalar.nn, ref.nn, "scalar MatMul" + where);
+      ExpectBitwiseEqual(scalar.nt, ref.nt, "scalar MatMulABt" + where);
+      ExpectBitwiseEqual(scalar.tn, ref.tn, "scalar MatMulAtB" + where);
+      const GemmResults simd = RunAllForms(GemmKernel::kAuto, a, b, bt, at);
+      ExpectBitwiseEqual(simd.nn, ref.nn, "simd MatMul" + where);
+      ExpectBitwiseEqual(simd.nt, ref.nt, "simd MatMulABt" + where);
+      ExpectBitwiseEqual(simd.tn, ref.tn, "simd MatMulAtB" + where);
+    }
+  }
+}
+
+/// Element-wise comparison for the special-values test: every non-NaN
+/// result must agree bit-for-bit (signed zeros and infinities included),
+/// and NaN-ness must agree — but NaN *payloads* are exempt. They are the
+/// one thing the kernels cannot contract: C++ lets the compiler commute
+/// `a * b`, and x86's mul/add return the payload of whichever NaN operand
+/// comes first, so identical operation *orders* can still surface different
+/// payload bits. Nothing downstream reads payloads.
+void ExpectBitwiseEqualModuloNanPayload(const Tensor& a, const Tensor& b,
+                                        const std::string& what) {
+  ASSERT_TRUE(a.SameShape(b)) << what;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const float x = a.data()[i];
+    const float y = b.data()[i];
+    if (std::isnan(x) || std::isnan(y)) {
+      EXPECT_TRUE(std::isnan(x) && std::isnan(y))
+          << what << ": NaN-ness differs at " << i << " (" << x << " vs " << y
+          << ")";
+    } else {
+      EXPECT_EQ(std::memcmp(&x, &y, sizeof(float)), 0)
+          << what << ": bits differ at " << i << " (" << x << " vs " << y
+          << ")";
+    }
+  }
+}
+
+/// Special values: signed zeros, denormals, infinities and NaNs sprinkled
+/// through both operands. The SIMD kernels execute the same IEEE operations
+/// in the same order as the scalar reference, so results must agree
+/// bit-for-bit except for NaN payloads (see above).
+TEST(GemmKernelTest, SpecialValuesMatchScalarBitwise) {
+  GemmKernelGuard guard;
+  Rng rng(2024);
+  const int m = 9, k = 300, n = 11;  // k crosses the kGemmKc chunk boundary.
+  Tensor a = RandomNormal({m, k}, 0, 1, &rng);
+  Tensor b = RandomNormal({k, n}, 0, 1, &rng);
+  Tensor bt = RandomNormal({n, k}, 0, 1, &rng);
+  Tensor at = RandomNormal({k, m}, 0, 1, &rng);
+  const float specials[] = {0.0f, -0.0f, 1e-42f, -1e-42f, INFINITY,
+                            -INFINITY, NAN};
+  constexpr int kNumSpecials = 7;
+  auto sprinkle = [&](Tensor* t, int phase) {
+    for (int64_t i = phase; i < t->size(); i += 5) {
+      t->data()[i] = specials[(i / 5 + phase) % kNumSpecials];
+    }
+  };
+  sprinkle(&a, 0);
+  sprinkle(&b, 1);
+  sprinkle(&bt, 2);
+  sprinkle(&at, 3);
+  const GemmResults scalar = RunAllForms(GemmKernel::kScalar, a, b, bt, at);
+  const GemmResults simd = RunAllForms(GemmKernel::kAuto, a, b, bt, at);
+  ExpectBitwiseEqualModuloNanPayload(simd.nn, scalar.nn,
+                                     "special-value MatMul");
+  ExpectBitwiseEqualModuloNanPayload(simd.nt, scalar.nt,
+                                     "special-value MatMulABt");
+  ExpectBitwiseEqualModuloNanPayload(simd.tn, scalar.tn,
+                                     "special-value MatMulAtB");
+}
+
 /// Zeros scattered through the operands exercise the one arithmetic
-/// difference between the kernels: the naive loops skip zero multiplicands,
-/// the blocked ones multiply through. Adding a*0 must not change any bit.
+/// difference between the production kernels and the naive loops: naive
+/// skips zero multiplicands, the others multiply through. Adding a*0 must
+/// not change any bit of an NN result.
 TEST(GemmKernelTest, ZeroRichOperandsStillMatchBitwise) {
   GemmKernelGuard guard;
   Rng rng(321);
@@ -93,8 +240,10 @@ TEST(GemmKernelTest, ZeroRichOperandsStillMatchBitwise) {
   }
   SetGemmKernel(GemmKernel::kNaive);
   const Tensor naive = MatMul(a, b);
-  SetGemmKernel(GemmKernel::kBlocked);
-  ExpectBitwiseEqual(MatMul(a, b), naive, "zero-rich MatMul");
+  SetGemmKernel(GemmKernel::kScalar);
+  ExpectBitwiseEqual(MatMul(a, b), naive, "zero-rich scalar MatMul");
+  SetGemmKernel(GemmKernel::kAuto);
+  ExpectBitwiseEqual(MatMul(a, b), naive, "zero-rich simd MatMul");
 }
 
 TEST(GemmKernelTest, IntoVariantsMatchAllocatingForms) {
@@ -112,6 +261,137 @@ TEST(GemmKernelTest, IntoVariantsMatchAllocatingForms) {
   ExpectBitwiseEqual(out, MatMulAtB(at, b), "MatMulAtBInto");
   SoftmaxRowsInto(&out, a);
   ExpectBitwiseEqual(out, SoftmaxRows(a), "SoftmaxRowsInto");
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch logic: pure selection over synthetic feature sets, the env
+// override, and the names surfaced through /v1/stats and the microbench.
+// ---------------------------------------------------------------------------
+
+bool IsKnownIsa(const char* isa) {
+  return std::strcmp(isa, "avx2") == 0 || std::strcmp(isa, "sse2") == 0 ||
+         std::strcmp(isa, "neon") == 0 || std::strcmp(isa, "scalar") == 0;
+}
+
+TEST(GemmDispatchTest, SelectsWidestCompiledIsa) {
+  CpuFeatures f;  // All false: nothing supported -> scalar, unconditionally.
+  EXPECT_STREQ(detail::SelectGemmImpl(f, false).isa, "scalar");
+
+  f.avx2 = f.sse2 = true;
+  const detail::GemmSimdKernels wide = detail::SelectGemmImpl(f, false);
+  if (detail::GetGemmKernelsAvx2() != nullptr) {
+    EXPECT_STREQ(wide.isa, "avx2");
+  } else if (detail::GetGemmKernelsSse2() != nullptr) {
+    EXPECT_STREQ(wide.isa, "sse2");
+  } else {
+    EXPECT_STREQ(wide.isa, "scalar");
+  }
+
+  CpuFeatures sse_only;
+  sse_only.sse2 = true;  // AVX2 claimed absent: must not pick avx2.
+  const detail::GemmSimdKernels narrow = detail::SelectGemmImpl(sse_only, false);
+  EXPECT_TRUE(std::strcmp(narrow.isa, "sse2") == 0 ||
+              std::strcmp(narrow.isa, "scalar") == 0)
+      << narrow.isa;
+
+  CpuFeatures arm;
+  arm.neon = true;
+  const detail::GemmSimdKernels neon = detail::SelectGemmImpl(arm, false);
+  EXPECT_TRUE(std::strcmp(neon.isa, "neon") == 0 ||
+              std::strcmp(neon.isa, "scalar") == 0)
+      << neon.isa;
+
+  // Every selection returns a complete kernel set.
+  for (const auto& impl : {wide, narrow, neon}) {
+    EXPECT_NE(impl.nn, nullptr);
+    EXPECT_NE(impl.tn, nullptr);
+    EXPECT_NE(impl.nt, nullptr);
+  }
+}
+
+TEST(GemmDispatchTest, ForceScalarOverridesEveryFeatureSet) {
+  CpuFeatures f;
+  f.avx2 = f.sse2 = f.neon = true;
+  EXPECT_STREQ(detail::SelectGemmImpl(f, true).isa, "scalar");
+}
+
+TEST(GemmDispatchTest, EnvResolverHonoursForceScalar) {
+  const char* saved = std::getenv("KDDN_FORCE_SCALAR_GEMM");
+  const std::string restore = saved != nullptr ? saved : "";
+
+  ::setenv("KDDN_FORCE_SCALAR_GEMM", "1", /*overwrite=*/1);
+  EXPECT_STREQ(detail::ResolveGemmImplFromEnv().isa, "scalar");
+
+  // "0" and empty mean "no override": resolve to the host's best ISA.
+  const char* best =
+      detail::SelectGemmImpl(CpuFeaturesDetected(), false).isa;
+  ::setenv("KDDN_FORCE_SCALAR_GEMM", "0", /*overwrite=*/1);
+  EXPECT_STREQ(detail::ResolveGemmImplFromEnv().isa, best);
+  ::setenv("KDDN_FORCE_SCALAR_GEMM", "", /*overwrite=*/1);
+  EXPECT_STREQ(detail::ResolveGemmImplFromEnv().isa, best);
+
+  if (saved != nullptr) {
+    ::setenv("KDDN_FORCE_SCALAR_GEMM", restore.c_str(), /*overwrite=*/1);
+  } else {
+    ::unsetenv("KDDN_FORCE_SCALAR_GEMM");
+  }
+}
+
+TEST(GemmDispatchTest, ActiveIsaIsAKnownNameAndStable) {
+  // ActiveGemmImpl resolves once per process (possibly under the
+  // KDDN_FORCE_SCALAR_GEMM override the forced-scalar ctest variant sets),
+  // so assert membership and stability rather than a specific ISA.
+  ASSERT_NE(ActiveGemmIsa(), nullptr);
+  EXPECT_TRUE(IsKnownIsa(ActiveGemmIsa())) << ActiveGemmIsa();
+  EXPECT_STREQ(ActiveGemmIsa(), detail::GemmIsaName());
+  EXPECT_STREQ(ActiveGemmIsa(), detail::ActiveGemmImpl().isa);
+}
+
+TEST(GemmDispatchTest, KernelModeNames) {
+  EXPECT_STREQ(GemmKernelName(GemmKernel::kAuto), "auto");
+  EXPECT_STREQ(GemmKernelName(GemmKernel::kScalar), "scalar");
+  EXPECT_STREQ(GemmKernelName(GemmKernel::kNaive), "naive");
+}
+
+TEST(GemmDispatchTest, TimingAccumulatorCountsOnlyWhenEnabled) {
+  Rng rng(31);
+  const Tensor a = RandomNormal({8, 24}, 0, 1, &rng);
+  const Tensor b = RandomNormal({24, 8}, 0, 1, &rng);
+  ResetGemmTiming();
+  MatMul(a, b);  // Disabled (the default): must not count.
+  EXPECT_EQ(GetGemmTiming().calls, 0u);
+  SetGemmTimingEnabled(true);
+  MatMul(a, b);
+  MatMul(a, b);
+  SetGemmTimingEnabled(false);
+  const GemmTimingStats stats = GetGemmTiming();
+  EXPECT_EQ(stats.calls, 2u);
+  EXPECT_GT(stats.total_ns, 0u);
+  MatMul(a, b);  // Disabled again: frozen.
+  EXPECT_EQ(GetGemmTiming().calls, 2u);
+  ResetGemmTiming();
+  EXPECT_EQ(GetGemmTiming().calls, 0u);
+  EXPECT_EQ(GetGemmTiming().total_ns, 0u);
+}
+
+TEST(CpuFeaturesTest, DetectionIsCachedAndSelfConsistent) {
+  const CpuFeatures& first = CpuFeaturesDetected();
+  const CpuFeatures& second = CpuFeaturesDetected();
+  EXPECT_EQ(&first, &second);  // One detection per process.
+#if defined(__x86_64__) || defined(_M_X64)
+  EXPECT_TRUE(first.sse2);  // Architectural baseline on x86-64.
+  // Feature implications the decode must preserve.
+  if (first.avx2) {
+    EXPECT_TRUE(first.avx);
+  }
+  if (first.fma) {
+    EXPECT_TRUE(first.avx);
+  }
+#endif
+#if defined(__aarch64__)
+  EXPECT_TRUE(first.neon);  // Mandatory in AArch64.
+#endif
+  EXPECT_FALSE(CpuFeaturesSummary(first).empty());
 }
 
 TEST(TensorPoolTest, RecycledStorageIsReusedAndRezeroed) {
@@ -207,12 +487,11 @@ TEST(SparseAdagradTest, StepBitwiseEqualToDense) {
   }
 }
 
-/// End-to-end golden: BK-DDN trained with sparse embedding updates must
-/// reach bitwise-identical weights as the dense path, at 1 and 4 threads
-/// (the GradSink merge/reset paths differ per thread count).
-class SparseTrainingEquivalenceTest : public ::testing::Test {
+/// Shared training fixture for the end-to-end goldens: sparse-vs-dense
+/// equivalence and cross-kernel checkpoint resume.
+class TrainingEquivalenceTest : public ::testing::Test {
  protected:
-  SparseTrainingEquivalenceTest()
+  TrainingEquivalenceTest()
       : kb_(kb::KnowledgeBase::BuildDefault()), extractor_(&kb_) {
     synth::CohortConfig config;
     config.num_patients = 120;
@@ -224,14 +503,18 @@ class SparseTrainingEquivalenceTest : public ::testing::Test {
     dataset_ = data::MortalityDataset::Build(cohort_, extractor_, options);
   }
 
-  std::vector<Tensor> TrainOnce(bool sparse, int num_threads) {
+  models::ModelConfig Config() const {
     models::ModelConfig config;
     config.word_vocab_size = dataset_.word_vocab().size();
     config.concept_vocab_size = dataset_.concept_vocab().size();
     config.embedding_dim = 6;
     config.num_filters = 4;
     config.seed = 17;
-    models::BkDdn model(config);
+    return config;
+  }
+
+  std::vector<Tensor> TrainOnce(bool sparse, int num_threads) {
+    models::BkDdn model(Config());
     core::TrainOptions options;
     options.epochs = 2;
     options.batch_size = 16;
@@ -254,7 +537,10 @@ class SparseTrainingEquivalenceTest : public ::testing::Test {
   data::MortalityDataset dataset_;
 };
 
-TEST_F(SparseTrainingEquivalenceTest, SparseMatchesDenseBitwise) {
+/// End-to-end golden: BK-DDN trained with sparse embedding updates must
+/// reach bitwise-identical weights as the dense path, at 1 and 4 threads
+/// (the GradSink merge/reset paths differ per thread count).
+TEST_F(TrainingEquivalenceTest, SparseMatchesDenseBitwise) {
   const std::vector<Tensor> golden = TrainOnce(/*sparse=*/false,
                                                /*num_threads=*/1);
   ASSERT_FALSE(golden.empty());
@@ -274,6 +560,62 @@ TEST_F(SparseTrainingEquivalenceTest, SparseMatchesDenseBitwise) {
             << ", threads=" << threads << ")";
       }
     }
+  }
+}
+
+/// Cross-kernel resume golden: a checkpoint written while training under the
+/// scalar lane-faithful reference must resume under the dispatched SIMD
+/// kernel and land on exactly the weights of a run that used the SIMD kernel
+/// throughout. This is the determinism contract's payoff in production: a
+/// snapshot can migrate between hosts (or builds) with different ISAs and
+/// training history never forks.
+TEST_F(TrainingEquivalenceTest, ScalarCheckpointResumesBitwiseUnderSimd) {
+  GemmKernelGuard guard;
+  const auto& train = dataset_.train();
+  const auto& validation = dataset_.validation();
+  const synth::Horizon horizon = synth::Horizon::kInHospital;
+
+  core::TrainOptions options;
+  options.epochs = 4;
+  options.batch_size = 16;
+  options.seed = 13;
+  options.num_threads = 1;
+
+  // Reference: the whole run under the dispatched kernel.
+  SetGemmKernel(GemmKernel::kAuto);
+  models::BkDdn straight(Config());
+  core::Trainer(options).Train(&straight, train, validation, horizon);
+
+  // Epochs 1-2 under the scalar reference, "crash" at the start of epoch 3.
+  core::TrainOptions checkpointed = options;
+  checkpointed.checkpoint_dir = ScratchDir("cross_kernel_resume");
+  SetGemmKernel(GemmKernel::kScalar);
+  {
+    FaultInjector::ScopedFault kill("core.train.epoch", /*fail_on_hit=*/2);
+    models::BkDdn crashed(Config());
+    EXPECT_THROW(core::Trainer(checkpointed)
+                     .Train(&crashed, train, validation, horizon),
+                 KddnError);
+  }
+  ASSERT_TRUE(std::filesystem::exists(
+      core::CheckpointPath(checkpointed.checkpoint_dir)));
+
+  // Resume epochs 3-4 under the SIMD kernel.
+  SetGemmKernel(GemmKernel::kAuto);
+  checkpointed.resume = true;
+  models::BkDdn resumed(Config());
+  core::Trainer(checkpointed).Train(&resumed, train, validation, horizon);
+
+  const auto& expected = straight.params().all();
+  const auto& actual = resumed.params().all();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    const Tensor& a = actual[i]->value();
+    const Tensor& e = expected[i]->value();
+    ASSERT_TRUE(a.SameShape(e));
+    EXPECT_EQ(std::memcmp(a.data(), e.data(), a.size() * sizeof(float)), 0)
+        << "parameter " << actual[i]->name()
+        << " forked across the kernel switch";
   }
 }
 
