@@ -35,9 +35,16 @@
 // build + train + serve run, and the frozen-forward zero-tensor-allocation
 // flag measured through alloc::AllocScope. Fails (exit 1) if the warm
 // forward allocates. Gated by scripts/check_bench.py.
+//
+// Run with --jobs_json[=path] to emit BENCH_jobs.json: the job-graph
+// executor's overlap speedup over the fork/join barrier schedule on a
+// staged pipeline at pool size 2 (plus steady-state jobs/sec across reused
+// generations), and the bitwise weight/curve identity of job-graph vs
+// legacy training (DESIGN.md §14). Gated by scripts/check_bench.py.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -48,6 +55,8 @@
 #include "autograd/ops.h"
 #include "baselines/lda.h"
 #include "common/alloc_tracker.h"
+#include "common/job_executor.h"
+#include "common/job_graph.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/trainer.h"
@@ -961,6 +970,220 @@ int RunTraceBench(const std::string& out_path) {
   return alloc_free ? 0 : 1;
 }
 
+/// SplitMix64 mixer for the jobs bench: fixed, unbalanced per-job spin
+/// lengths without touching any global RNG state.
+uint64_t JobsBenchMix(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Emits BENCH_jobs.json: the job-graph executor's headline numbers
+/// (DESIGN.md §14). Two measurements share the artifact:
+///
+///  * `overlap_speedup` — a staged pipeline (kStages dependent stages over
+///    kChains independent chains, unbalanced per-job durations) run two
+///    ways at pool size 2: the fork/join barrier way (one ParallelFor per
+///    stage, so every stage waits for the slowest job of the previous one)
+///    and as one reused job graph whose only edges are along each chain, so
+///    stage s of a fast chain overlaps stage s-1 of a slow one and the
+///    whole iteration costs one pool round-trip instead of kStages. The
+///    gain comes from removed synchronisation, so it holds even on a
+///    single-core host. `graph_matches_barrier_output` asserts both
+///    schedules produce identical bytes; `steady_state_jobs_per_sec` is the
+///    graph path's sustained rate across reused generations.
+///  * `weights_bitwise_identical` / `curves_bitwise_equal` — a BK-DDN
+///    training run on the job-graph path (assembly overlap on) against the
+///    legacy fork/join path, compared weight-by-weight and point-by-point.
+///    The determinism contract as a recorded artifact, gated by
+///    scripts/check_bench.py; `train_overlap_gain` is informational (on a
+///    single-core host it hovers near 1.0).
+int RunJobsBench(const std::string& out_path) {
+  // --- Overlap microbench: barrier vs graph at pool size 2 ----------------
+  SetGlobalThreadPoolSize(2);
+  // Deep and light on purpose: the quantity under test is schedule cost, so
+  // the pipeline is deeper than it is wide (12 barriers per iteration for
+  // the fork/join way, one pool round-trip for the graph) and each job spins
+  // only a few microseconds. Heavier jobs just dilute both schedules towards
+  // the same pure-work floor.
+  constexpr int kStages = 12;
+  constexpr int kChains = 16;
+  constexpr int kIterations = 50;
+  const auto spin_for = [](uint64_t iterations) {
+    volatile uint64_t sink = 0;
+    for (uint64_t i = 0; i < iterations; ++i) {
+      sink = sink + i;
+    }
+  };
+  // cells[s][c] = mix(cells[s-1][c] + job constant): every value depends on
+  // the whole chain above it, so any scheduling error changes the bytes.
+  std::vector<std::array<uint64_t, kChains>> cells(kStages);
+  const auto job_body = [&](int stage, int chain) {
+    const uint64_t salt =
+        JobsBenchMix(static_cast<uint64_t>(stage) * kChains + chain);
+    spin_for(salt % 2500);
+    const uint64_t upstream = stage == 0 ? 0 : cells[stage - 1][chain];
+    cells[stage][chain] = JobsBenchMix(upstream + salt);
+  };
+  const auto reset_cells = [&] {
+    for (auto& stage : cells) {
+      stage.fill(0);
+    }
+  };
+
+  reset_cells();
+  const double barrier_s = BestSeconds(5, [&] {
+    for (int iteration = 0; iteration < kIterations; ++iteration) {
+      for (int s = 0; s < kStages; ++s) {
+        GlobalThreadPool().ParallelFor(kChains, [&, s](int64_t c) {
+          job_body(s, static_cast<int>(c));
+        });
+      }
+    }
+  });
+  const std::vector<std::array<uint64_t, kChains>> barrier_cells = cells;
+
+  jobs::JobGraph graph;
+  std::array<jobs::JobId, kChains> previous{};
+  for (int s = 0; s < kStages; ++s) {
+    for (int c = 0; c < kChains; ++c) {
+      const jobs::JobId id =
+          graph.AddJob("bench.jobs.stage", [&, s, c] { job_body(s, c); });
+      if (s > 0) {
+        graph.AddEdge(previous[c], id);
+      }
+      previous[c] = id;
+    }
+  }
+  graph.Finalize();
+  jobs::JobExecutor executor(&GlobalThreadPool());
+  reset_cells();
+  const double graph_s = BestSeconds(5, [&] {
+    for (int iteration = 0; iteration < kIterations; ++iteration) {
+      executor.Run(&graph);
+    }
+  });
+  const bool outputs_identical = cells == barrier_cells;
+  const double overlap_speedup = barrier_s / graph_s;
+  const double jobs_per_sec =
+      static_cast<double>(kStages) * kChains * kIterations / graph_s;
+  std::printf("overlap barrier=%.4fs graph=%.4fs (%.2fx, %.0f jobs/s) "
+              "identical=%s\n",
+              barrier_s, graph_s, overlap_speedup, jobs_per_sec,
+              outputs_identical ? "yes" : "NO");
+
+  // --- Training determinism: job-graph path vs legacy fork/join -----------
+  auto kb = kb::KnowledgeBase::BuildDefault();
+  kb::ConceptExtractor extractor(&kb);
+  synth::CohortConfig cohort_config;
+  cohort_config.num_patients = 200;
+  cohort_config.seed = 33;
+  const synth::Cohort cohort = synth::Cohort::Generate(cohort_config, kb);
+  data::DatasetOptions data_options;
+  data_options.max_words = 64;
+  data_options.max_concepts = 32;
+  const data::MortalityDataset dataset =
+      data::MortalityDataset::Build(cohort, extractor, data_options);
+
+  models::ModelConfig model_config;
+  model_config.word_vocab_size = dataset.word_vocab().size();
+  model_config.concept_vocab_size = dataset.concept_vocab().size();
+  model_config.embedding_dim = 20;
+  model_config.num_filters = 50;
+  model_config.seed = 5;
+
+  core::TrainOptions base_options;
+  base_options.epochs = 3;
+  base_options.batch_size = 16;
+  base_options.num_threads = 2;
+  base_options.seed = 7;
+  const synth::Horizon horizon = synth::Horizon::kInHospital;
+
+  struct JobsMode {
+    const char* name;
+    bool use_job_graph;
+  };
+  const JobsMode modes[] = {
+      {"legacy_fork_join", false},
+      {"job_graph", true},
+  };
+  std::vector<double> train_s;
+  std::vector<std::vector<Tensor>> weights(2);
+  std::vector<std::vector<eval::CurvePoint>> curves(2);
+  for (int i = 0; i < 2; ++i) {
+    core::TrainOptions options = base_options;
+    options.use_job_graph = modes[i].use_job_graph;
+    train_s.push_back(BestSeconds(2, [&] {
+      models::BkDdn model(model_config);
+      core::Trainer trainer(options);
+      const eval::CurveRecorder recorder = trainer.Train(
+          &model, dataset.train(), dataset.validation(), horizon);
+      weights[i].clear();  // Reps are deterministic; keep the last copy.
+      for (const ag::NodePtr& param : model.params().all()) {
+        weights[i].push_back(param->value());
+      }
+      curves[i] = recorder.points();
+    }));
+    std::printf("%-18s %d epochs = %.3fs\n", modes[i].name,
+                base_options.epochs, train_s.back());
+  }
+  bool weights_identical = weights[1].size() == weights[0].size();
+  for (size_t p = 0; weights_identical && p < weights[0].size(); ++p) {
+    weights_identical =
+        weights[1][p].SameShape(weights[0][p]) &&
+        std::memcmp(weights[1][p].data(), weights[0][p].data(),
+                    weights[0][p].size() * sizeof(float)) == 0;
+  }
+  bool curves_equal = curves[1].size() == curves[0].size();
+  for (size_t p = 0; curves_equal && p < curves[0].size(); ++p) {
+    curves_equal = curves[1][p].epoch == curves[0][p].epoch &&
+                   curves[1][p].train_loss == curves[0][p].train_loss &&
+                   curves[1][p].validation_loss ==
+                       curves[0][p].validation_loss &&
+                   curves[1][p].validation_auc == curves[0][p].validation_auc;
+  }
+
+  const bool all_identical =
+      outputs_identical && weights_identical && curves_equal;
+  std::ofstream out(out_path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n";
+  WriteHostFields(out);
+  out << "  \"config\": {\"stages\": " << kStages
+      << ", \"chains\": " << kChains << ", \"iterations\": " << kIterations
+      << ", \"pool_threads\": 2, \"num_patients\": "
+      << cohort_config.num_patients
+      << ", \"batch_size\": " << base_options.batch_size
+      << ", \"epochs\": " << base_options.epochs
+      << ", \"train_num_threads\": " << base_options.num_threads << "},\n";
+  out << "  \"overlap_seconds\": {\"barrier\": " << barrier_s
+      << ", \"graph\": " << graph_s << "},\n";
+  out << "  \"overlap_speedup\": " << overlap_speedup << ",\n";
+  out << "  \"steady_state_jobs_per_sec\": " << jobs_per_sec << ",\n";
+  out << "  \"graph_matches_barrier_output\": "
+      << (outputs_identical ? "true" : "false") << ",\n";
+  out << "  \"train_seconds\": {";
+  for (int i = 0; i < 2; ++i) {
+    out << "\"" << modes[i].name << "\": " << train_s[i]
+        << (i < 1 ? ", " : "");
+  }
+  out << "},\n";
+  out << "  \"train_overlap_gain\": " << train_s[0] / train_s[1] << ",\n";
+  out << "  \"weights_bitwise_identical\": "
+      << (weights_identical ? "true" : "false") << ",\n";
+  out << "  \"curves_bitwise_equal\": " << (curves_equal ? "true" : "false")
+      << "\n";
+  out << "}\n";
+  std::printf("wrote %s (overlap %.2fx, weights bitwise=%s, curves=%s)\n",
+              out_path.c_str(), overlap_speedup,
+              weights_identical ? "yes" : "NO", curves_equal ? "yes" : "NO");
+  return all_identical ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace kddn
 
@@ -989,6 +1212,10 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--trace_json", 12) == 0) {
       const char* eq = std::strchr(argv[i], '=');
       return kddn::RunTraceBench(eq != nullptr ? eq + 1 : "BENCH_trace.json");
+    }
+    if (std::strncmp(argv[i], "--jobs_json", 11) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return kddn::RunJobsBench(eq != nullptr ? eq + 1 : "BENCH_jobs.json");
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -18,7 +18,9 @@
 // loaded snapshot behind the raw-note pipeline and serves POST /v1/score,
 // GET /v1/stats and GET /healthz until stdin closes. Admission control via
 // --http_max_queue (default 128) and --http_deadline_ms (default 250);
-// overload answers 429/503 with Retry-After. With --http_requests <n> the
+// overload answers 429/503 with Retry-After. --http_auth_token <secret>
+// requires `Authorization: Bearer <secret>` on POST /v1/admin/swap (401
+// otherwise); /healthz stays unauthenticated for probes. With --http_requests <n> the
 // in-process load generator measures the server instead (train, serve, and
 // load-test in one process) and exits:
 //
@@ -217,6 +219,9 @@ int main(int argc, char** argv) {
     serve::InferenceEngine engine(&frozen, pipeline, engine_options);
     serve::HttpServerOptions server_options;
     server_options.port = flags.GetInt("http_port", 0);
+    // Optional shared secret for the mutating admin surface; read-only
+    // endpoints (and /healthz probes) stay open either way.
+    server_options.auth_token = flags.GetString("http_auth_token", "");
     serve::HttpServer server(&engine, server_options);
     server.Start();
     std::printf("serving %s snapshot %016llx on http://127.0.0.1:%d "

@@ -9,8 +9,9 @@ number, so this guard checks only the properties every host must uphold:
   bitwise serving scores) must be true;
 * headline speedups that compare a before/after on the *same* host
   (BENCH_train.json total_speedup and blocked_gemm_speedup,
-  BENCH_pipeline.json end_to_end_speedup) must not drop below 1.0 — the
-  optimised path must never lose to the baseline it replaced;
+  BENCH_pipeline.json end_to_end_speedup, BENCH_jobs.json
+  overlap_speedup) must not drop below 1.0 — the optimised path must never
+  lose to the baseline it replaced;
 * the SIMD GEMM contract (DESIGN.md §9): the dispatched kernel must train
   bitwise-identically to the scalar lane-faithful reference
   (simd_vs_scalar_bitwise_identical) and the artifact must record which
@@ -161,6 +162,29 @@ def check_trace(errors, name, data):
                  f"stage_wall_ms[{stage!r}] missing or has zero spans")
 
 
+def check_jobs(errors, name, data):
+    # The job-graph executor's contract (DESIGN.md §14) on every host:
+    # determinism is a property of the graph, so job-graph training must be
+    # bitwise-identical to the legacy fork/join path, and the graph schedule
+    # of the staged pipeline must produce the barrier schedule's exact
+    # bytes. The overlap headline compares the two schedules on the same
+    # host at pool size 2 — the graph removes per-stage barriers, so it must
+    # never lose to the schedule it replaced (that holds even on a
+    # single-core host, where the gain is the removed synchronisation).
+    # train_overlap_gain is informational and not gated: with one core the
+    # trainer's assembly overlap can only break even.
+    require_flag(errors, name, data, "weights_bitwise_identical")
+    require_flag(errors, name, data, "curves_bitwise_equal")
+    require_flag(errors, name, data, "graph_matches_barrier_output")
+    require_speedup(errors, name, data, "overlap_speedup")
+    rate = data.get("steady_state_jobs_per_sec")
+    if not isinstance(rate, (int, float)) or rate <= 0:
+        fail(errors, name,
+             f"steady_state_jobs_per_sec = {rate!r}, expected > 0")
+    if "single_core_host" not in data:
+        fail(errors, name, "missing required field 'single_core_host'")
+
+
 def check_swap(errors, name, data):
     # The hot-swap story (DESIGN.md §13) must hold on every host: the swap
     # publishes under live load without failing a single request, every score
@@ -214,6 +238,7 @@ def main():
     check_artifact(errors, args.repo_root / "BENCH_http.json", check_http)
     check_artifact(errors, args.repo_root / "BENCH_trace.json", check_trace)
     check_artifact(errors, args.repo_root / "BENCH_swap.json", check_swap)
+    check_artifact(errors, args.repo_root / "BENCH_jobs.json", check_jobs)
 
     if errors:
         for error in errors:

@@ -1,0 +1,73 @@
+#include "common/job_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace kddn::jobs {
+
+JobId JobGraph::AddJob(const char* name, std::function<void()> fn) {
+  KDDN_CHECK(!finalized_) << "AddJob after Finalize";
+  KDDN_CHECK(name != nullptr) << "job name must be a static string";
+  Job& job = jobs_.emplace_back();
+  job.name = name;
+  job.fn = std::move(fn);
+  return static_cast<JobId>(jobs_.size() - 1);
+}
+
+void JobGraph::AddEdge(JobId before, JobId after) {
+  KDDN_CHECK(!finalized_) << "AddEdge after Finalize";
+  KDDN_CHECK_GE(before, 0);
+  KDDN_CHECK_LT(before, static_cast<JobId>(jobs_.size()));
+  KDDN_CHECK_GE(after, 0);
+  KDDN_CHECK_LT(after, static_cast<JobId>(jobs_.size()));
+  KDDN_CHECK_NE(before, after) << "self-edge on job " << jobs_[before].name;
+  jobs_[before].successors.push_back(after);
+  ++jobs_[after].initial_pending;
+}
+
+void JobGraph::Finalize() {
+  KDDN_CHECK(!finalized_) << "Finalize called twice";
+  roots_.clear();
+  topo_order_.clear();
+  topo_order_.reserve(jobs_.size());
+
+  // Kahn's algorithm over a copy of the indegrees. The frontier is kept
+  // sorted-by-insertion with ascending-id tie-break via a min-ordered scan:
+  // since AddJob ids are dense and we push new zero-indegree jobs as their
+  // last edge resolves, taking the smallest ready id each round yields one
+  // canonical order — the executor's inline path and any debugging replay
+  // both use it.
+  std::vector<int> pending(jobs_.size(), 0);
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    pending[i] = jobs_[i].initial_pending;
+  }
+  std::vector<JobId> ready;
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    if (pending[i] == 0) {
+      ready.push_back(static_cast<JobId>(i));
+      roots_.push_back(static_cast<JobId>(i));
+    }
+  }
+  // `ready` is maintained as a min-heap on the id so the order is canonical.
+  std::make_heap(ready.begin(), ready.end(), std::greater<JobId>());
+  while (!ready.empty()) {
+    std::pop_heap(ready.begin(), ready.end(), std::greater<JobId>());
+    const JobId id = ready.back();
+    ready.pop_back();
+    topo_order_.push_back(id);
+    for (const JobId succ : jobs_[id].successors) {
+      if (--pending[succ] == 0) {
+        ready.push_back(succ);
+        std::push_heap(ready.begin(), ready.end(), std::greater<JobId>());
+      }
+    }
+  }
+  KDDN_CHECK_EQ(topo_order_.size(), jobs_.size())
+      << "job graph contains a dependency cycle ("
+      << jobs_.size() - topo_order_.size() << " jobs unreachable)";
+  finalized_ = true;
+}
+
+}  // namespace kddn::jobs

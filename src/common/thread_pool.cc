@@ -84,6 +84,12 @@ void ThreadPool::WorkerLoop() {
 
 bool ThreadPool::InWorker() { return t_in_worker; }
 
+ThreadPool::ScopedWorkerMark::ScopedWorkerMark() : previous_(t_in_worker) {
+  t_in_worker = true;
+}
+
+ThreadPool::ScopedWorkerMark::~ScopedWorkerMark() { t_in_worker = previous_; }
+
 void ThreadPool::ParallelFor(int64_t count,
                              const std::function<void(int64_t)>& fn) {
   if (count <= 0) {

@@ -56,6 +56,25 @@ class ThreadPool {
   /// run nested parallel regions inline.
   static bool InWorker();
 
+  /// Marks the calling thread as a pool worker for the current scope, so
+  /// nested parallel regions (ParallelFor, jobs::JobExecutor::Run) run
+  /// inline. jobs::JobExecutor applies this to its scheduling lanes: a lane
+  /// may block waiting for ready jobs, so a job body must never fork/join
+  /// through the pool — it could deadlock against its own run's sleeping
+  /// lanes — and inlining nested regions is exactly the rule pool workers
+  /// already follow.
+  class ScopedWorkerMark {
+   public:
+    ScopedWorkerMark();
+    ~ScopedWorkerMark();
+
+    ScopedWorkerMark(const ScopedWorkerMark&) = delete;
+    ScopedWorkerMark& operator=(const ScopedWorkerMark&) = delete;
+
+   private:
+    bool previous_;
+  };
+
  private:
   void WorkerLoop();
 

@@ -19,6 +19,8 @@ struct Slot {
   std::atomic<const char*> name{nullptr};
   std::atomic<uint64_t> begin_ns{0};
   std::atomic<uint64_t> end_ns{0};
+  std::atomic<uint64_t> arg{0};
+  std::atomic<uint8_t> has_arg{0};
 };
 
 struct Ring {
@@ -30,12 +32,15 @@ struct Ring {
   std::atomic<uint64_t> count{0};
   Slot slots[internal::kRingCapacity];
 
-  void Record(const char* name, uint64_t begin_ns, uint64_t end_ns) {
+  void Record(const char* name, uint64_t begin_ns, uint64_t end_ns,
+              uint64_t arg_value, bool arg_present) {
     const uint64_t idx = count.load(std::memory_order_relaxed);
     Slot& slot = slots[idx & (internal::kRingCapacity - 1)];
     slot.name.store(name, std::memory_order_relaxed);
     slot.begin_ns.store(begin_ns, std::memory_order_relaxed);
     slot.end_ns.store(end_ns, std::memory_order_relaxed);
+    slot.arg.store(arg_value, std::memory_order_relaxed);
+    slot.has_arg.store(arg_present ? 1 : 0, std::memory_order_relaxed);
     count.store(idx + 1, std::memory_order_release);
   }
 };
@@ -99,16 +104,36 @@ Span::Span(const char* name) {
   begin_ns_ = NowNs();
 }
 
+Span::Span(const char* name, uint64_t arg) {
+  if (!g_enabled.load(std::memory_order_relaxed)) {
+    name_ = nullptr;
+    return;
+  }
+  name_ = name;
+  begin_ns_ = NowNs();
+  arg_ = arg;
+  has_arg_ = true;
+}
+
 Span::~Span() {
   if (name_ != nullptr) {
-    internal::RecordSpan(name_, begin_ns_, NowNs());
+    if (has_arg_) {
+      internal::RecordSpanArg(name_, begin_ns_, NowNs(), arg_);
+    } else {
+      internal::RecordSpan(name_, begin_ns_, NowNs());
+    }
   }
 }
 
 namespace internal {
 
 void RecordSpan(const char* name, uint64_t begin_ns, uint64_t end_ns) {
-  ThreadRing().Record(name, begin_ns, end_ns);
+  ThreadRing().Record(name, begin_ns, end_ns, 0, false);
+}
+
+void RecordSpanArg(const char* name, uint64_t begin_ns, uint64_t end_ns,
+                   uint64_t arg) {
+  ThreadRing().Record(name, begin_ns, end_ns, arg, true);
 }
 
 int CurrentThreadId() { return ThreadRing().tid; }
@@ -135,6 +160,8 @@ std::vector<ThreadSnapshot> Snapshot() {
       event.name = slot.name.load(std::memory_order_relaxed);
       event.begin_ns = slot.begin_ns.load(std::memory_order_relaxed);
       event.end_ns = slot.end_ns.load(std::memory_order_relaxed);
+      event.arg = slot.arg.load(std::memory_order_relaxed);
+      event.has_arg = slot.has_arg.load(std::memory_order_relaxed) != 0;
       if (event.name != nullptr) {
         snap.events.push_back(event);
       }
@@ -152,6 +179,8 @@ void Clear() {
       slot.name.store(nullptr, std::memory_order_relaxed);
       slot.begin_ns.store(0, std::memory_order_relaxed);
       slot.end_ns.store(0, std::memory_order_relaxed);
+      slot.arg.store(0, std::memory_order_relaxed);
+      slot.has_arg.store(0, std::memory_order_relaxed);
     }
     ring->count.store(0, std::memory_order_release);
   }
@@ -181,6 +210,8 @@ struct Marker {
   uint64_t other_ns;  // The span's opposite endpoint, for nesting tie-breaks.
   bool is_begin;
   int tid;
+  uint64_t arg = 0;     // Emitted on the B marker only.
+  bool has_arg = false;
 };
 
 // Chrome-trace nesting requires, at equal timestamps within a thread: ends
@@ -204,7 +235,11 @@ void AppendMarker(std::ostringstream* out, const Marker& marker, bool first) {
                 static_cast<double>(marker.ts_ns) / 1000.0);
   *out << "{\"name\":\"" << marker.name << "\",\"cat\":\"kddn\",\"ph\":\""
        << (marker.is_begin ? 'B' : 'E') << "\",\"ts\":" << ts
-       << ",\"pid\":1,\"tid\":" << marker.tid << "}";
+       << ",\"pid\":1,\"tid\":" << marker.tid;
+  if (marker.is_begin && marker.has_arg) {
+    *out << ",\"args\":{\"gen\":" << marker.arg << "}";
+  }
+  *out << "}";
 }
 
 }  // namespace
@@ -215,10 +250,10 @@ std::string ToChromeJson(const std::vector<ThreadSnapshot>& snapshot) {
   for (const ThreadSnapshot& thread : snapshot) {
     for (const SpanEvent& event : thread.events) {
       min_ns = std::min(min_ns, event.begin_ns);
-      markers.push_back(
-          {event.name, event.begin_ns, event.end_ns, true, thread.tid});
-      markers.push_back(
-          {event.name, event.end_ns, event.begin_ns, false, thread.tid});
+      markers.push_back({event.name, event.begin_ns, event.end_ns, true,
+                         thread.tid, event.arg, event.has_arg});
+      markers.push_back({event.name, event.end_ns, event.begin_ns, false,
+                         thread.tid, event.arg, event.has_arg});
     }
   }
   if (min_ns == UINT64_MAX) {

@@ -33,11 +33,16 @@ void SetEnabled(bool enabled);
 /// near zero at first use). All span timestamps share this timebase.
 uint64_t NowNs();
 
-/// One completed span as read out of a ring buffer.
+/// One completed span as read out of a ring buffer. `arg` is an optional
+/// caller-supplied value (the job-graph executor records the graph
+/// generation) exported as {"args": {"gen": N}} on the Chrome-trace begin
+/// event so overlapping runs are visually distinguishable.
 struct SpanEvent {
   const char* name = nullptr;
   uint64_t begin_ns = 0;
   uint64_t end_ns = 0;
+  uint64_t arg = 0;
+  bool has_arg = false;
 };
 
 /// Everything captured from one thread's ring: the events still resident
@@ -79,10 +84,13 @@ std::string ToChromeJson(const std::vector<ThreadSnapshot>& snapshot);
 /// any partial file) on I/O failure.
 bool WriteChromeTrace(const std::string& path);
 
-/// RAII span. Use through KDDN_TRACE_SPAN rather than directly.
+/// RAII span. Use through KDDN_TRACE_SPAN rather than directly (the
+/// two-argument form is for schedulers that attach an iteration counter —
+/// see SpanEvent::arg; it has the same disabled-path cost).
 class Span {
  public:
   explicit Span(const char* name);
+  Span(const char* name, uint64_t arg);
   ~Span();
 
   Span(const Span&) = delete;
@@ -91,11 +99,16 @@ class Span {
  private:
   const char* name_;  // nullptr when tracing was disabled at entry.
   uint64_t begin_ns_ = 0;
+  uint64_t arg_ = 0;
+  bool has_arg_ = false;
 };
 
 namespace internal {
 // Records one completed span into the calling thread's ring buffer.
 void RecordSpan(const char* name, uint64_t begin_ns, uint64_t end_ns);
+// As above with a caller-supplied span argument (SpanEvent::arg).
+void RecordSpanArg(const char* name, uint64_t begin_ns, uint64_t end_ns,
+                   uint64_t arg);
 // The registry's id for the calling thread (registering it if needed).
 int CurrentThreadId();
 // Ring capacity in events (power of two); exposed for the wraparound test.

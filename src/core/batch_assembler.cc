@@ -1,0 +1,55 @@
+#include "core/batch_assembler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/trace.h"
+
+namespace kddn::core {
+
+uint64_t MixDropoutSeed(uint64_t seed, uint64_t epoch, uint64_t position) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (epoch + 1) + position;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+BatchAssembler::BatchAssembler(const std::vector<data::Example>* examples,
+                               const Options& options)
+    : examples_(examples), options_(options) {
+  KDDN_CHECK(examples != nullptr);
+  KDDN_CHECK_GT(options_.batch_size, 0u);
+  KDDN_CHECK_GT(options_.chunk_size, 0u);
+}
+
+size_t BatchAssembler::BatchesPerEpoch(size_t order_size) const {
+  return (order_size + options_.batch_size - 1) / options_.batch_size;
+}
+
+void BatchAssembler::AssembleInto(PreparedBatch* batch,
+                                  const std::vector<int>* order, int epoch,
+                                  size_t index) const {
+  KDDN_TRACE_SPAN("train.batch_assemble");
+  const size_t begin = index * options_.batch_size;
+  const size_t end = std::min(order->size(), begin + options_.batch_size);
+  batch->epoch = epoch;
+  batch->begin = begin;
+  batch->size = end - begin;
+  batch->num_chunks =
+      (batch->size + options_.chunk_size - 1) / options_.chunk_size;
+  batch->inv_batch = 1.0f / static_cast<float>(batch->size);
+  batch->examples.clear();
+  batch->dropout_seeds.clear();
+  batch->labels.clear();
+  batch->examples.reserve(batch->size);
+  batch->dropout_seeds.reserve(batch->size);
+  batch->labels.reserve(batch->size);
+  for (size_t pos = begin; pos < end; ++pos) {
+    const data::Example& example = (*examples_)[(*order)[pos]];
+    batch->examples.push_back(&example);
+    batch->dropout_seeds.push_back(MixDropoutSeed(options_.seed, epoch, pos));
+    batch->labels.push_back(example.Label(options_.horizon) ? 1 : 0);
+  }
+}
+
+}  // namespace kddn::core

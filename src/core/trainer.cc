@@ -10,10 +10,12 @@
 #include "autograd/ops.h"
 #include "common/check.h"
 #include "common/fault_injector.h"
+#include "common/job_executor.h"
+#include "common/job_graph.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
-#include "core/batch_prefetcher.h"
+#include "core/batch_assembler.h"
 #include "nn/optimizer.h"
 #include "nn/serialization.h"
 #include "serve/frozen_model.h"
@@ -205,74 +207,157 @@ eval::CurveRecorder Trainer::Train(models::NeuralDocumentModel* model,
   }
   // ------------------------------------------------------------------------
 
-  // Mini-batch assembly runs through the prefetcher: one background worker
-  // (TrainOptions::prefetch) materialises batch k+1 while batch k trains, or
-  // the same assembly code runs inline on this thread. Either way batches
-  // arrive strictly in shuffle order with scheduling-independent contents,
-  // so this changes wall-clock only, never a trained bit.
-  BatchPrefetcher::Options prefetch_options;
-  prefetch_options.batch_size = static_cast<size_t>(options_.batch_size);
-  prefetch_options.chunk_size = chunk_size;
-  prefetch_options.seed = options_.seed;
-  prefetch_options.horizon = horizon;
-  prefetch_options.background = options_.prefetch;
-  BatchPrefetcher prefetcher(&train, prefetch_options);
+  // Mini-batch assembly: a pure function of (split, order, seed, index),
+  // so it can run on any thread at any time without changing a trained bit.
+  BatchAssembler::Options assemble_options;
+  assemble_options.batch_size = static_cast<size_t>(options_.batch_size);
+  assemble_options.chunk_size = chunk_size;
+  assemble_options.seed = options_.seed;
+  assemble_options.horizon = horizon;
+  const BatchAssembler assembler(&train, assemble_options);
+  const size_t num_batches = assembler.BatchesPerEpoch(order.size());
+
+  // Double-buffered batch slots: step k's chunk jobs read slots[k % 2] while
+  // the assemble job writes slots[(k + 1) % 2] — the retired prefetcher's
+  // double buffer, now a disjointness property of the graph.
+  PreparedBatch slots[2];
+
+  // Per-step state shared with the graph jobs by reference. The main thread
+  // writes these only between executor runs (Run is a barrier), jobs read
+  // them only inside a run.
+  size_t step = 0;
+  int graph_epoch = 0;
+  double epoch_loss = 0.0;
+
+  // The per-chunk forward/backward body, shared verbatim by the graph and
+  // legacy paths (chunk layout and GradSink usage are what make training
+  // thread-count-invariant; see the class comment).
+  auto process_chunk = [&](const PreparedBatch& batch, size_t chunk) {
+    ag::GradSink* sink = sinks[chunk].get();
+    sink->Reset();
+    ag::GradSink::Scope scope(sink);
+    double loss_sum = 0.0;
+    const size_t chunk_begin = chunk * chunk_size;
+    const size_t chunk_end = std::min(batch.size, chunk_begin + chunk_size);
+    for (size_t b = chunk_begin; b < chunk_end; ++b) {
+      const data::Example& example = *batch.examples[b];
+      Rng example_rng(batch.dropout_seeds[b]);
+      nn::ForwardContext ctx;
+      ctx.training = true;
+      ctx.rng = &example_rng;
+      ag::NodePtr loss;
+      {
+        KDDN_TRACE_SPAN("train.forward");
+        loss = ag::SoftmaxCrossEntropy(model->Logits(example, ctx),
+                                       batch.labels[b]);
+        loss_sum += ag::ScalarValue(loss);
+      }
+      // Mean-reduce over the batch so the step size is batch-invariant.
+      KDDN_TRACE_SPAN("train.backward");
+      ag::Backward(ag::Scale(loss, batch.inv_batch));
+    }
+    chunk_losses[chunk] = loss_sum;
+  };
+
+  // The training-step job graph (DESIGN.md §14), built once and re-run every
+  // step: batch k+1's assembly is a root next to batch k's gradient chunks,
+  // so featurisation overlaps the merge and optimizer step instead of
+  // waiting behind a stage barrier. Determinism lives in the graph shape:
+  // chunks write disjoint sinks, the merge fans them in chunk order, and the
+  // optimizer is ordered after the merge.
+  //
+  //   assemble(k+1)   chunk_0(k) ... chunk_{n-1}(k)
+  //        |               \             /
+  //        |                grad_merge(k)
+  //        |                     |
+  //        (none)          optimizer_step(k)
+  jobs::JobGraph graph;
+  jobs::JobExecutor executor(pool);
+  if (options_.use_job_graph) {
+    if (options_.prefetch) {
+      graph.AddJob("train.job.assemble", [&] {
+        const size_t next = step + 1;
+        if (next < num_batches) {
+          assembler.AssembleInto(&slots[next % 2], &order, graph_epoch, next);
+        }
+      });
+    }
+    std::vector<jobs::JobId> chunk_jobs;
+    chunk_jobs.reserve(max_chunks);
+    for (size_t c = 0; c < max_chunks; ++c) {
+      chunk_jobs.push_back(graph.AddJob("train.job.grad_chunk", [&, c] {
+        const PreparedBatch& batch = slots[step % 2];
+        if (c < batch.num_chunks) {
+          process_chunk(batch, c);
+        }
+      }));
+    }
+    const jobs::JobId merge = graph.AddJob("train.job.grad_merge", [&] {
+      // Ordered reduction: chunk 0 first, then chunk 1, ... — the summation
+      // order is fixed by the chunk layout, making the result independent of
+      // which lane ran which chunk.
+      KDDN_TRACE_SPAN("train.grad_merge");
+      const PreparedBatch& batch = slots[step % 2];
+      for (size_t chunk = 0; chunk < batch.num_chunks; ++chunk) {
+        sinks[chunk]->MergeInto();
+        epoch_loss += chunk_losses[chunk];
+      }
+    });
+    const jobs::JobId optimizer_step =
+        graph.AddJob("train.job.optimizer_step", [&] {
+          KDDN_TRACE_SPAN("train.optimizer_step");
+          optimizer.Step(model->params().all());
+        });
+    for (const jobs::JobId chunk_job : chunk_jobs) {
+      graph.AddEdge(chunk_job, merge);
+    }
+    graph.AddEdge(merge, optimizer_step);
+    graph.Finalize();
+  }
 
   for (int epoch = start_epoch; epoch <= options_.epochs; ++epoch) {
     KDDN_TRACE_SPAN("train.epoch");
     KDDN_FAULT_POINT("core.train.epoch");
     rng.Shuffle(&order);
-    prefetcher.BeginEpoch(&order, epoch);
-    double epoch_loss = 0.0;
+    epoch_loss = 0.0;
     int seen = 0;
-    while (prefetcher.batches_remaining() > 0) {
-      const PreparedBatch* batch = prefetcher.Next();
-      const size_t num_chunks = batch->num_chunks;
-
-      pool->ParallelFor(
-          static_cast<int64_t>(num_chunks), [&](int64_t chunk) {
-            ag::GradSink* sink = sinks[chunk].get();
-            sink->Reset();
-            ag::GradSink::Scope scope(sink);
-            double loss_sum = 0.0;
-            const size_t chunk_begin = chunk * chunk_size;
-            const size_t chunk_end =
-                std::min(batch->size, chunk_begin + chunk_size);
-            for (size_t b = chunk_begin; b < chunk_end; ++b) {
-              const data::Example& example = *batch->examples[b];
-              Rng example_rng(batch->dropout_seeds[b]);
-              nn::ForwardContext ctx;
-              ctx.training = true;
-              ctx.rng = &example_rng;
-              ag::NodePtr loss;
-              {
-                KDDN_TRACE_SPAN("train.forward");
-                loss = ag::SoftmaxCrossEntropy(model->Logits(example, ctx),
-                                               batch->labels[b]);
-                loss_sum += ag::ScalarValue(loss);
-              }
-              // Mean-reduce over the batch so the step size is
-              // batch-invariant.
-              KDDN_TRACE_SPAN("train.backward");
-              ag::Backward(ag::Scale(loss, batch->inv_batch));
-            }
-            chunk_losses[chunk] = loss_sum;
-          });
-
-      // Ordered reduction: chunk 0 first, then chunk 1, ... — the summation
-      // order is fixed by the chunk layout, making the result independent of
-      // which worker ran which chunk.
-      {
-        KDDN_TRACE_SPAN("train.grad_merge");
-        for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
-          sinks[chunk]->MergeInto();
-          epoch_loss += chunk_losses[chunk];
+    if (options_.use_job_graph) {
+      graph_epoch = epoch;
+      // Batch 0 is assembled inline; every later batch is assembled by the
+      // previous step's graph run (or inline just before its step when
+      // prefetch is off — same bits, no overlap).
+      assembler.AssembleInto(&slots[0], &order, epoch, 0);
+      for (step = 0; step < num_batches; ++step) {
+        if (!options_.prefetch && step + 1 < num_batches) {
+          assembler.AssembleInto(&slots[(step + 1) % 2], &order, epoch,
+                                 step + 1);
         }
+        executor.Run(&graph);
+        seen += static_cast<int>(slots[step % 2].size);
       }
-      seen += static_cast<int>(batch->size);
-      {
-        KDDN_TRACE_SPAN("train.optimizer_step");
-        optimizer.Step(model->params().all());
+    } else {
+      // Legacy fork-join reference path: one ParallelFor per batch with a
+      // barrier before the ordered merge. Kept as the bitwise baseline the
+      // jobs tests and bench compare against.
+      for (size_t index = 0; index < num_batches; ++index) {
+        assembler.AssembleInto(&slots[0], &order, epoch, index);
+        const PreparedBatch& batch = slots[0];
+        pool->ParallelFor(static_cast<int64_t>(batch.num_chunks),
+                          [&](int64_t chunk) {
+                            process_chunk(batch, static_cast<size_t>(chunk));
+                          });
+        {
+          KDDN_TRACE_SPAN("train.grad_merge");
+          for (size_t chunk = 0; chunk < batch.num_chunks; ++chunk) {
+            sinks[chunk]->MergeInto();
+            epoch_loss += chunk_losses[chunk];
+          }
+        }
+        seen += static_cast<int>(batch.size);
+        {
+          KDDN_TRACE_SPAN("train.optimizer_step");
+          optimizer.Step(model->params().all());
+        }
       }
     }
 

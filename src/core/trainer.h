@@ -54,14 +54,25 @@ struct TrainOptions {
   /// this at 1 and 4 threads). Requires the same TrainOptions::seed and an
   /// epoch horizon >= the checkpoint's completed epochs.
   bool resume = false;
-  /// Overlap batch assembly with optimization (DESIGN.md §10): a
-  /// core::BatchPrefetcher worker materialises mini-batch k+1 (shuffle-order
-  /// example slice, per-position dropout seeds, labels) while batch k runs
-  /// forward/backward/step. Batches are consumed strictly in shuffle order
-  /// and their contents are a pure function of (split, order, seed, batch
-  /// index), so the trained weights are bitwise identical with this on or
-  /// off, at any thread count — `false` assembles each batch inline on the
-  /// training thread (the reference path, also used by the equality tests).
+  /// Schedule each training step as a reusable job graph (DESIGN.md §14):
+  /// the per-batch gradient chunks, the ordered gradient merge, the Adagrad
+  /// step, and the assembly of batch k+1 become nodes of one
+  /// jobs::JobGraph built once per Train call and re-run every step by a
+  /// work-stealing jobs::JobExecutor — batch k+1's featurisation overlaps
+  /// batch k's merge and optimizer step with no barrier between them.
+  /// Determinism is a property of the graph, not the schedule: chunk jobs
+  /// write disjoint GradSinks, the merge job sums them in chunk order, and
+  /// batch contents are a pure function of (split, order, seed, index), so
+  /// the trained weights are bitwise identical to the legacy fork-join path
+  /// at any thread count and under any steal interleaving (enforced by
+  /// `ctest -L jobs`). `false` keeps the legacy ParallelFor reference path.
+  bool use_job_graph = true;
+  /// Compatibility alias from the retired BatchPrefetcher era, now routed to
+  /// the graph path: `true` keeps "assemble batch k+1" a root job that
+  /// overlaps batch k's chunks/merge/step; `false` assembles each batch
+  /// inline before its step (no overlap — the reference schedule). On the
+  /// legacy path (use_job_graph = false) assembly is always inline. Trained
+  /// weights are bitwise identical in every combination.
   bool prefetch = true;
   /// Fuse the per-epoch validation pass (DESIGN.md §10): one gradient-free
   /// forward per example yields both the validation loss and the AUC score,

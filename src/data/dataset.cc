@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/job_executor.h"
+#include "common/job_graph.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -93,32 +95,52 @@ MortalityDataset MortalityDataset::Build(const synth::Cohort& cohort,
           synth::IsPositive(patient.outcome, horizon);
     }
   };
+  // Ordered merge, in original patient order: exclusions, the raw count
+  // vectors, and the retained list grow in exactly the serial sequence.
+  // Shared by both build paths — on the parallel path it is the graph's
+  // fan-in node, so the reduction order is a property of the graph.
+  std::vector<Prepared> prepared;
+  auto merge_prepared = [&] {
+    prepared.reserve(slots.size());
+    for (Prepared& p : slots) {
+      if (p.cuis.empty()) {
+        ++dataset.excluded_zero_concept_;
+        continue;  // Paper §VII-B2: drop zero-concept patients.
+      }
+      dataset.raw_word_counts_.push_back(static_cast<int>(p.words.size()));
+      dataset.raw_concept_counts_.push_back(static_cast<int>(p.cuis.size()));
+      prepared.push_back(std::move(p));
+    }
+  };
   if (options.parallel_build) {
-    GlobalThreadPool().ParallelForBlocked(
-        static_cast<int64_t>(patients.size()), /*min_block=*/1,
-        [&](int64_t begin, int64_t end) {
-          for (int64_t i = begin; i < end; ++i) {
-            prepare_one(i);
-          }
-        });
+    // Per-patient fan-out with an ordered merge node (DESIGN.md §14): one
+    // prepare-range job per pool thread feeds the single dataset.merge job
+    // through explicit edges, so the merge starts the moment the last range
+    // lands — no pool-wide barrier between preparing and merging.
+    ThreadPool& pool = GlobalThreadPool();
+    const int64_t n = static_cast<int64_t>(patients.size());
+    const int64_t ranges = std::min<int64_t>(pool.num_threads(), n);
+    const int64_t range_len = (n + ranges - 1) / ranges;
+    jobs::JobGraph graph;
+    const jobs::JobId merge = graph.AddJob("dataset.merge", merge_prepared);
+    for (int64_t r = 0; r < ranges; ++r) {
+      const int64_t begin = r * range_len;
+      const int64_t end = std::min(n, begin + range_len);
+      const jobs::JobId prepare =
+          graph.AddJob("dataset.prepare_range", [&, begin, end] {
+            for (int64_t i = begin; i < end; ++i) {
+              prepare_one(i);
+            }
+          });
+      graph.AddEdge(prepare, merge);
+    }
+    graph.Finalize();
+    jobs::JobExecutor(&pool).Run(&graph);
   } else {
     for (int64_t i = 0; i < static_cast<int64_t>(patients.size()); ++i) {
       prepare_one(i);
     }
-  }
-
-  // Ordered merge, in original patient order: exclusions, the raw count
-  // vectors, and the retained list grow in exactly the serial sequence.
-  std::vector<Prepared> prepared;
-  prepared.reserve(slots.size());
-  for (Prepared& p : slots) {
-    if (p.cuis.empty()) {
-      ++dataset.excluded_zero_concept_;
-      continue;  // Paper §VII-B2: drop zero-concept patients.
-    }
-    dataset.raw_word_counts_.push_back(static_cast<int>(p.words.size()));
-    dataset.raw_concept_counts_.push_back(static_cast<int>(p.cuis.size()));
-    prepared.push_back(std::move(p));
+    merge_prepared();
   }
   KDDN_CHECK(!prepared.empty()) << "every patient was excluded";
 

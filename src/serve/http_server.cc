@@ -24,6 +24,7 @@ const char* StatusText(int status) {
   switch (status) {
     case 200: return "OK";
     case 400: return "Bad Request";
+    case 401: return "Unauthorized";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 409: return "Conflict";
@@ -46,6 +47,23 @@ std::string ErrorBody(const std::string& error, const std::string& reason) {
 std::string ShedBody(const char* reason, int retry_after_ms) {
   return std::string("{\"error\": \"shed\", \"reason\": \"") + reason +
          "\", \"retry_after_ms\": " + std::to_string(retry_after_ms) + "}";
+}
+
+/// Constant-time string equality: the work done is a function of the
+/// lengths only, never of where the first mismatching byte sits, so response
+/// timing cannot be used to guess the configured token byte by byte.
+bool ConstantTimeEquals(const std::string& a, const std::string& b) {
+  unsigned char diff =
+      static_cast<unsigned char>((a.size() ^ b.size()) != 0 ? 1 : 0);
+  const size_t n = std::max(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned char ca =
+        i < a.size() ? static_cast<unsigned char>(a[i]) : 0;
+    const unsigned char cb =
+        i < b.size() ? static_cast<unsigned char>(b[i]) : 0;
+    diff = static_cast<unsigned char>(diff | (ca ^ cb));
+  }
+  return diff == 0;
 }
 
 }  // namespace
@@ -433,6 +451,30 @@ void HttpServer::HandleScore(Connection* conn, const HttpRequest& request) {
 }
 
 void HttpServer::HandleSwap(Connection* conn, const HttpRequest& request) {
+  if (!options_.auth_token.empty()) {
+    // Auth gates everything else about the request — an unauthenticated
+    // caller learns nothing about the registry, the body grammar, or which
+    // fingerprints exist. The two failure reasons are machine-readable so
+    // operators can tell a missing credential from a wrong one in logs.
+    static const std::string kScheme = "Bearer ";
+    const std::string* header = request.FindHeader("Authorization");
+    if (header == nullptr ||
+        header->compare(0, kScheme.size(), kScheme) != 0) {
+      QueueResponse(conn, 401,
+                    ErrorBody("unauthorized",
+                              "missing or malformed Authorization header; "
+                              "expected \"Bearer <token>\""),
+                    {{"WWW-Authenticate", "Bearer"}});
+      return;
+    }
+    if (!ConstantTimeEquals(header->substr(kScheme.size()),
+                            options_.auth_token)) {
+      QueueResponse(conn, 401,
+                    ErrorBody("unauthorized", "invalid bearer token"),
+                    {{"WWW-Authenticate", "Bearer"}});
+      return;
+    }
+  }
   if (registry_ == nullptr) {
     QueueResponse(conn, 501,
                   ErrorBody("no-registry",

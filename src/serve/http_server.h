@@ -37,6 +37,14 @@ struct HttpServerOptions {
   /// idle connections forever (the pre-timeout behavior). A connection with
   /// a score in flight or a response still draining is never reaped.
   int idle_timeout_ms = 0;
+  /// Shared-secret bearer token guarding the mutating admin surface
+  /// (POST /v1/admin/swap). When non-empty, swap requests must carry
+  /// `Authorization: Bearer <token>` (compared in constant time) or they are
+  /// refused with 401 before any body parsing. Empty leaves the admin
+  /// surface open (the pre-auth behavior; fine for loopback-only rigs).
+  /// Read-only endpoints — /healthz in particular — never require auth, so
+  /// liveness probes keep working with no credential plumbing.
+  std::string auth_token;
 };
 
 /// Front-end counters, one step up the stack from serve::Stats: the engine

@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/fault_injector.h"
+#include "common/job_executor.h"
+#include "common/job_graph.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "text/tokenizer.h"
@@ -269,32 +271,48 @@ void InferenceEngine::ExecuteBatch(
   // has already dropped it. Every result is tagged with the pinned
   // snapshot's fingerprint — not whatever is active at completion time.
   const std::shared_ptr<const FrozenModel> model = active();
-  const int64_t n = static_cast<int64_t>(batch.size());
-  std::vector<float> scores(batch.size());
-  try {
-    // One pool fan-out per batch; each pool thread reuses its own Workspace
-    // across batches and writes a disjoint scores slot, so results are
-    // independent of the batch composition and the thread count.
-    GlobalThreadPool().ParallelFor(n, [&](int64_t i) {
+  const size_t n = batch.size();
+  std::vector<float> scores(n);
+  // Per-request score -> respond chains (DESIGN.md §14): request i's response
+  // resolves the moment its own forward finishes, while later requests are
+  // still scoring — the batch pipelines instead of barriering on its slowest
+  // member. Each score job reuses its lane thread's Workspace and writes a
+  // disjoint slot, so scores are independent of batch composition and thread
+  // count, exactly as under the old fan-out.
+  std::vector<char> responded(n, 0);
+  jobs::JobGraph graph;
+  for (size_t i = 0; i < n; ++i) {
+    const jobs::JobId score = graph.AddJob("serve.job.score", [&, i] {
       KDDN_TRACE_SPAN("serve.score");
       static thread_local FrozenModel::Workspace ws;
-      scores[static_cast<size_t>(i)] =
-          model->ScorePositive(batch[static_cast<size_t>(i)]->example, &ws);
+      scores[i] = model->ScorePositive(batch[i]->example, &ws);
     });
-  } catch (...) {
-    const std::exception_ptr error = std::current_exception();
-    for (std::unique_ptr<Request>& request : batch) {
-      request->promise.set_exception(error);
-    }
-    return;
+    const jobs::JobId respond = graph.AddJob("serve.job.respond", [&, i] {
+      stats_.RecordRequestLatencyMs(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - batch[i]->enqueued)
+              .count());
+      batch[i]->promise.set_value(Scored{scores[i], model->fingerprint()});
+      responded[i] = 1;
+    });
+    graph.AddEdge(score, respond);
   }
-  const auto done = std::chrono::steady_clock::now();
-  stats_.RecordBatch(static_cast<int>(batch.size()));
-  for (size_t i = 0; i < batch.size(); ++i) {
-    stats_.RecordRequestLatencyMs(
-        std::chrono::duration<double, std::milli>(done - batch[i]->enqueued)
-            .count());
-    batch[i]->promise.set_value(Scored{scores[i], model->fingerprint()});
+  graph.Finalize();
+  // Count the batch before any respond job can resolve a promise: a client
+  // woken by its future must already see this batch in the stats.
+  stats_.RecordBatch(static_cast<int>(n));
+  try {
+    jobs::JobExecutor(&GlobalThreadPool()).Run(&graph);
+  } catch (...) {
+    // A failed run cancels the remaining job bodies, so some respond jobs
+    // may not have fired: every promise still unfulfilled gets the error —
+    // no client blocks forever on a dead batch.
+    const std::exception_ptr error = std::current_exception();
+    for (size_t i = 0; i < n; ++i) {
+      if (!responded[i]) {
+        batch[i]->promise.set_exception(error);
+      }
+    }
   }
 }
 

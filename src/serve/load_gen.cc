@@ -484,6 +484,15 @@ bool HttpRequestJson(const std::string& host, int port,
                      const std::string& method, const std::string& target,
                      const std::string& body, int* status,
                      std::string* response_body) {
+  return HttpRequestJson(host, port, method, target, body, {}, status,
+                         response_body);
+}
+
+bool HttpRequestJson(
+    const std::string& host, int port, const std::string& method,
+    const std::string& target, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers,
+    int* status, std::string* response_body) {
   *status = 0;
   response_body->clear();
   try {
@@ -493,9 +502,11 @@ bool HttpRequestJson(const std::string& host, int port,
             << "Host: loadgen\r\n"
             << "Content-Type: application/json\r\n"
             << "Content-Length: " << body.size() << "\r\n"
-            << "Connection: close\r\n"
-            << "\r\n"
-            << body;
+            << "Connection: close\r\n";
+    for (const auto& [name, value] : extra_headers) {
+      request << name << ": " << value << "\r\n";
+    }
+    request << "\r\n" << body;
     const std::string wire = request.str();
     net::WriteAll(fd.get(), wire.data(), wire.size());
     bool connection_close = false;

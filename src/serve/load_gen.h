@@ -152,6 +152,14 @@ bool HttpRequestJson(const std::string& host, int port,
                      const std::string& body, int* status,
                      std::string* response_body);
 
+/// As above, with caller-supplied request headers (e.g. an Authorization
+/// bearer credential for the admin surface) appended to the standard set.
+bool HttpRequestJson(
+    const std::string& host, int port, const std::string& method,
+    const std::string& target, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers,
+    int* status, std::string* response_body);
+
 }  // namespace kddn::serve
 
 #endif  // KDDN_SERVE_LOAD_GEN_H_

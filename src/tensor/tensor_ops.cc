@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "common/check.h"
+#include "common/job_executor.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "tensor/gemm.h"
@@ -54,11 +55,17 @@ void DispatchGemm(GemmFn fn, const float* a, const float* b, float* c, int m,
   const auto start = timing ? std::chrono::steady_clock::now()
                             : std::chrono::steady_clock::time_point();
   if (UseParallelMatMul(int64_t{m} * k * n)) {
-    GlobalThreadPool().ParallelForBlocked(
-        m, /*min_block=*/1, [&](int64_t begin, int64_t end) {
-          fn(a, b, c, m, k, n, static_cast<int>(begin),
-             static_cast<int>(end));
-        });
+    // Row blocks go through the work-stealing executor (DESIGN.md §14): the
+    // finer slicing it uses lets an early-finishing lane steal the tail of a
+    // slow one. Every output element is still produced by exactly one kernel
+    // call with one fixed accumulation order, so block boundaries cannot
+    // change the result bits.
+    jobs::JobExecutor(&GlobalThreadPool())
+        .ParallelForBlocked(m, /*min_block=*/1,
+                            [&](int64_t begin, int64_t end) {
+                              fn(a, b, c, m, k, n, static_cast<int>(begin),
+                                 static_cast<int>(end));
+                            });
   } else {
     fn(a, b, c, m, k, n, 0, m);
   }

@@ -491,6 +491,56 @@ TEST(HttpServerTest, HealthzStatsRoutingAndErrors) {
   server.Stop();
 }
 
+TEST(HttpServerTest, AdminSwapRequiresBearerTokenWhenConfigured) {
+  serve::InferenceEngine engine(World().frozen.get(), WorldPipeline());
+  serve::HttpServerOptions options;
+  options.auth_token = "s3cret-rotate-me";
+  serve::HttpServer server(&engine, options);
+  server.Start();
+  const int port = server.port();
+  const std::string swap_body = "{\"fingerprint\": \"ab\"}";
+
+  // No Authorization header at all: 401 with the machine-readable reason and
+  // the WWW-Authenticate challenge (raw round trip so headers are visible).
+  const std::string bare = RawRoundTrip(
+      port, "POST /v1/admin/swap HTTP/1.1\r\nConnection: close\r\n"
+            "Content-Length: " + std::to_string(swap_body.size()) +
+            "\r\n\r\n" + swap_body);
+  EXPECT_EQ(StatusOf(bare), 401);
+  EXPECT_NE(bare.find("WWW-Authenticate: Bearer"), std::string::npos) << bare;
+  EXPECT_NE(bare.find("\"error\": \"unauthorized\""), std::string::npos)
+      << bare;
+
+  int status = 0;
+  std::string body;
+  // Wrong scheme and wrong token are both refused the same way.
+  ASSERT_TRUE(serve::HttpRequestJson(
+      "127.0.0.1", port, "POST", "/v1/admin/swap", swap_body,
+      {{"Authorization", "Basic s3cret-rotate-me"}}, &status, &body));
+  EXPECT_EQ(status, 401) << body;
+  ASSERT_TRUE(serve::HttpRequestJson(
+      "127.0.0.1", port, "POST", "/v1/admin/swap", swap_body,
+      {{"Authorization", "Bearer s3cret-rotate-mf"}}, &status, &body));
+  EXPECT_EQ(status, 401) << body;
+  EXPECT_NE(body.find("invalid bearer token"), std::string::npos) << body;
+
+  // The right token clears the gate: with no registry attached the request
+  // proceeds to the 501 no-registry answer, so auth is no longer the refusal.
+  ASSERT_TRUE(serve::HttpRequestJson(
+      "127.0.0.1", port, "POST", "/v1/admin/swap", swap_body,
+      {{"Authorization", "Bearer s3cret-rotate-me"}}, &status, &body));
+  EXPECT_EQ(status, 501) << body;
+  EXPECT_NE(body.find("no-registry"), std::string::npos) << body;
+
+  // Liveness probes never need credentials, token or not.
+  EXPECT_EQ(StatusOf(RawRoundTrip(
+                port, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")),
+            200);
+  const serve::HttpServerStatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.responses_4xx, 3);
+  server.Stop();
+}
+
 TEST(HttpServerTest, StatsAndHealthzCarryLifecycleFields) {
   serve::InferenceEngine engine(World().frozen.get(), WorldPipeline());
   serve::HttpServer server(&engine);

@@ -1,0 +1,385 @@
+// Job-graph executor suite (DESIGN.md §14), the `jobs` label's scheduler
+// half: dependency-order and exactly-once guarantees on diamond/fan-in
+// shapes, cycle detection, steal-storm stress with deliberately unbalanced
+// job durations, graph reuse across many generations, exception transport
+// (and reusability after a failed run), nested-run inlining, the
+// work-stealing ParallelForBlocked, and the generation tag on trace spans.
+// The training-side half of the label — executor-vs-legacy bitwise weight
+// goldens and the mid-run checkpoint/resume golden — lives in
+// pipeline_test.cc, which is also labelled `jobs`. The whole label is
+// `sanitize`-labelled and must stay TSan-clean.
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/job_executor.h"
+#include "common/job_graph.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "gtest/gtest.h"
+
+namespace kddn {
+namespace {
+
+/// Restores the process-wide pool size on scope exit.
+struct PoolSizeGuard {
+  int previous = GlobalThreadPoolSize();
+  ~PoolSizeGuard() { SetGlobalThreadPoolSize(previous); }
+};
+
+/// Monotone completion stamps: each job records *when* it finished relative
+/// to every other job, so dependency order is assertable after the run.
+struct StampBoard {
+  explicit StampBoard(int jobs) : stamps(jobs) {
+    for (auto& s : stamps) {
+      s.store(0, std::memory_order_relaxed);
+    }
+  }
+  void Mark(int job) {
+    stamps[job].store(clock.fetch_add(1, std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+  }
+  uint64_t At(int job) const {
+    return stamps[job].load(std::memory_order_relaxed);
+  }
+  std::atomic<uint64_t> clock{0};
+  std::vector<std::atomic<uint64_t>> stamps;
+};
+
+/// SplitMix64 — deterministic per-job "durations" for the steal storm
+/// without touching any global RNG state.
+uint64_t Mix(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void SpinFor(uint64_t iterations) {
+  volatile uint64_t sink = 0;
+  for (uint64_t i = 0; i < iterations; ++i) {
+    sink = sink + i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Graph construction and canonical order.
+// ---------------------------------------------------------------------------
+
+TEST(JobGraphTest, FinalizeComputesCanonicalDiamondOrder) {
+  jobs::JobGraph graph;
+  // Deliberately added out of id-order-friendly sequence: D, C, B, A.
+  const jobs::JobId d = graph.AddJob("d", {});
+  const jobs::JobId c = graph.AddJob("c", {});
+  const jobs::JobId b = graph.AddJob("b", {});
+  const jobs::JobId a = graph.AddJob("a", {});
+  graph.AddEdge(a, b);
+  graph.AddEdge(a, c);
+  graph.AddEdge(b, d);
+  graph.AddEdge(c, d);
+  graph.Finalize();
+  ASSERT_TRUE(graph.finalized());
+  // Ascending-id tie-break: a(3) first as the only root, then c(1) before
+  // b(2), then d(0).
+  const std::vector<jobs::JobId> expected = {a, c, b, d};
+  EXPECT_EQ(graph.topological_order(), expected);
+  EXPECT_EQ(graph.size(), 4);
+  EXPECT_STREQ(graph.name(a), "a");
+}
+
+TEST(JobGraphTest, CycleDetectionThrowsFromFinalize) {
+  jobs::JobGraph graph;
+  const jobs::JobId a = graph.AddJob("a", {});
+  const jobs::JobId b = graph.AddJob("b", {});
+  const jobs::JobId c = graph.AddJob("c", {});
+  graph.AddEdge(a, b);
+  graph.AddEdge(b, c);
+  graph.AddEdge(c, a);
+  EXPECT_THROW(graph.Finalize(), KddnError);
+}
+
+TEST(JobGraphTest, BuildTimeMisuseIsLoud) {
+  jobs::JobGraph graph;
+  const jobs::JobId a = graph.AddJob("a", {});
+  EXPECT_THROW(graph.AddEdge(a, a), KddnError);        // Self-edge.
+  EXPECT_THROW(graph.AddEdge(a, a + 7), KddnError);    // Out of range.
+  graph.Finalize();
+  EXPECT_THROW(graph.AddJob("late", {}), KddnError);   // Post-Finalize.
+  EXPECT_THROW(graph.Finalize(), KddnError);           // Double Finalize.
+  jobs::JobGraph unfinalized;
+  unfinalized.AddJob("a", {});
+  jobs::JobExecutor executor(&GlobalThreadPool());
+  EXPECT_THROW(executor.Run(&unfinalized), KddnError);  // Run pre-Finalize.
+}
+
+// ---------------------------------------------------------------------------
+// Execution order: diamond and fan-in, at every pool size.
+// ---------------------------------------------------------------------------
+
+TEST(JobExecutorTest, DiamondRespectsDependencyOrderAtEveryPoolSize) {
+  PoolSizeGuard guard;
+  for (const int pool_size : {1, 2, 4}) {
+    SetGlobalThreadPoolSize(pool_size);
+    StampBoard board(4);
+    jobs::JobGraph graph;
+    const jobs::JobId a = graph.AddJob("a", [&] { board.Mark(0); });
+    const jobs::JobId b = graph.AddJob("b", [&] { board.Mark(1); });
+    const jobs::JobId c = graph.AddJob("c", [&] { board.Mark(2); });
+    const jobs::JobId d = graph.AddJob("d", [&] { board.Mark(3); });
+    graph.AddEdge(a, b);
+    graph.AddEdge(a, c);
+    graph.AddEdge(b, d);
+    graph.AddEdge(c, d);
+    graph.Finalize();
+    jobs::JobExecutor(&GlobalThreadPool()).Run(&graph);
+    const std::string tag = "pool=" + std::to_string(pool_size);
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_GT(board.At(j), 0u) << tag << " job " << j << " never ran";
+    }
+    EXPECT_LT(board.At(0), board.At(1)) << tag;
+    EXPECT_LT(board.At(0), board.At(2)) << tag;
+    EXPECT_LT(board.At(1), board.At(3)) << tag;
+    EXPECT_LT(board.At(2), board.At(3)) << tag;
+  }
+}
+
+TEST(JobExecutorTest, FanInSinkRunsOnceAfterAllPredecessors) {
+  PoolSizeGuard guard;
+  SetGlobalThreadPoolSize(4);
+  constexpr int kSources = 24;
+  StampBoard board(kSources + 1);
+  std::atomic<int> sink_runs{0};
+  jobs::JobGraph graph;
+  const jobs::JobId sink = graph.AddJob("sink", [&] {
+    board.Mark(kSources);
+    sink_runs.fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int i = 0; i < kSources; ++i) {
+    const jobs::JobId source = graph.AddJob("source", [&, i] {
+      SpinFor(Mix(static_cast<uint64_t>(i)) % 2000);
+      board.Mark(i);
+    });
+    graph.AddEdge(source, sink);
+  }
+  graph.Finalize();
+  jobs::JobExecutor(&GlobalThreadPool()).Run(&graph);
+  EXPECT_EQ(sink_runs.load(), 1);
+  for (int i = 0; i < kSources; ++i) {
+    EXPECT_LT(board.At(i), board.At(kSources)) << "source " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Steal storm: layered graph, wildly unbalanced durations, many runs.
+// ---------------------------------------------------------------------------
+
+TEST(JobExecutorTest, StealStormRunsEveryJobExactlyOncePerRun) {
+  PoolSizeGuard guard;
+  SetGlobalThreadPoolSize(4);
+  constexpr int kLayers = 8;
+  constexpr int kWidth = 12;
+  constexpr int kRuns = 25;
+  constexpr int kJobs = kLayers * kWidth;
+  std::vector<std::atomic<int>> run_counts(kJobs);
+  for (auto& c : run_counts) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  StampBoard board(kJobs);
+
+  jobs::JobGraph graph;
+  std::vector<jobs::JobId> previous_layer, layer;
+  for (int l = 0; l < kLayers; ++l) {
+    layer.clear();
+    for (int w = 0; w < kWidth; ++w) {
+      const int index = l * kWidth + w;
+      layer.push_back(graph.AddJob("storm", [&, index] {
+        // Durations spread over two orders of magnitude, reshuffled every
+        // layer, so fast lanes drain and must steal from slow ones.
+        SpinFor(Mix(static_cast<uint64_t>(index)) % 10000);
+        board.Mark(index);
+        run_counts[index].fetch_add(1, std::memory_order_relaxed);
+      }));
+      // Sparse cross-layer edges: each job depends on two jobs of the layer
+      // above (wrap-around), leaving plenty of concurrency to fight over.
+      if (l > 0) {
+        graph.AddEdge(previous_layer[w], layer[w]);
+        graph.AddEdge(previous_layer[(w + 5) % kWidth], layer[w]);
+      }
+    }
+    previous_layer = layer;
+  }
+  graph.Finalize();
+
+  jobs::JobExecutor executor(&GlobalThreadPool());
+  for (int run = 1; run <= kRuns; ++run) {
+    executor.Run(&graph);
+    for (int j = 0; j < kJobs; ++j) {
+      ASSERT_EQ(run_counts[j].load(), run) << "job " << j << " run " << run;
+    }
+    // Spot-check the cross-layer constraints on the final stamps.
+    for (int l = 1; l < kLayers; ++l) {
+      for (int w = 0; w < kWidth; ++w) {
+        ASSERT_LT(board.At((l - 1) * kWidth + w), board.At(l * kWidth + w));
+      }
+    }
+  }
+  EXPECT_EQ(graph.generation(), static_cast<uint64_t>(kRuns));
+}
+
+TEST(JobExecutorTest, GraphReuseAcrossManyGenerationsAccumulatesExactly) {
+  PoolSizeGuard guard;
+  SetGlobalThreadPoolSize(2);
+  std::atomic<int64_t> total{0};
+  jobs::JobGraph graph;
+  const jobs::JobId add1 =
+      graph.AddJob("add1", [&] { total.fetch_add(1, std::memory_order_relaxed); });
+  const jobs::JobId add10 =
+      graph.AddJob("add10", [&] { total.fetch_add(10, std::memory_order_relaxed); });
+  const jobs::JobId add100 = graph.AddJob(
+      "add100", [&] { total.fetch_add(100, std::memory_order_relaxed); });
+  graph.AddEdge(add1, add10);
+  graph.AddEdge(add10, add100);
+  graph.Finalize();
+  jobs::JobExecutor executor(&GlobalThreadPool());
+  for (int i = 0; i < 100; ++i) {
+    executor.Run(&graph);
+  }
+  EXPECT_EQ(total.load(), 100 * 111);
+  EXPECT_EQ(graph.generation(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Exceptions: first error wins, the run drains, the graph stays reusable.
+// ---------------------------------------------------------------------------
+
+TEST(JobExecutorTest, ExceptionPropagatesAndGraphStaysReusable) {
+  PoolSizeGuard guard;
+  for (const int pool_size : {1, 4}) {
+    SetGlobalThreadPoolSize(pool_size);
+    bool fail = true;
+    std::atomic<int> tail_runs{0};
+    jobs::JobGraph graph;
+    const jobs::JobId boom = graph.AddJob("boom", [&] {
+      if (fail) {
+        KDDN_CHECK(false) << "injected job failure";
+      }
+    });
+    const jobs::JobId tail = graph.AddJob(
+        "tail", [&] { tail_runs.fetch_add(1, std::memory_order_relaxed); });
+    graph.AddEdge(boom, tail);
+    graph.Finalize();
+    jobs::JobExecutor executor(&GlobalThreadPool());
+    EXPECT_THROW(executor.Run(&graph), KddnError);
+    // A failed run is cancelled, not counted: successors of the failing job
+    // are skipped and the generation stays put.
+    EXPECT_EQ(tail_runs.load(), 0) << "pool=" << pool_size;
+    EXPECT_EQ(graph.generation(), 0u) << "pool=" << pool_size;
+    // The countdown drained, so the same graph runs clean immediately.
+    fail = false;
+    executor.Run(&graph);
+    EXPECT_EQ(tail_runs.load(), 1) << "pool=" << pool_size;
+    EXPECT_EQ(graph.generation(), 1u) << "pool=" << pool_size;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Nesting: job bodies may use the pool (or another graph) — it inlines.
+// ---------------------------------------------------------------------------
+
+TEST(JobExecutorTest, NestedParallelismInsideJobBodiesInlinesWithoutDeadlock) {
+  PoolSizeGuard guard;
+  SetGlobalThreadPoolSize(4);
+  std::atomic<int64_t> nested_sum{0};
+  std::atomic<uint64_t> inner_generation{0};
+  jobs::JobGraph inner;
+  inner.AddJob("inner", [&] { nested_sum.fetch_add(1); });
+  inner.Finalize();
+  jobs::JobGraph graph;
+  for (int i = 0; i < 8; ++i) {
+    graph.AddJob("outer", [&] {
+      // Nested fork/join region: must inline on the executor lane (a lane
+      // blocking on pool sub-tasks could deadlock the run).
+      GlobalThreadPool().ParallelFor(
+          16, [&](int64_t) { nested_sum.fetch_add(1); });
+      // Nested executor run: takes the inline path for the same reason.
+      jobs::JobExecutor(&GlobalThreadPool()).Run(&inner);
+      inner_generation.store(inner.generation());
+    });
+  }
+  graph.Finalize();
+  jobs::JobExecutor(&GlobalThreadPool()).Run(&graph);
+  EXPECT_EQ(nested_sum.load(), 8 * 16 + 8);
+  EXPECT_EQ(inner_generation.load(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing ParallelForBlocked.
+// ---------------------------------------------------------------------------
+
+TEST(JobExecutorTest, ParallelForBlockedCoversEveryIndexExactlyOnce) {
+  PoolSizeGuard guard;
+  for (const int pool_size : {1, 2, 4}) {
+    SetGlobalThreadPoolSize(pool_size);
+    jobs::JobExecutor executor(&GlobalThreadPool());
+    for (const int64_t count : {int64_t{1}, int64_t{7}, int64_t{64},
+                                int64_t{1000}}) {
+      std::vector<std::atomic<int>> touched(static_cast<size_t>(count));
+      for (auto& t : touched) {
+        t.store(0, std::memory_order_relaxed);
+      }
+      executor.ParallelForBlocked(count, 1, [&](int64_t begin, int64_t end) {
+        ASSERT_LT(begin, end);
+        SpinFor(Mix(static_cast<uint64_t>(begin)) % 3000);
+        for (int64_t i = begin; i < end; ++i) {
+          touched[static_cast<size_t>(i)].fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      });
+      for (int64_t i = 0; i < count; ++i) {
+        ASSERT_EQ(touched[static_cast<size_t>(i)].load(), 1)
+            << "pool=" << pool_size << " count=" << count << " index " << i;
+      }
+    }
+    // Exceptions come back to the caller, whole and first-wins.
+    EXPECT_THROW(executor.ParallelForBlocked(
+                     100, 1,
+                     [&](int64_t begin, int64_t) {
+                       if (begin == 0) {
+                         KDDN_CHECK(false) << "injected block failure";
+                       }
+                     }),
+                 KddnError);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Observability: every job span carries the graph generation as an arg.
+// ---------------------------------------------------------------------------
+
+TEST(JobsTraceTest, JobSpansCarryGraphGenerationArg) {
+  PoolSizeGuard guard;
+  SetGlobalThreadPoolSize(2);
+  trace::Clear();
+  trace::SetEnabled(true);
+  jobs::JobGraph graph;
+  const jobs::JobId a = graph.AddJob("jobs.test.alpha", [] {});
+  const jobs::JobId b = graph.AddJob("jobs.test.beta", [] {});
+  graph.AddEdge(a, b);
+  graph.Finalize();
+  jobs::JobExecutor executor(&GlobalThreadPool());
+  executor.Run(&graph);
+  executor.Run(&graph);
+  trace::SetEnabled(false);
+  const std::string json = trace::ToChromeJson(trace::Snapshot());
+  trace::Clear();
+  // Both generations appear: the first run tagged 0, the second tagged 1.
+  EXPECT_NE(json.find("\"name\":\"jobs.test.alpha\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"args\":{\"gen\":0}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"args\":{\"gen\":1}"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace kddn

@@ -1,7 +1,8 @@
-// Input-pipeline and evaluation-path suite (DESIGN.md §10): the parallel
-// dataset build must be byte-identical to the serial reference at every pool
-// size, the batch prefetcher must hand the trainer exactly the batches inline
-// assembly would (golden weights bitwise, including across checkpoint/
+// Input-pipeline and evaluation-path suite (DESIGN.md §10, §14): the
+// parallel dataset build must be byte-identical to the serial reference at
+// every pool size, BatchAssembler must hand the trainer exactly the batches
+// direct slicing would, the job-graph training path must reproduce the
+// legacy fork/join path's weights bitwise (including across checkpoint/
 // resume), inference-mode graphs must carry bitwise-identical values with no
 // tape, and the fused gradient-free evaluation must record curves bitwise
 // equal to the historical MeanLoss + EvaluateAuc double pass. Labelled
@@ -18,7 +19,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
-#include "core/batch_prefetcher.h"
+#include "core/batch_assembler.h"
 #include "core/experiment.h"
 #include "core/trainer.h"
 #include "data/dataset.h"
@@ -124,7 +125,7 @@ TEST(ParallelDatasetBuildTest, MatchesSerialByteForByteAtEveryPoolSize) {
 }
 
 // ---------------------------------------------------------------------------
-// BatchPrefetcher: exactly the batches direct slicing would produce.
+// BatchAssembler: exactly the batches direct slicing would produce.
 // ---------------------------------------------------------------------------
 
 std::vector<data::Example> TinyExamples(int count) {
@@ -140,16 +141,17 @@ std::vector<data::Example> TinyExamples(int count) {
   return examples;
 }
 
-TEST(BatchPrefetcherTest, BatchesMatchDirectSlicingInBothModes) {
+TEST(BatchAssemblerTest, BatchesMatchDirectSlicing) {
   const std::vector<data::Example> examples = TinyExamples(10);
-  core::BatchPrefetcher::Options options;
+  core::BatchAssembler::Options options;
   options.batch_size = 4;
   options.chunk_size = 2;
   options.seed = 77;
   options.horizon = synth::Horizon::kWithin30Days;
+  const core::BatchAssembler assembler(&examples, options);
 
-  // Two epochs with different orders; the second is consumed right after
-  // BeginEpoch to exercise the epoch handoff.
+  // Two epochs with different orders; a batch is a pure function of
+  // (order, epoch, index), so slots can be (re)filled in any sequence.
   std::vector<int> forward(10), reversed(10);
   for (int i = 0; i < 10; ++i) {
     forward[i] = i;
@@ -157,43 +159,37 @@ TEST(BatchPrefetcherTest, BatchesMatchDirectSlicingInBothModes) {
   }
   const std::vector<const std::vector<int>*> orders = {&forward, &reversed};
 
-  for (const bool background : {false, true}) {
-    options.background = background;
-    core::BatchPrefetcher prefetcher(&examples, options);
-    for (int epoch = 1; epoch <= 2; ++epoch) {
-      const std::vector<int>& order = *orders[epoch - 1];
-      prefetcher.BeginEpoch(&order, epoch);
-      ASSERT_EQ(prefetcher.batches_per_epoch(), 3u);
-      for (size_t index = 0; index < 3; ++index) {
-        ASSERT_EQ(prefetcher.batches_remaining(), 3 - index);
-        const core::PreparedBatch* batch = prefetcher.Next();
-        ASSERT_NE(batch, nullptr);
-        const size_t begin = index * options.batch_size;
-        const size_t end = std::min<size_t>(10, begin + options.batch_size);
-        const std::string tag = "background=" + std::to_string(background) +
-                                " epoch=" + std::to_string(epoch) +
-                                " batch=" + std::to_string(index);
-        EXPECT_EQ(batch->epoch, epoch) << tag;
-        EXPECT_EQ(batch->begin, begin) << tag;
-        ASSERT_EQ(batch->size, end - begin) << tag;
-        EXPECT_EQ(batch->num_chunks, (batch->size + 1) / 2) << tag;
-        EXPECT_EQ(batch->inv_batch, 1.0f / static_cast<float>(batch->size))
-            << tag;
-        ASSERT_EQ(batch->examples.size(), batch->size) << tag;
-        ASSERT_EQ(batch->dropout_seeds.size(), batch->size) << tag;
-        ASSERT_EQ(batch->labels.size(), batch->size) << tag;
-        for (size_t j = 0; j < batch->size; ++j) {
-          const data::Example& expected = examples[order[begin + j]];
-          EXPECT_EQ(batch->examples[j], &expected) << tag << " slot " << j;
-          EXPECT_EQ(batch->dropout_seeds[j],
-                    core::MixDropoutSeed(options.seed, epoch, begin + j))
-              << tag << " slot " << j;
-          EXPECT_EQ(batch->labels[j],
-                    expected.Label(options.horizon) ? 1 : 0)
-              << tag << " slot " << j;
-        }
+  core::PreparedBatch batch;
+  for (int epoch = 1; epoch <= 2; ++epoch) {
+    const std::vector<int>& order = *orders[epoch - 1];
+    ASSERT_EQ(assembler.BatchesPerEpoch(order.size()), 3u);
+    for (size_t index = 0; index < 3; ++index) {
+      // Reuse one slot across every call, as the trainer's double buffer
+      // does: AssembleInto must fully overwrite the previous batch.
+      assembler.AssembleInto(&batch, &order, epoch, index);
+      const size_t begin = index * options.batch_size;
+      const size_t end = std::min<size_t>(10, begin + options.batch_size);
+      const std::string tag = "epoch=" + std::to_string(epoch) +
+                              " batch=" + std::to_string(index);
+      EXPECT_EQ(batch.epoch, epoch) << tag;
+      EXPECT_EQ(batch.begin, begin) << tag;
+      ASSERT_EQ(batch.size, end - begin) << tag;
+      EXPECT_EQ(batch.num_chunks, (batch.size + 1) / 2) << tag;
+      EXPECT_EQ(batch.inv_batch, 1.0f / static_cast<float>(batch.size))
+          << tag;
+      ASSERT_EQ(batch.examples.size(), batch.size) << tag;
+      ASSERT_EQ(batch.dropout_seeds.size(), batch.size) << tag;
+      ASSERT_EQ(batch.labels.size(), batch.size) << tag;
+      for (size_t j = 0; j < batch.size; ++j) {
+        const data::Example& expected = examples[order[begin + j]];
+        EXPECT_EQ(batch.examples[j], &expected) << tag << " slot " << j;
+        EXPECT_EQ(batch.dropout_seeds[j],
+                  core::MixDropoutSeed(options.seed, epoch, begin + j))
+            << tag << " slot " << j;
+        EXPECT_EQ(batch.labels[j],
+                  expected.Label(options.horizon) ? 1 : 0)
+            << tag << " slot " << j;
       }
-      EXPECT_EQ(prefetcher.batches_remaining(), 0u);
     }
   }
 }
@@ -231,7 +227,8 @@ TEST(InferenceModeTest, ValuesBitwiseEqualWithNoTapeAndBackwardRefused) {
 }
 
 // ---------------------------------------------------------------------------
-// End-to-end training golden: prefetch and fused eval change wall-clock only.
+// End-to-end training golden: the job graph, assembly overlap, and fused
+// eval change wall-clock only — never a trained bit.
 // ---------------------------------------------------------------------------
 
 class TrainingPipelineTest : public ::testing::Test {
@@ -318,18 +315,29 @@ class TrainingPipelineTest : public ::testing::Test {
   data::MortalityDataset dataset_;
 };
 
-TEST_F(TrainingPipelineTest, PrefetchedWeightsMatchInlineGolden) {
+TEST_F(TrainingPipelineTest, JobGraphWeightsMatchLegacyForkJoinGolden) {
+  // Golden: the legacy fork/join path, single-threaded, no overlap.
   core::TrainOptions golden_options = BaseOptions();
+  golden_options.use_job_graph = false;
   golden_options.prefetch = false;
   const RunResult golden = TrainOnce("BK-DDN", golden_options);
   ASSERT_FALSE(golden.params.empty());
-  for (const int threads : {1, 4}) {
-    core::TrainOptions options = BaseOptions();
-    options.prefetch = true;
-    options.num_threads = threads;
-    ExpectSameRun(TrainOnce("BK-DDN", options), golden,
-                  "prefetch threads=" + std::to_string(threads));
+  for (const bool prefetch : {false, true}) {
+    for (const int threads : {1, 2, 4}) {
+      core::TrainOptions options = BaseOptions();
+      options.use_job_graph = true;
+      options.prefetch = prefetch;
+      options.num_threads = threads;
+      ExpectSameRun(TrainOnce("BK-DDN", options), golden,
+                    "graph prefetch=" + std::to_string(prefetch) +
+                        " threads=" + std::to_string(threads));
+    }
   }
+  // The legacy path itself must also be schedule-independent.
+  core::TrainOptions legacy = BaseOptions();
+  legacy.use_job_graph = false;
+  legacy.num_threads = 4;
+  ExpectSameRun(TrainOnce("BK-DDN", legacy), golden, "legacy threads=4");
 }
 
 TEST_F(TrainingPipelineTest, FusedEvalCurvesMatchTwoPassBitwise) {
